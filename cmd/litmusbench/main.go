@@ -1,0 +1,123 @@
+// Command litmusbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	litmusbench -list                      # enumerate experiments
+//	litmusbench -run E11 [-scale 0.5]      # one experiment
+//	litmusbench -all [-format csv]         # the full suite
+//
+// Each experiment prints paper-style rows plus its headline metrics; the
+// "paper" line states the published shape for side-by-side comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments and exit")
+		runID  = flag.String("run", "", "run a single experiment by ID (e.g. E11)")
+		all    = flag.Bool("all", false, "run every experiment")
+		scale  = flag.Float64("scale", exp.DefaultConfig().Scale, "body/repetition scale in (0,1]; 1 = full size")
+		seed   = flag.Int64("seed", exp.DefaultConfig().Seed, "random seed")
+		format = flag.String("format", "text", "output format: text, csv or json")
+		out    = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch {
+	case *list:
+		for _, e := range exp.All() {
+			fmt.Fprintf(w, "%-4s %s\n     paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+	case *runID != "":
+		cfg := exp.Config{Seed: *seed, Scale: *scale}
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+		if err := runOne(w, *runID, cfg, *format); err != nil {
+			fatal(err)
+		}
+	case *all:
+		cfg := exp.Config{Seed: *seed, Scale: *scale}
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+		for _, e := range exp.All() {
+			if err := runOne(w, e.ID, cfg, *format); err != nil {
+				fatal(fmt.Errorf("%s: %w", e.ID, err))
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(w io.Writer, id string, cfg exp.Config, format string) error {
+	e, ok := exp.ByID(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try -list)", id)
+	}
+	start := time.Now()
+	res, err := e.Run(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	switch format {
+	case "text":
+		fmt.Fprintf(w, "== %s — %s ==\n", res.ID, res.Title)
+		fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
+		for _, tab := range res.Tables {
+			fmt.Fprintln(w, tab.String())
+		}
+		for _, n := range res.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+		for _, k := range res.MetricNames() {
+			fmt.Fprintf(w, "metric %-28s %.4f\n", k, res.Metrics[k])
+		}
+		fmt.Fprintf(w, "(completed in %v)\n\n", elapsed.Round(time.Millisecond))
+	case "csv":
+		for _, tab := range res.Tables {
+			fmt.Fprintf(w, "# %s: %s\n", res.ID, tab.Title)
+			fmt.Fprint(w, tab.CSV())
+		}
+	case "json":
+		for _, tab := range res.Tables {
+			j, err := tab.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, j)
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "litmusbench:", strings.TrimSpace(err.Error()))
+	os.Exit(1)
+}

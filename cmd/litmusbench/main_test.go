@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestRunOneText(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := exp.Config{Seed: 1, Scale: 0.1}
+	if err := runOne(&buf, "T1", cfg, "text"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== T1", "paper:", "pager-py", "metric functions", "27.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q", want)
+		}
+	}
+}
+
+func TestRunOneCSV(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := exp.Config{Seed: 1, Scale: 0.1}
+	if err := runOne(&buf, "T1", cfg, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "function,abbr,suite") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "pager-py") {
+		t.Error("CSV rows missing")
+	}
+}
+
+func TestRunOneJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := exp.Config{Seed: 1, Scale: 0.1}
+	if err := runOne(&buf, "T1", cfg, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"columns"`) {
+		t.Error("JSON output malformed")
+	}
+}
+
+func TestRunOneErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := exp.Config{Seed: 1, Scale: 0.1}
+	if err := runOne(&buf, "E99", cfg, "text"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := runOne(&buf, "T1", cfg, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestMachineFor(t *testing.T) {
+	for _, name := range []string{"cascade", "cascade-turbo", "cascade-smt", "icelake"} {
+		cfg, err := machineFor(name, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	if _, err := machineFor("pdp11", 1); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestMachineForDistinctPresets(t *testing.T) {
+	smt, _ := machineFor("cascade-smt", 1)
+	if smt.Topology.SMTWays != 2 {
+		t.Error("cascade-smt is not SMT")
+	}
+	ice, _ := machineFor("icelake", 1)
+	if ice.Topology.Cores != 16 {
+		t.Errorf("icelake cores = %d", ice.Topology.Cores)
+	}
+	turbo, _ := machineFor("cascade-turbo", 1)
+	if turbo.Governor.Name() != "turbo" {
+		t.Errorf("cascade-turbo governor = %s", turbo.Governor.Name())
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+
+	"repro/internal/core"
+)
+
+// coreCalibration aliases the tables type for test readability.
+type coreCalibration = core.Calibration
+
+// buildSyntheticCalibration constructs a well-formed calibration with clean
+// linear structure: reference slowdowns are affine in startup slowdowns and
+// the MB-Gen L3 anchor sits ~30× above CT-Gen's (the same fixture shape the
+// core package tests use).
+func buildSyntheticCalibration() *core.Calibration {
+	langs := []string{"py", "nj", "go"}
+	solo := map[string]core.SoloStartup{}
+	for _, l := range langs {
+		solo[l] = core.SoloStartup{TPrivate: 0.015, TShared: 0.004, L3Misses: 1e5}
+	}
+	mkRows := func(mb bool) []core.LevelRow {
+		var rows []core.LevelRow
+		for _, level := range []int{2, 6, 10, 14, 18, 22} {
+			x := float64(level)
+			su := core.StartupRow{
+				PrivSlow:   1 + 0.002*x,
+				SharedSlow: 1 + 0.05*x,
+				TotalSlow:  1 + 0.012*x,
+				L3Misses:   1e5 * (1 + 0.2*x),
+			}
+			refPriv := 1 + 0.0025*x
+			refShared := 1 + 0.06*x
+			refTotal := 1 + 0.015*x
+			if mb {
+				su = core.StartupRow{
+					PrivSlow:   1 + 0.003*x,
+					SharedSlow: 1 + 0.08*x,
+					TotalSlow:  1 + 0.02*x,
+					L3Misses:   3e6 * (1 + 0.2*x),
+				}
+				refPriv = 1 + 0.0035*x
+				refShared = 1 + 0.10*x
+				refTotal = 1 + 0.024*x
+			}
+			row := core.LevelRow{
+				Level:         level,
+				Startup:       map[string]core.StartupRow{},
+				RefPrivSlow:   refPriv,
+				RefSharedSlow: refShared,
+				RefTotalSlow:  refTotal,
+			}
+			for _, l := range langs {
+				row.Startup[l] = su
+			}
+			rows = append(rows, row)
+		}
+		return rows
+	}
+	return &core.Calibration{
+		Machine:      "fixed",
+		SharePerCore: 1,
+		SoloStartups: solo,
+		Generators: []core.GenTable{
+			{Kind: "CT-Gen", Rows: mkRows(false)},
+			{Kind: "MB-Gen", Rows: mkRows(true)},
+		},
+	}
+}
+
+// writeFile is a thin wrapper so the main test file reads cleanly.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

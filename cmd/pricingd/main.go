@@ -1,0 +1,205 @@
+// Command pricingd serves Litmus price quotes over HTTP.
+//
+// It loads calibration tables (produced by cmd/litmuscalib) or calibrates a
+// simulated machine at startup, then answers:
+//
+//	GET  /healthz    — liveness
+//	GET  /v1/tables  — the calibration tables (JSON)
+//	POST /v1/quote   — price one invocation from its measurements
+//
+// A quote request carries exactly what a real agent would read from perf:
+// the billed T_private/T_shared, the sandbox memory size, and the Litmus
+// probe readings from the function's startup:
+//
+//	{
+//	  "abbr": "pager-py", "language": "py", "memoryMB": 512,
+//	  "tPrivate": 0.0810, "tShared": 0.0205,
+//	  "probe": {"tPrivate": 0.0061, "tShared": 0.0016, "machineL3Misses": 1.2e6}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		tables = flag.String("tables", "", "calibration tables JSON (from litmuscalib); empty = calibrate now")
+		scale  = flag.Float64("scale", 0.25, "body scale for startup calibration when -tables is empty")
+		seed   = flag.Int64("seed", 7, "seed for startup calibration")
+	)
+	flag.Parse()
+
+	cal, err := loadOrCalibrate(*tables, *scale, *seed)
+	if err != nil {
+		log.Fatalf("pricingd: %v", err)
+	}
+	srv, err := newServer(cal)
+	if err != nil {
+		log.Fatalf("pricingd: %v", err)
+	}
+	log.Printf("pricingd: serving on %s (tables: %d generators, share %d)",
+		*addr, len(cal.Generators), cal.SharePerCore)
+	s := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(s.ListenAndServe())
+}
+
+func loadOrCalibrate(path string, scale float64, seed int64) (*core.Calibration, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return core.DecodeCalibration(data)
+	}
+	log.Printf("pricingd: no -tables given; calibrating a simulated machine (scale %.2f)…", scale)
+	return core.Calibrate(core.CalibratorConfig{
+		Platform: platform.Config{Machine: engine.CascadeLake(seed), BodyScale: scale, Seed: seed},
+	})
+}
+
+// server holds the fitted models and answers quote requests.
+type server struct {
+	cal    *core.Calibration
+	models *core.Models
+}
+
+func newServer(cal *core.Calibration) (*server, error) {
+	models, err := core.FitModels(cal)
+	if err != nil {
+		return nil, err
+	}
+	return &server{cal: cal, models: models}, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/tables", s.handleTables)
+	mux.HandleFunc("/v1/quote", s.handleQuote)
+	return mux
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cal)
+}
+
+// quoteRequest is the wire format of POST /v1/quote.
+type quoteRequest struct {
+	// Abbr labels the function (echoed back; not interpreted).
+	Abbr string `json:"abbr"`
+	// Language selects the startup model: "py", "nj" or "go".
+	Language string `json:"language"`
+	// MemoryMB is the sandbox allocation.
+	MemoryMB int `json:"memoryMB"`
+	// TPrivate / TShared are the billed occupancy components in seconds.
+	TPrivate float64 `json:"tPrivate"`
+	TShared  float64 `json:"tShared"`
+	// Probe carries the Litmus-test readings from the startup window.
+	Probe struct {
+		TPrivate        float64 `json:"tPrivate"`
+		TShared         float64 `json:"tShared"`
+		MachineL3Misses float64 `json:"machineL3Misses"`
+	} `json:"probe"`
+}
+
+// quoteResponse is the priced result.
+type quoteResponse struct {
+	Abbr       string  `json:"abbr"`
+	Commercial float64 `json:"commercial"`
+	Price      float64 `json:"price"`
+	Discount   float64 `json:"discount"`
+	RPrivate   float64 `json:"rPrivate"`
+	RShared    float64 `json:"rShared"`
+	// Estimate explains the congestion reading behind the rates.
+	Estimate struct {
+		PrivSlow   float64 `json:"privSlow"`
+		SharedSlow float64 `json:"sharedSlow"`
+		Weight     float64 `json:"mbWeight"`
+	} `json:"estimate"`
+}
+
+func (s *server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req quoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.MemoryMB <= 0 || req.TPrivate <= 0 || req.TShared < 0 {
+		writeError(w, http.StatusBadRequest, "memoryMB and tPrivate must be positive, tShared non-negative")
+		return
+	}
+	base, ok := s.models.Solo[req.Language]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown language %q (want py, nj or go)", req.Language))
+		return
+	}
+	reading := core.Reading{
+		Lang:       req.Language,
+		PrivSlow:   req.Probe.TPrivate / base.TPrivate,
+		SharedSlow: req.Probe.TShared / base.TShared,
+		TotalSlow:  (req.Probe.TPrivate + req.Probe.TShared) / base.Total(),
+		L3Misses:   req.Probe.MachineL3Misses,
+	}
+	est, err := s.models.Estimate(reading)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rPriv := 1 / est.PrivSlow
+	rShared := 1 / est.SharedSlow
+	mem := float64(req.MemoryMB)
+	commercial := mem * (req.TPrivate + req.TShared)
+	price := rPriv*mem*req.TPrivate + rShared*mem*req.TShared
+
+	var resp quoteResponse
+	resp.Abbr = req.Abbr
+	resp.Commercial = commercial
+	resp.Price = price
+	resp.Discount = 1 - price/commercial
+	resp.RPrivate = rPriv
+	resp.RShared = rShared
+	resp.Estimate.PrivSlow = est.PrivSlow
+	resp.Estimate.SharedSlow = est.SharedSlow
+	resp.Estimate.Weight = est.Weight
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("pricingd: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

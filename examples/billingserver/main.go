@@ -1,0 +1,120 @@
+// Billingserver: runs the pricingd HTTP pricing flow in-process. It
+// calibrates a machine, serves the pricing API on a local port, then plays
+// a tenant agent: it measures a function on a congested machine and POSTs
+// the measurements to /v1/quote.
+//
+//	go run ./examples/billingserver
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	litmus "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	const seed = 3
+
+	pcfg := litmus.DefaultPlatformConfig(seed)
+	pcfg.BodyScale = 0.2
+	pcfg.StartupScale = 0.2
+
+	fmt.Println("calibrating provider tables…")
+	cal, err := litmus.Calibrate(litmus.CalibratorConfig{Platform: pcfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := litmus.FitModels(cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the quoting API (same wire format as cmd/pricingd).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/quote", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Abbr     string  `json:"abbr"`
+			Language string  `json:"language"`
+			MemoryMB int     `json:"memoryMB"`
+			TPrivate float64 `json:"tPrivate"`
+			TShared  float64 `json:"tShared"`
+			Probe    struct {
+				TPrivate        float64 `json:"tPrivate"`
+				TShared         float64 `json:"tShared"`
+				MachineL3Misses float64 `json:"machineL3Misses"`
+			} `json:"probe"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		base := models.Solo[req.Language]
+		reading := core.Reading{
+			Lang:       req.Language,
+			PrivSlow:   req.Probe.TPrivate / base.TPrivate,
+			SharedSlow: req.Probe.TShared / base.TShared,
+			TotalSlow:  (req.Probe.TPrivate + req.Probe.TShared) / base.Total(),
+			L3Misses:   req.Probe.MachineL3Misses,
+		}
+		est, err := models.Estimate(reading)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mem := float64(req.MemoryMB)
+		commercial := mem * (req.TPrivate + req.TShared)
+		price := mem * (req.TPrivate/est.PrivSlow + req.TShared/est.SharedSlow)
+		json.NewEncoder(w).Encode(map[string]any{
+			"abbr": req.Abbr, "commercial": commercial, "price": price,
+			"discount": 1 - price/commercial, "mbWeight": est.Weight,
+		})
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("pricing API on http://%s\n", ln.Addr())
+
+	// Tenant agent: run a function on a congested machine and bill it.
+	p := litmus.NewPlatform(pcfg)
+	p.StartChurn(litmus.Catalog(), 26, litmus.Threads(1, 26))
+	p.Warm(30e-3)
+	target := litmus.FunctionsByAbbr()["recogn-py"]
+	rec, err := p.Invoke(target, 0, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reqBody, _ := json.Marshal(map[string]any{
+		"abbr": rec.Abbr, "language": rec.Language.String(), "memoryMB": rec.MemoryMB,
+		"tPrivate": rec.TPrivate, "tShared": rec.TShared,
+		"probe": map[string]any{
+			"tPrivate":        rec.Probe.TPrivateSec,
+			"tShared":         rec.Probe.TSharedSec,
+			"machineL3Misses": rec.Probe.MachineL3Misses,
+		},
+	})
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/quote", ln.Addr()), "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var quote map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&quote); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPOST /v1/quote for %s:\n", rec.Abbr)
+	fmt.Printf("  commercial: %10.2f MB·s\n", quote["commercial"])
+	fmt.Printf("  litmus:     %10.2f MB·s (discount %.1f%%, MB weight %.2f)\n",
+		quote["price"], 100*quote["discount"].(float64), quote["mbWeight"])
+}

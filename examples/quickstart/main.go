@@ -1,0 +1,84 @@
+// Quickstart: calibrate a simulated machine, congest it, run one function,
+// and compare the commercial, Litmus and ideal bills.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	litmus "repro"
+)
+
+func main() {
+	const seed = 42
+
+	// A scaled-down platform so the whole example runs in seconds. Scale 1
+	// reproduces the full-size configuration.
+	pcfg := litmus.DefaultPlatformConfig(seed)
+	pcfg.BodyScale = 0.2
+	pcfg.StartupScale = 0.2
+
+	// 1. Provider-side: build the congestion + performance tables by
+	//    sweeping the CT-Gen/MB-Gen stress levels, then fit the models.
+	fmt.Println("calibrating (CT-Gen/MB-Gen sweeps)…")
+	cal, err := litmus.Calibrate(litmus.CalibratorConfig{Platform: pcfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := litmus.FitModels(cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Tenant-side oracle for comparison: the function's solo cost.
+	target := litmus.FunctionsByAbbr()["dyn-py"]
+	solo, err := litmus.MeasureSolo(pcfg, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Congest a machine the way the paper does: 26 co-running functions,
+	//    one per core, randomly churned.
+	p := litmus.NewPlatform(pcfg)
+	p.StartChurn(litmus.Catalog(), 26, litmus.Threads(1, 26))
+	p.Warm(30e-3)
+
+	// 4. Invoke the tenant's function. The Litmus test rides its startup.
+	rec, err := p.Invoke(target, 0, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Price it three ways.
+	commercial := litmus.NewCommercialPricer(1)
+	pricer := litmus.NewLitmusPricer(models, 1)
+	ideal := litmus.NewIdealPricer(1, map[string]litmus.Solo{target.Abbr: solo})
+
+	qc, _ := commercial.Quote(rec)
+	ql, err := pricer.Quote(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qi, _ := ideal.Quote(rec)
+
+	fmt.Printf("\nfunction %s on a 26-co-runner machine:\n", target.Abbr)
+	fmt.Printf("  occupancy: T_private %.2f ms, T_shared %.2f ms (solo total %.2f ms)\n",
+		rec.TPrivate*1e3, rec.TShared*1e3, solo.Total()*1e3)
+	fmt.Printf("  probe:     startup %.2f ms, machine L3 misses %.2e (MB weight %.2f)\n",
+		(rec.Probe.TPrivateSec+rec.Probe.TSharedSec)*1e3, rec.Probe.MachineL3Misses, ql.Estimate.Weight)
+	fmt.Printf("  commercial price: %8.2f MB·s (no discount)\n", qc.Price)
+	fmt.Printf("  litmus price:     %8.2f MB·s (discount %4.1f%%, R_priv %.3f, R_shared %.3f)\n",
+		ql.Price, ql.Discount()*100, ql.RPrivate, ql.RShared)
+	fmt.Printf("  ideal price:      %8.2f MB·s (discount %4.1f%%)\n", qi.Price, qi.Discount()*100)
+	fmt.Printf("\nlitmus lands within %.1f points of the ideal discount.\n",
+		100*abs(ql.Discount()-qi.Discount()))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,145 @@
+package engine
+
+// Calibration probe: prints emergent interference figures against the
+// paper's targets. Run with:
+//
+//	go test ./internal/engine -run TestCalibrationProbe -v -calib
+//
+// It is gated behind a flag because it is a tuning aid, not an assertion.
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trafficgen"
+	"repro/internal/workload"
+)
+
+var calib = flag.Bool("calib", false, "run the calibration probe")
+
+func TestCalibrationProbe(t *testing.T) {
+	if !*calib {
+		t.Skip("calibration probe disabled (use -calib)")
+	}
+	scale := 0.25
+
+	soloTimes := map[string][2]float64{}
+	for _, spec := range workload.Catalog() {
+		m := New(CascadeLake(1))
+		ctx := m.Spawn(spec.WithBodyScale(scale), 0)
+		if !m.RunUntilDone(ctx.ID, 10) {
+			t.Fatalf("%s solo did not finish", spec.Abbr)
+		}
+		tp, ts := ctx.Times()
+		soloTimes[spec.Abbr] = [2]float64{tp, ts}
+	}
+
+	fmt.Println("== solo T_shared share (Fig. 4 targets in catalog comments) ==")
+	var shares []float64
+	for _, spec := range workload.Catalog() {
+		v := soloTimes[spec.Abbr]
+		share := v[1] / (v[0] + v[1])
+		shares = append(shares, 1-share)
+		fmt.Printf("  %-12s share=%5.1f%%  dur=%6.1fms\n", spec.Abbr, share*100, (v[0]+v[1])*1e3)
+	}
+	fmt.Printf("  mean T_private share = %.1f%%\n", stats.Mean(shares)*100)
+
+	// Fig. 2/3: co-run with 26 others (one per core), random churn.
+	fmt.Println("== 26 co-runners (Fig. 2: gmean ≈1.115 total; Fig. 3: Tsh ≈2.8, Tpr ≈1.04) ==")
+	var totalSlow, privSlow, shSlow []float64
+	cat := workload.Catalog()
+	for _, spec := range cat {
+		m := New(CascadeLake(int64(100)))
+		// 26 background functions on threads 1..26, churned.
+		bg := make(map[int]int) // ctxID -> thread
+		next := 0
+		spawnBG := func(th int) {
+			s := cat[next%len(cat)].WithBodyScale(scale)
+			next++
+			c := m.Spawn(s, th)
+			bg[c.ID] = th
+		}
+		for i := 0; i < 26; i++ {
+			spawnBG(1 + i)
+		}
+		m.Run(30e-3)
+		ctx := m.Spawn(spec.WithBodyScale(scale), 0)
+		for !ctx.Done() && m.Now() < 30 {
+			for _, ev := range m.Step() {
+				if ev.Kind == EventDone && ev.Ctx != ctx.ID {
+					if th, ok := bg[ev.Ctx]; ok {
+						m.Remove(ev.Ctx)
+						delete(bg, ev.Ctx)
+						spawnBG(th)
+					}
+				}
+			}
+		}
+		tp, ts := ctx.Times()
+		u3, um := m.Utilization()
+		_ = u3
+		_ = um
+		v := soloTimes[spec.Abbr]
+		totalSlow = append(totalSlow, (tp+ts)/(v[0]+v[1]))
+		privSlow = append(privSlow, tp/v[0])
+		if v[1] > 0 {
+			shSlow = append(shSlow, ts/v[1])
+		}
+		fmt.Printf("  %-12s total=%.3f priv=%.3f shared=%.3f  (u3=%.2f um=%.2f)\n",
+			spec.Abbr, (tp+ts)/(v[0]+v[1]), tp/v[0], safeDiv(ts, v[1]), u3, um)
+	}
+	min, max := stats.MinMax(totalSlow)
+	fmt.Printf("  gmean total=%.3f (min %.3f max %.3f) | gmean priv=%.3f | gmean shared=%.3f (max %.2f)\n",
+		stats.Gmean(totalSlow), min, max, stats.Gmean(privSlow), stats.Gmean(shSlow), maxOf(shSlow))
+
+	// Congestion table anchors: python startup under generators.
+	fmt.Println("== python startup slowdown vs generator level (Fig. 5 shape) ==")
+	py := workload.ByAbbr()["auth-py"].WithBodyScale(0.01)
+	probeN := math.Min(workload.ProbeInstrCap, py.StartupInstr())
+	soloProbe := runProbe(t, CascadeLake(5), py, probeN, nil, 0)
+	for _, kind := range trafficgen.Kinds() {
+		for _, level := range []int{5, 10, 14, 20, 31} {
+			p := runProbe(t, CascadeLake(5), py, probeN, &kind, level)
+			fmt.Printf("  %s L%-2d  total=%.3f priv=%.3f shared=%.3f  l3miss=%9.0f (solo %9.0f)\n",
+				kind, level,
+				(p.TPrivateSec+p.TSharedSec)/(soloProbe.TPrivateSec+soloProbe.TSharedSec),
+				p.TPrivateSec/soloProbe.TPrivateSec,
+				p.TSharedSec/soloProbe.TSharedSec,
+				p.MachineL3Misses, soloProbe.MachineL3Misses)
+		}
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func maxOf(xs []float64) float64 {
+	_, max := stats.MinMax(xs)
+	return max
+}
+
+func runProbe(t *testing.T, cfg Config, spec *workload.Spec, probeN float64, kind *trafficgen.Kind, level int) *ProbeResult {
+	t.Helper()
+	m := New(cfg)
+	if kind != nil {
+		for i, s := range trafficgen.Fleet(*kind, level) {
+			m.Spawn(s, 1+i)
+		}
+		m.Run(30e-3)
+	}
+	ctx := m.Spawn(spec, 0, WithProbe(probeN))
+	for ctx.Probe() == nil && m.Now() < 10 {
+		m.Step()
+	}
+	if ctx.Probe() == nil {
+		t.Fatal("probe did not fire")
+	}
+	return ctx.Probe()
+}

@@ -1,0 +1,433 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trafficgen"
+	"repro/internal/workload"
+)
+
+// tinySpec returns a single-phase function with the given parameters, small
+// enough to finish quickly.
+func tinySpec(abbr string, mInstr, cpi, mpki float64, ws int, p workload.Pattern, mlp float64) *workload.Spec {
+	return &workload.Spec{
+		Name: abbr, Abbr: abbr, Language: workload.Python, Suite: "test", MemoryMB: 128,
+		Body: []workload.Phase{{
+			Name: "body", Instr: mInstr * 1e6, CPIBase: cpi, L2MPKI: mpki,
+			WSBlocks: ws, Pattern: p, MLP: mlp,
+		}},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := CascadeLake(1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+	bad := cfg
+	bad.Governor = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil governor accepted")
+	}
+	bad = cfg
+	bad.QuantumSec = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	bad = cfg
+	bad.CacheSampleRate = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("sample rate > 1 accepted")
+	}
+	bad = cfg
+	bad.FixedPointIters = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	bad = cfg
+	bad.SMTIssueShare = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero SMT share accepted")
+	}
+	bad = cfg
+	bad.L3MaxUtilization = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("L3MaxUtilization = 1 accepted")
+	}
+}
+
+func TestSoloRunCompletesWithExpectedTiming(t *testing.T) {
+	m := New(CascadeLake(1))
+	// 28M instructions at CPI 1.0 with no memory traffic → exactly 10 ms at
+	// 2.8 GHz (plus sub-quantum rounding).
+	spec := tinySpec("calib", 28, 1.0, 0, 1, workload.Hot, 2)
+	ctx := m.Spawn(spec, 0)
+	if !m.RunUntilDone(ctx.ID, 1.0) {
+		t.Fatal("context did not finish")
+	}
+	wall := ctx.WallDuration()
+	if math.Abs(wall-10e-3) > 0.5e-3 {
+		t.Errorf("wall = %v s, want ≈10 ms", wall)
+	}
+	c := ctx.Counters()
+	if math.Abs(c.Instructions-28e6) > 1 {
+		t.Errorf("instructions = %v, want 28e6", c.Instructions)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("counters invalid: %v", err)
+	}
+	if c.StallL2Miss != 0 {
+		t.Errorf("no-memory function accrued stall cycles: %v", c.StallL2Miss)
+	}
+	tp, ts := ctx.Times()
+	if ts != 0 {
+		t.Errorf("T_shared = %v, want 0", ts)
+	}
+	if math.Abs(tp-wall) > 1e-4 {
+		t.Errorf("T_private %v should equal wall %v for a solo CPU-bound run", tp, wall)
+	}
+}
+
+func TestMemoryBoundFunctionAccruesShared(t *testing.T) {
+	m := New(CascadeLake(1))
+	spec := tinySpec("memy", 20, 0.9, 20, 128, workload.Hot, 1.5)
+	ctx := m.Spawn(spec, 0)
+	if !m.RunUntilDone(ctx.ID, 1.0) {
+		t.Fatal("did not finish")
+	}
+	c := ctx.Counters()
+	if c.StallL2Miss <= 0 {
+		t.Fatal("memory-bound function must accrue L2-miss stalls")
+	}
+	if c.L2Misses <= 0 || c.L3Hits <= 0 {
+		t.Errorf("cache counters empty: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("counters invalid: %v", err)
+	}
+	tp, ts := ctx.Times()
+	share := ts / (tp + ts)
+	// Calibration target: hot/mlp1.5/mpki20/cpi0.9 ⇒ ≈40% shared (pager-ish).
+	if share < 0.25 || share < 0 || share > 0.60 {
+		t.Errorf("shared share = %v, want ≈0.3–0.5", share)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, float64, float64) {
+		m := New(CascadeLake(42))
+		a := m.Spawn(tinySpec("a", 10, 1.0, 8, 64, workload.Hot, 2), 0)
+		m.Spawn(trafficgen.ThreadSpec(trafficgen.MBGen, 0), 1)
+		m.Spawn(trafficgen.ThreadSpec(trafficgen.CTGen, 0), 2)
+		m.RunUntilDone(a.ID, 1.0)
+		tp, ts := a.Times()
+		return tp, ts, a.Counters().L3Misses
+	}
+	tp1, ts1, l31 := run()
+	tp2, ts2, l32 := run()
+	if tp1 != tp2 || ts1 != ts2 || l31 != l32 {
+		t.Errorf("same seed diverged: (%v,%v,%v) vs (%v,%v,%v)", tp1, ts1, l31, tp2, ts2, l32)
+	}
+}
+
+func TestCoRunnerSlowsVictim(t *testing.T) {
+	solo := func() float64 {
+		m := New(CascadeLake(7))
+		ctx := m.Spawn(tinySpec("v", 20, 0.9, 15, 256, workload.Hot, 1.5), 0)
+		m.RunUntilDone(ctx.ID, 1.0)
+		tp, ts := ctx.Times()
+		return tp + ts
+	}()
+	congested := func() float64 {
+		m := New(CascadeLake(7))
+		for i := 0; i < 14; i++ {
+			m.Spawn(trafficgen.ThreadSpec(trafficgen.MBGen, i), 1+i)
+		}
+		m.Run(20e-3) // let generators warm the machine
+		ctx := m.Spawn(tinySpec("v", 20, 0.9, 15, 256, workload.Hot, 1.5), 0)
+		m.RunUntilDone(ctx.ID, 2.0)
+		tp, ts := ctx.Times()
+		return tp + ts
+	}()
+	slowdown := congested / solo
+	if slowdown < 1.05 {
+		t.Errorf("MB-Gen x14 slowdown = %v, want noticeable (>1.05)", slowdown)
+	}
+	if slowdown > 4 {
+		t.Errorf("MB-Gen x14 slowdown = %v, implausibly large", slowdown)
+	}
+}
+
+func TestSharedComponentMoreSensitiveThanPrivate(t *testing.T) {
+	// The core empirical fact behind Litmus pricing (Fig. 3): congestion
+	// inflates T_shared far more than T_private.
+	measure := func(congested bool) (tp, ts float64) {
+		m := New(CascadeLake(9))
+		if congested {
+			for i := 0; i < 12; i++ {
+				m.Spawn(trafficgen.ThreadSpec(trafficgen.MBGen, i), 4+i)
+			}
+			m.Run(20e-3)
+		}
+		ctx := m.Spawn(tinySpec("v", 20, 0.9, 15, 256, workload.Hot, 1.5), 0)
+		m.RunUntilDone(ctx.ID, 2.0)
+		return ctx.Times()
+	}
+	tpS, tsS := measure(false)
+	tpC, tsC := measure(true)
+	privSlow := tpC / tpS
+	sharedSlow := tsC / tsS
+	if sharedSlow <= privSlow {
+		t.Errorf("shared slowdown %v must exceed private slowdown %v", sharedSlow, privSlow)
+	}
+	if privSlow > 1.15 {
+		t.Errorf("private slowdown %v too large; should be mild (paper ≈1.04)", privSlow)
+	}
+	if sharedSlow < 1.2 {
+		t.Errorf("shared slowdown %v too small under 12 MB-Gen threads", sharedSlow)
+	}
+}
+
+func TestProbeFires(t *testing.T) {
+	m := New(CascadeLake(3))
+	spec := workload.ByAbbr()["auth-py"].WithBodyScale(0.1)
+	probeN := math.Min(workload.ProbeInstrCap, spec.StartupInstr())
+	ctx := m.Spawn(spec, 0, WithProbe(probeN))
+	var probeEvents int
+	for !ctx.Done() {
+		for _, ev := range m.Step() {
+			if ev.Kind == EventProbe && ev.Ctx == ctx.ID {
+				probeEvents++
+			}
+		}
+		if m.Now() > 2 {
+			t.Fatal("timeout")
+		}
+	}
+	if probeEvents != 1 {
+		t.Fatalf("probe events = %d, want exactly 1", probeEvents)
+	}
+	p := ctx.Probe()
+	if p == nil {
+		t.Fatal("probe result missing")
+	}
+	if p.Instructions < probeN {
+		t.Errorf("probe window %v shorter than target %v", p.Instructions, probeN)
+	}
+	// Quantisation overshoot is at most one quantum of instructions.
+	if p.Instructions > probeN+3e6 {
+		t.Errorf("probe window %v overshoots target %v too far", p.Instructions, probeN)
+	}
+	if p.Cycles <= 0 || p.TPrivateSec <= 0 {
+		t.Errorf("probe fields empty: %+v", p)
+	}
+	if math.Abs((p.TPrivateSec+p.TSharedSec)-p.Cycles/2.8e9) > 1e-9 {
+		t.Errorf("probe occupancy %v != cycles/freq %v", p.TPrivateSec+p.TSharedSec, p.Cycles/2.8e9)
+	}
+}
+
+func TestTemporalSharingStretchesWallNotOccupancy(t *testing.T) {
+	soloWall, soloOcc := func() (float64, float64) {
+		m := New(CascadeLake(5))
+		ctx := m.Spawn(tinySpec("s", 14, 1.0, 2, 16, workload.Hot, 2), 0)
+		m.RunUntilDone(ctx.ID, 1.0)
+		tp, ts := ctx.Times()
+		return ctx.WallDuration(), tp + ts
+	}()
+	m := New(CascadeLake(5))
+	// Four identical functions share hardware thread 0.
+	var ctxs []*Context
+	for i := 0; i < 4; i++ {
+		ctxs = append(ctxs, m.Spawn(tinySpec("s", 14, 1.0, 2, 16, workload.Hot, 2), 0))
+	}
+	for _, c := range ctxs {
+		m.RunUntilDone(c.ID, 5.0)
+	}
+	last := ctxs[3]
+	if !last.Done() {
+		t.Fatal("shared context did not finish")
+	}
+	tp, ts := last.Times()
+	occ := tp + ts
+	if last.WallDuration() < 2.5*soloWall {
+		t.Errorf("wall under 4-way sharing = %v, want ≥2.5× solo %v", last.WallDuration(), soloWall)
+	}
+	// Occupancy (billed time) must grow only by the switch penalty, a few %.
+	if occ > soloOcc*1.1 || occ < soloOcc {
+		t.Errorf("occupancy = %v, want within [1,1.1]× solo %v", occ, soloOcc)
+	}
+}
+
+func TestSwitchPenaltyCurve(t *testing.T) {
+	m := New(CascadeLake(1))
+	if got := m.switchPenalty(1); got != 0 {
+		t.Errorf("penalty(1) = %v, want 0", got)
+	}
+	prev := 0.0
+	for k := 2; k <= 30; k++ {
+		p := m.switchPenalty(k)
+		if p < prev {
+			t.Fatalf("penalty not monotone at k=%d", k)
+		}
+		prev = p
+	}
+	if got := m.switchPenalty(25); got != m.cfg.SwitchPenaltyMax {
+		t.Errorf("penalty must saturate at SwitchPenaltySat, got %v", got)
+	}
+	// Fig. 14 anchor: ≈+2.5% at 10 co-runners.
+	p10 := m.switchPenalty(10)
+	if p10 < 0.015 || p10 > 0.03 {
+		t.Errorf("penalty(10) = %v, want ≈0.023", p10)
+	}
+}
+
+func TestSMTContentionSlowsBothSiblings(t *testing.T) {
+	solo := func() float64 {
+		m := New(CascadeLakeSMT(11))
+		ctx := m.Spawn(tinySpec("x", 10, 1.0, 5, 32, workload.Hot, 2), 0)
+		m.RunUntilDone(ctx.ID, 1.0)
+		tp, ts := ctx.Times()
+		return tp + ts
+	}()
+	paired := func() float64 {
+		m := New(CascadeLakeSMT(11))
+		a := m.Spawn(tinySpec("x", 10, 1.0, 5, 32, workload.Hot, 2), 0)
+		m.Spawn(trafficgen.ThreadSpec(trafficgen.CTGen, 0), 32) // sibling of thread 0 on a 32-core SMT machine
+		m.RunUntilDone(a.ID, 2.0)
+		tp, ts := a.Times()
+		return tp + ts
+	}()
+	slow := paired / solo
+	if slow < 1.3 {
+		t.Errorf("SMT sibling slowdown = %v, want ≥1.3 (issue share + cache pressure)", slow)
+	}
+}
+
+func TestTurboGovernorSpeedsLightLoad(t *testing.T) {
+	fixed := func() float64 {
+		m := New(CascadeLake(13))
+		ctx := m.Spawn(tinySpec("f", 28, 1.0, 0, 1, workload.Hot, 2), 0)
+		m.RunUntilDone(ctx.ID, 1.0)
+		return ctx.WallDuration()
+	}()
+	turbo := func() float64 {
+		m := New(CascadeLakeTurbo(13))
+		ctx := m.Spawn(tinySpec("f", 28, 1.0, 0, 1, workload.Hot, 2), 0)
+		m.RunUntilDone(ctx.ID, 1.0)
+		return ctx.WallDuration()
+	}()
+	// A lone function on a turbo machine gets the shallow sustained boost
+	// (2.9 vs 2.8 GHz — the paper's clocks mostly sit at base).
+	ratio := fixed / turbo
+	if ratio < 1.02 {
+		t.Errorf("turbo speedup = %v, want ≥1.02 for a solo run", ratio)
+	}
+	if ratio > 1.1 {
+		t.Errorf("turbo speedup = %v; sustained turbo should be shallow", ratio)
+	}
+}
+
+func TestRemoveReleasesThreadAndCache(t *testing.T) {
+	m := New(CascadeLake(17))
+	a := m.Spawn(tinySpec("a", 1000, 1.0, 10, 64, workload.Hot, 2), 0)
+	b := m.Spawn(tinySpec("b", 10, 1.0, 0, 1, workload.Hot, 2), 0)
+	m.Run(5e-3)
+	m.Remove(a.ID)
+	if m.NumContexts() != 1 {
+		t.Fatalf("contexts = %d, want 1", m.NumContexts())
+	}
+	if !m.RunUntilDone(b.ID, 1.0) {
+		t.Fatal("b did not finish after removing a")
+	}
+	if m.Context(a.ID) != nil {
+		t.Error("removed context still reachable")
+	}
+	m.Remove(a.ID) // double remove is a no-op
+}
+
+func TestEventsDeterministicOrder(t *testing.T) {
+	m := New(CascadeLake(19))
+	a := m.Spawn(tinySpec("a", 5, 1.0, 0, 1, workload.Hot, 2), 0)
+	b := m.Spawn(tinySpec("b", 5, 1.0, 0, 1, workload.Hot, 2), 1)
+	var done []int
+	for len(done) < 2 && m.Now() < 1 {
+		for _, ev := range m.Step() {
+			if ev.Kind == EventDone {
+				done = append(done, ev.Ctx)
+			}
+		}
+	}
+	if len(done) != 2 || done[0] != a.ID || done[1] != b.ID {
+		t.Errorf("done order = %v, want [%d %d] (thread order)", done, a.ID, b.ID)
+	}
+}
+
+func TestSpawnPanicsOnBadThread(t *testing.T) {
+	m := New(CascadeLake(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("Spawn on out-of-range thread should panic")
+		}
+	}()
+	m.Spawn(tinySpec("a", 1, 1, 0, 1, workload.Hot, 2), 99)
+}
+
+func TestTimelineCapturesIPCPhases(t *testing.T) {
+	m := New(CascadeLake(23))
+	spec := &workload.Spec{
+		Name: "two-phase", Abbr: "tp", Language: workload.Go, Suite: "test", MemoryMB: 128,
+		Body: []workload.Phase{
+			{Name: "fast", Instr: 8e6, CPIBase: 0.5, L2MPKI: 0, WSBlocks: 1, Pattern: workload.Hot, MLP: 2},
+			{Name: "slow", Instr: 8e6, CPIBase: 2.0, L2MPKI: 0, WSBlocks: 1, Pattern: workload.Hot, MLP: 2},
+		},
+	}
+	ctx := m.Spawn(spec, 0, WithTimeline(1e-3))
+	m.RunUntilDone(ctx.ID, 1.0)
+	pts := ctx.Timeline()
+	if len(pts) < 3 {
+		t.Fatalf("timeline too short: %d points", len(pts))
+	}
+	first, last := pts[0].IPC, pts[len(pts)-1].IPC
+	if first < 1.5 || last > 0.7 {
+		t.Errorf("timeline IPC should fall from ≈2 to ≈0.5, got %v → %v", first, last)
+	}
+}
+
+func TestMachineL3MissesMonotone(t *testing.T) {
+	m := New(CascadeLake(29))
+	m.Spawn(trafficgen.ThreadSpec(trafficgen.MBGen, 0), 0)
+	prev := m.MachineL3Misses()
+	for i := 0; i < 50; i++ {
+		m.Step()
+		cur := m.MachineL3Misses()
+		if cur < prev {
+			t.Fatal("machine L3 misses decreased")
+		}
+		prev = cur
+	}
+	if prev == 0 {
+		t.Error("MB-Gen produced no L3 misses")
+	}
+}
+
+func TestCountersAlwaysValid(t *testing.T) {
+	m := New(CascadeLake(31))
+	specs := []*workload.Spec{
+		tinySpec("a", 15, 0.9, 20, 256, workload.Hot, 1.5),
+		tinySpec("b", 15, 1.0, 5, 64, workload.Scan, 6),
+		tinySpec("c", 15, 1.1, 10, 128, workload.Mixed, 3),
+	}
+	var ctxs []*Context
+	for i, s := range specs {
+		ctxs = append(ctxs, m.Spawn(s, i))
+	}
+	for i := 0; i < 200; i++ {
+		m.Step()
+		for _, c := range ctxs {
+			if err := c.Counters().Validate(); err != nil {
+				t.Fatalf("step %d ctx %s: %v", i, c.Spec.Abbr, err)
+			}
+		}
+	}
+}

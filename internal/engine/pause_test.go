@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trafficgen"
+	"repro/internal/workload"
+)
+
+func TestPausedContextMakesNoProgress(t *testing.T) {
+	m := New(CascadeLake(41))
+	ctx := m.Spawn(tinySpec("p", 50, 1.0, 2, 16, workload.Hot, 2), 0)
+	m.Run(2e-3)
+	before := ctx.Counters().Instructions
+	if before <= 0 {
+		t.Fatal("context made no progress before pause")
+	}
+	m.SetPaused(ctx.ID, true)
+	m.Run(5e-3)
+	if got := ctx.Counters().Instructions; got != before {
+		t.Errorf("paused context progressed: %v -> %v", before, got)
+	}
+	tp, ts := ctx.Times()
+	m.SetPaused(ctx.ID, false)
+	m.Run(2e-3)
+	if got := ctx.Counters().Instructions; got <= before {
+		t.Error("resumed context did not progress")
+	}
+	tp2, ts2 := ctx.Times()
+	if tp2 <= tp || ts2 < ts {
+		t.Error("occupancy did not resume accruing")
+	}
+}
+
+func TestPauseAllExceptAndResume(t *testing.T) {
+	m := New(CascadeLake(43))
+	keep := m.Spawn(tinySpec("k", 100, 1.0, 0, 1, workload.Hot, 2), 0)
+	var others []*Context
+	for i := 0; i < 5; i++ {
+		others = append(others, m.Spawn(trafficgen.ThreadSpec(trafficgen.MBGen, i), 1+i))
+	}
+	m.Run(1e-3)
+	paused := m.PauseAllExcept(keep.ID)
+	if len(paused) != 5 {
+		t.Fatalf("paused %d contexts, want 5", len(paused))
+	}
+	snaps := make([]float64, len(others))
+	for i, c := range others {
+		snaps[i] = c.Counters().Instructions
+	}
+	m.Run(2e-3)
+	for i, c := range others {
+		if c.Counters().Instructions != snaps[i] {
+			t.Errorf("paused context %d progressed", i)
+		}
+	}
+	// Double pause returns nothing new.
+	if again := m.PauseAllExcept(keep.ID); len(again) != 0 {
+		t.Errorf("second PauseAllExcept paused %d contexts", len(again))
+	}
+	m.Resume(paused)
+	m.Run(2e-3)
+	for i, c := range others {
+		if c.Counters().Instructions <= snaps[i] {
+			t.Errorf("resumed context %d did not progress", i)
+		}
+	}
+	// Pausing an unknown ID is a no-op, not a crash.
+	m.SetPaused(9999, true)
+}
+
+// Property: under a fixed governor, billed occupancy equals cycles/frequency
+// and decomposes exactly into private + shared, for arbitrary workloads.
+func TestBillingConservationProperty(t *testing.T) {
+	f := func(seed int64, mpkiRaw, cpiRaw uint8) bool {
+		mpki := float64(mpkiRaw%30) / 2
+		cpi := 0.5 + float64(cpiRaw%20)/10
+		m := New(CascadeLake(seed))
+		ctx := m.Spawn(tinySpec("b", 5, cpi, mpki, 64, workload.Mixed, 3), 0)
+		m.Spawn(trafficgen.ThreadSpec(trafficgen.CTGen, 0), 1)
+		if !m.RunUntilDone(ctx.ID, 10) {
+			return false
+		}
+		c := ctx.Counters()
+		tp, ts := ctx.Times()
+		wantTotal := c.Cycles / 2.8e9
+		if math.Abs((tp+ts)-wantTotal) > 1e-9*math.Max(wantTotal, 1) {
+			return false
+		}
+		wantShared := c.StallL2Miss / 2.8e9
+		return math.Abs(ts-wantShared) <= 1e-9*math.Max(wantShared, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a context's counters are non-decreasing over time.
+func TestCountersMonotoneProperty(t *testing.T) {
+	m := New(CascadeLake(47))
+	ctx := m.Spawn(tinySpec("m", 200, 1.0, 8, 128, workload.Hot, 2), 0)
+	m.Spawn(trafficgen.ThreadSpec(trafficgen.MBGen, 0), 1)
+	prev := ctx.Counters()
+	for i := 0; i < 300; i++ {
+		m.Step()
+		cur := ctx.Counters()
+		d := cur.Sub(prev)
+		if d.Instructions < 0 || d.Cycles < 0 || d.StallL2Miss < 0 ||
+			d.L2Misses < 0 || d.L3Misses < 0 || d.DRAMBytes < 0 {
+			t.Fatalf("counters regressed at step %d: %+v", i, d)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,328 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Machine variants used across experiments.
+const (
+	machCascade = "cascade"
+	machTurbo   = "cascade-turbo"
+	machIceLake = "icelake"
+	machSMT     = "cascade-smt"
+)
+
+// machineConfig returns the engine preset for a variant.
+func machineConfig(variant string, seed int64) (engine.Config, error) {
+	switch variant {
+	case machCascade:
+		return engine.CascadeLake(seed), nil
+	case machTurbo:
+		return engine.CascadeLakeTurbo(seed), nil
+	case machIceLake:
+		return engine.IceLake(seed), nil
+	case machSMT:
+		return engine.CascadeLakeSMT(seed), nil
+	default:
+		return engine.Config{}, fmt.Errorf("exp: unknown machine variant %q", variant)
+	}
+}
+
+// platformConfig builds the platform config for a variant under cfg.
+func platformConfig(cfg Config, variant string) (platform.Config, error) {
+	m, err := machineConfig(variant, cfg.Seed)
+	if err != nil {
+		return platform.Config{}, err
+	}
+	// Startups scale with the experiment but keep a floor: the probe window
+	// must stay long enough (several quanta) for stable readings.
+	su := cfg.bodyScale()
+	if su < 0.15 {
+		su = 0.15
+	}
+	return platform.Config{Machine: m, BodyScale: cfg.bodyScale(), StartupScale: su, Seed: cfg.Seed}, nil
+}
+
+// session memoises expensive shared artifacts (calibrations, baselines,
+// measurement sets) across experiments within one process, keyed by
+// (seed, scale, variant). Calibrating once and reusing mirrors a real
+// provider, which calibrates a machine type once.
+type session struct {
+	mu         sync.Mutex
+	cals       map[string]*core.Calibration
+	models     map[string]*core.Models
+	baselines  map[string]map[string]platform.Solo
+	sharing    map[string]*core.SharingOverhead
+	sharingPts map[string][]core.OverheadPoint
+	priced     map[string][]pricedRun
+}
+
+var memo = &session{
+	cals:       map[string]*core.Calibration{},
+	models:     map[string]*core.Models{},
+	baselines:  map[string]map[string]platform.Solo{},
+	sharing:    map[string]*core.SharingOverhead{},
+	sharingPts: map[string][]core.OverheadPoint{},
+	priced:     map[string][]pricedRun{},
+}
+
+func key(cfg Config, parts ...string) string {
+	k := fmt.Sprintf("s%d-sc%.3f", cfg.Seed, cfg.Scale)
+	for _, p := range parts {
+		k += "-" + p
+	}
+	return k
+}
+
+// calibration returns (building if needed) the calibration + fitted models
+// for a variant. sharePerCore 0/1 builds exclusive-core (Method 1) tables;
+// >1 builds Method 2 tables.
+func calibration(cfg Config, variant string, sharePerCore int) (*core.Calibration, *core.Models, error) {
+	k := key(cfg, variant, fmt.Sprintf("share%d", sharePerCore))
+	memo.mu.Lock()
+	cal, okC := memo.cals[k]
+	mdl, okM := memo.models[k]
+	memo.mu.Unlock()
+	if okC && okM {
+		return cal, mdl, nil
+	}
+
+	pcfg, err := platformConfig(cfg, variant)
+	if err != nil {
+		return nil, nil, err
+	}
+	ccfg := core.CalibratorConfig{
+		Platform:     pcfg,
+		SharePerCore: sharePerCore,
+		WarmSec:      15e-3,
+	}
+	if sharePerCore > 1 {
+		// Sharing calibration reserves SharedCores measurement cores, so the
+		// generator fleet has fewer cores to grow into; and each reference
+		// run is ~SharePerCore× longer, so sample fewer levels. Spread four
+		// levels across whatever the machine can host (Ice Lake has only 16
+		// cores, so its sweep tops out lower, as in the paper).
+		avail := pcfg.Machine.Topology.HWThreads() - 5
+		if variant == machSMT {
+			avail = pcfg.Machine.Topology.Cores - 5
+		}
+		ccfg.Levels = spreadLevels(4, avail)
+	}
+	if cfg.Scale < 0.5 && sharePerCore > 1 {
+		// Sharing calibrations stretch every reference run ~10×, so
+		// reduced-scale runs use a deterministic subset of the reference
+		// set. The subset spans the catalog's shared-intensity range
+		// (compute-bound fib-* through memory-bound bfs/randDisk), mirroring
+		// how the paper chose representative references. Exclusive-core
+		// calibrations are cheap and always use all 13.
+		byAbbr := workload.ByAbbr()
+		for _, abbr := range []string{
+			"fib-py", "auth-py", "aes-nj", "gzip-py",
+			"profile-go", "thum-py", "randDisk-py", "bfs-py",
+		} {
+			ccfg.References = append(ccfg.References, byAbbr[abbr])
+		}
+	}
+	if variant == machSMT && sharePerCore > 1 {
+		// Paper §8 SMT study: 50 functions over 5 physical cores' 10
+		// hardware threads; generators on later physical cores.
+		topo := pcfg.Machine.Topology
+		meas := make([]int, 0, 10)
+		for c := 0; c < 5; c++ {
+			meas = append(meas, c, c+topo.Cores)
+		}
+		ccfg.MeasThreads = meas
+		ccfg.SharedCores = 10 // population spread over the 10 hw threads
+		ccfg.FleetStartThread = 5
+	}
+	cal, err = core.Calibrate(ccfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp: calibrating %s (share %d): %w", variant, sharePerCore, err)
+	}
+	mdl, err = core.FitModels(cal)
+	if err != nil {
+		return nil, nil, err
+	}
+	memo.mu.Lock()
+	memo.cals[k] = cal
+	memo.models[k] = mdl
+	memo.mu.Unlock()
+	return cal, mdl, nil
+}
+
+// spreadLevels returns n stress levels spread over [2, max], ascending.
+func spreadLevels(n, max int) []int {
+	if max < 2 {
+		max = 2
+	}
+	if n < 2 {
+		n = 2
+	}
+	out := make([]int, 0, n)
+	prev := 0
+	for i := 0; i < n; i++ {
+		l := 2 + (max-2)*i/(n-1)
+		if l <= prev {
+			l = prev + 1
+		}
+		out = append(out, l)
+		prev = l
+	}
+	return out
+}
+
+// baselines returns solo baselines for the full catalog on a variant.
+func baselines(cfg Config, variant string) (map[string]platform.Solo, error) {
+	k := key(cfg, variant, "base")
+	memo.mu.Lock()
+	b, ok := memo.baselines[k]
+	memo.mu.Unlock()
+	if ok {
+		return b, nil
+	}
+	pcfg, err := platformConfig(cfg, variant)
+	if err != nil {
+		return nil, err
+	}
+	b, err = platform.Baselines(pcfg, workload.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	memo.mu.Lock()
+	memo.baselines[k] = b
+	memo.mu.Unlock()
+	return b, nil
+}
+
+// sharingModel returns the Fig. 14 overhead curve for Method 1.
+func sharingModel(cfg Config, variant string) (*core.SharingOverhead, []core.OverheadPoint, error) {
+	k := key(cfg, variant, "sharing")
+	memo.mu.Lock()
+	sh, ok := memo.sharing[k]
+	pts := memo.sharingPts[k]
+	memo.mu.Unlock()
+	if ok {
+		return sh, pts, nil
+	}
+	pcfg, err := platformConfig(cfg, variant)
+	if err != nil {
+		return nil, nil, err
+	}
+	ref := workload.ByAbbr()["auth-py"]
+	model, pts, err := core.MeasureSharingOverhead(pcfg, ref, []int{2, 4, 6, 8, 10, 14, 18, 22})
+	if err != nil {
+		return nil, nil, err
+	}
+	memo.mu.Lock()
+	memo.sharing[k] = &model
+	memo.sharingPts[k] = pts
+	memo.mu.Unlock()
+	return &model, pts, nil
+}
+
+// envSpec describes a measurement environment.
+type envSpec struct {
+	// name keys the memo cache.
+	name string
+	// variant selects the machine.
+	variant string
+	// pool and population define the background churn.
+	pool       []*workload.Spec
+	population int
+	// threads carries the churn placement; subject runs on subjectThread.
+	threads       []int
+	subjectThread int
+	// placement selects how replacements land on threads (sticky for the
+	// one-per-core environment, random for temporal-sharing environments,
+	// per the paper's §7.2 observation that functions migrate).
+	placement platform.Placement
+	// warm settles the environment before measuring.
+	warm float64
+}
+
+// pricedRun is one measured invocation with its solo baseline attached.
+type pricedRun struct {
+	rec  platform.RunRecord
+	solo platform.Solo
+}
+
+// measureSet invokes each test function reps times inside the environment,
+// returning records in deterministic order (function order, then rep).
+func measureSet(cfg Config, env envSpec, fns []*workload.Spec, reps int) ([]pricedRun, error) {
+	k := key(cfg, env.name, fmt.Sprintf("r%d", reps))
+	memo.mu.Lock()
+	runs, ok := memo.priced[k]
+	memo.mu.Unlock()
+	if ok {
+		return runs, nil
+	}
+
+	base, err := baselines(cfg, env.variant)
+	if err != nil {
+		return nil, err
+	}
+	pcfg, err := platformConfig(cfg, env.variant)
+	if err != nil {
+		return nil, err
+	}
+	p := platform.New(pcfg)
+	if env.population > 0 {
+		p.StartChurn(env.pool, env.population, env.threads).
+			SetPlacement(env.placement)
+	}
+	p.Warm(env.warm)
+
+	var out []pricedRun
+	for _, spec := range fns {
+		solo, err := soloFor(base, spec.Abbr)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < reps; r++ {
+			rec, err := p.Invoke(spec, env.subjectThread, 600)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s in %s: %w", spec.Abbr, env.name, err)
+			}
+			out = append(out, pricedRun{rec: rec, solo: solo})
+		}
+	}
+	memo.mu.Lock()
+	memo.priced[k] = out
+	memo.mu.Unlock()
+	return out, nil
+}
+
+// churn26 is the paper's main evaluation environment: 26 co-running
+// functions, one per core, random churn (§4, §7.1).
+func churn26(cfg Config) envSpec {
+	return envSpec{
+		name:          "churn26",
+		variant:       machCascade,
+		pool:          workload.Catalog(),
+		population:    26,
+		threads:       platform.Threads(1, 26),
+		subjectThread: 0,
+		warm:          30e-3,
+	}
+}
+
+// shared160 is the §7.2 environment: 160 functions over 16 cores (10 per
+// core), the subject sharing core 0.
+func shared160(cfg Config, variant string) envSpec {
+	return envSpec{
+		name:          "shared160-" + variant,
+		variant:       variant,
+		pool:          workload.Catalog(),
+		population:    160,
+		threads:       platform.Threads(0, 16),
+		subjectThread: 0,
+		placement:     platform.PlaceRandom,
+		warm:          40e-3,
+	}
+}

@@ -1,0 +1,138 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (DESIGN.md's experiment index): one Experiment per artifact, each
+// producing paper-style rows plus headline metrics that EXPERIMENTS.md
+// records against the paper's numbers.
+//
+// Experiments are deterministic in (Seed, Scale). Scale shortens function
+// bodies and repetition counts proportionally so the whole suite runs in
+// test time; Scale = 1 reproduces the full-size configuration.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/render"
+)
+
+// Config parameterises an experiment run.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Scale in (0, 1] shortens bodies and repetitions (1 = full size).
+	Scale float64
+}
+
+// DefaultConfig returns the configuration used by the benchmark harness.
+func DefaultConfig() Config { return Config{Seed: 7, Scale: 0.25} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("exp: scale must be in (0,1], got %v", c.Scale)
+	}
+	return nil
+}
+
+// reps scales a full-size repetition count.
+func (c Config) reps(full int) int {
+	r := int(float64(full)*c.Scale + 0.5)
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// bodyScale converts Scale to the platform body-scale knob, flooring it so
+// functions never degenerate below measurable lengths.
+func (c Config) bodyScale() float64 {
+	if c.Scale < 0.05 {
+		return 0.05
+	}
+	return c.Scale
+}
+
+// Result is an experiment's output.
+type Result struct {
+	// ID is the experiment identifier (T1, E1…E21, A1…A3).
+	ID string
+	// Title describes the artifact ("Fig. 11 — …").
+	Title string
+	// Paper summarises what the paper reports, for side-by-side reading.
+	Paper string
+	// Tables carry the regenerated rows/series.
+	Tables []*render.Table
+	// Metrics are headline scalars (gmeans, errors, R²s) keyed by name.
+	Metrics map[string]float64
+	// Notes carry free-form observations.
+	Notes []string
+}
+
+func newResult(id, title, paper string) *Result {
+	return &Result{ID: id, Title: title, Paper: paper, Metrics: map[string]float64{}}
+}
+
+// note appends a formatted note.
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// MetricNames returns the metric keys in sorted order (deterministic
+// rendering).
+func (r *Result) MetricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper is the shape target from the publication.
+	Paper string
+	Run   func(Config) (*Result, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		expT1(), expE1(), expE2(), expE3(), expE4(), expE5(), expE6(),
+		expE7(), expE8(), expE9(), expE10(), expE11(), expE12(), expE13(),
+		expE14(), expE15(), expE16(), expE17(), expE18(), expE19(), expE20(),
+		expE21(), expA1(), expA2(), expA3(),
+	}
+}
+
+// ByID looks an experiment up by identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment identifiers in order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// soloFor returns the baseline for abbr or an error (shared helper).
+func soloFor(base map[string]platform.Solo, abbr string) (platform.Solo, error) {
+	s, ok := base[abbr]
+	if !ok {
+		return platform.Solo{}, fmt.Errorf("exp: missing solo baseline for %s", abbr)
+	}
+	return s, nil
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"repro/internal/workload"
+)
+
+// expE18 reproduces Fig. 18: unfixed CPU frequency (turbo governor).
+func expE18() Experiment {
+	return sharedEnvExperiment("E18",
+		"Fig. 18 — 160 co-runners with unfixed CPU frequency (turbo)",
+		"litmus discount 16.8% vs ideal 17.3% (gap 0.5 points); frequency noise negligible on a loaded machine",
+		machTurbo, 160, 16, workload.Catalog(),
+		"turbo governor: clock sits at base frequency under 160 functions")
+}
+
+// expE19 reproduces Fig. 19: the Ice Lake machine (Xeon Silver 4314), 70
+// co-runners over 7 cores.
+func expE19() Experiment {
+	return sharedEnvExperiment("E19",
+		"Fig. 19 — Ice Lake (Xeon Silver 4314), 70 co-runners on 7 cores, Method 2",
+		"tenant pays 82.5% of commercial, 0.7 points from ideal",
+		machIceLake, 70, 7, workload.Catalog(),
+		"smaller machine: 16 cores, 24 MiB L3, 40 GB/s memory")
+}
+
+// expE20 reproduces Fig. 20: 240 co-runners (15 per core) while REUSING the
+// tables calibrated at 10 per core — the table-mismatch robustness check.
+func expE20() Experiment {
+	return sharedEnvExperiment("E20",
+		"Fig. 20 — 240 co-runners (15/core) with tables built at 10/core",
+		"litmus discount 16.7% vs ideal 17.9% (gap 1.2 points) despite the configuration gap",
+		machCascade, 240, 16, workload.Catalog(),
+		"tables reused from the 10-per-core calibration; Fig. 14's plateau keeps the mismatch small")
+}
+
+// expE21 reproduces Fig. 21: SMT enabled.
+func expE21() Experiment {
+	return sharedEnvExperiment("E21",
+		"Fig. 21 — SMT-enabled system, 160 co-runners, Method 2",
+		"deep discounts: ideal price 47.3% of commercial; litmus discount 45.4% (1.9 points under ideal)",
+		machSMT, 160, 16, workload.Catalog(),
+		"two hardware threads per core share issue bandwidth and private caches")
+}

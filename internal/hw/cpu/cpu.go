@@ -1,0 +1,99 @@
+// Package cpu describes the processor topology (cores and SMT hardware
+// threads) and the frequency governors the paper evaluates: the fixed
+// 2.8 GHz configuration used in the main experiments and a turbo-style
+// governor for the unfixed-frequency sensitivity study (paper §8, Fig. 18).
+package cpu
+
+import "fmt"
+
+// Topology describes the visible processor: physical cores and SMT width.
+type Topology struct {
+	// Cores is the number of physical cores.
+	Cores int
+	// SMTWays is the number of hardware threads per core (1 = SMT off,
+	// matching commercial FaaS platforms; 2 for the Fig. 21 study).
+	SMTWays int
+}
+
+// Validate reports topology errors.
+func (t Topology) Validate() error {
+	if t.Cores <= 0 {
+		return fmt.Errorf("cpu: non-positive core count")
+	}
+	if t.SMTWays < 1 || t.SMTWays > 2 {
+		return fmt.Errorf("cpu: SMTWays must be 1 or 2, got %d", t.SMTWays)
+	}
+	return nil
+}
+
+// HWThreads returns the total number of hardware threads.
+func (t Topology) HWThreads() int { return t.Cores * t.SMTWays }
+
+// CoreOf returns the physical core a hardware thread belongs to. Threads are
+// numbered so that thread i and its SMT sibling map to the same core.
+func (t Topology) CoreOf(hwThread int) int { return hwThread % t.Cores }
+
+// SiblingOf returns the SMT sibling of hwThread and true, or -1 and false
+// when SMT is off.
+func (t Topology) SiblingOf(hwThread int) (int, bool) {
+	if t.SMTWays < 2 {
+		return -1, false
+	}
+	if hwThread < t.Cores {
+		return hwThread + t.Cores, true
+	}
+	return hwThread - t.Cores, true
+}
+
+// Governor decides the core clock frequency given how many physical cores
+// are active. Implementations must be deterministic.
+type Governor interface {
+	// FreqHz returns the clock for the given number of active cores out of
+	// totalCores.
+	FreqHz(activeCores, totalCores int) float64
+	// Name identifies the governor in experiment output.
+	Name() string
+}
+
+// Fixed pins the clock to a single frequency, the configuration commercial
+// clouds expose (paper §3: Google Cloud offers one fixed vCPU frequency; the
+// authors pin their Xeons at 2.8 GHz).
+type Fixed struct {
+	Hz float64
+}
+
+// FreqHz implements Governor.
+func (f Fixed) FreqHz(activeCores, totalCores int) float64 { return f.Hz }
+
+// Name implements Governor.
+func (f Fixed) Name() string { return "fixed" }
+
+// Turbo models an Intel Turbo-style governor: the clock starts at MaxHz with
+// few active cores and degrades linearly to BaseHz once FullAt cores are
+// active. With a heavily loaded serverless machine it sits at BaseHz almost
+// always, which is why the paper measures a negligible pricing effect.
+type Turbo struct {
+	BaseHz float64
+	MaxHz  float64
+	// FullAt is the active-core count at which the clock reaches BaseHz.
+	FullAt int
+}
+
+// FreqHz implements Governor.
+func (t Turbo) FreqHz(activeCores, totalCores int) float64 {
+	if activeCores <= 1 {
+		return t.MaxHz
+	}
+	full := t.FullAt
+	if full <= 1 {
+		full = totalCores
+	}
+	if activeCores >= full {
+		return t.BaseHz
+	}
+	frac := float64(activeCores-1) / float64(full-1)
+	return t.MaxHz - (t.MaxHz-t.BaseHz)*frac
+}
+
+// Name implements Governor.
+func (t Turbo) Name() string { return "turbo" }

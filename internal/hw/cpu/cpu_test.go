@@ -1,0 +1,129 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	good := []Topology{{Cores: 1, SMTWays: 1}, {Cores: 32, SMTWays: 2}}
+	for _, tp := range good {
+		if err := tp.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", tp, err)
+		}
+	}
+	bad := []Topology{{Cores: 0, SMTWays: 1}, {Cores: 4, SMTWays: 0}, {Cores: 4, SMTWays: 3}, {Cores: -1, SMTWays: 1}}
+	for _, tp := range bad {
+		if err := tp.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", tp)
+		}
+	}
+}
+
+func TestHWThreads(t *testing.T) {
+	if got := (Topology{Cores: 16, SMTWays: 1}).HWThreads(); got != 16 {
+		t.Errorf("HWThreads = %d, want 16", got)
+	}
+	if got := (Topology{Cores: 16, SMTWays: 2}).HWThreads(); got != 32 {
+		t.Errorf("HWThreads = %d, want 32", got)
+	}
+}
+
+func TestCoreOfAndSibling(t *testing.T) {
+	tp := Topology{Cores: 4, SMTWays: 2}
+	// Thread i and i+Cores are siblings on core i.
+	for i := 0; i < 4; i++ {
+		if tp.CoreOf(i) != i {
+			t.Errorf("CoreOf(%d) = %d, want %d", i, tp.CoreOf(i), i)
+		}
+		if tp.CoreOf(i+4) != i {
+			t.Errorf("CoreOf(%d) = %d, want %d", i+4, tp.CoreOf(i+4), i)
+		}
+		sib, ok := tp.SiblingOf(i)
+		if !ok || sib != i+4 {
+			t.Errorf("SiblingOf(%d) = %d, %v; want %d, true", i, sib, ok, i+4)
+		}
+		sib, ok = tp.SiblingOf(i + 4)
+		if !ok || sib != i {
+			t.Errorf("SiblingOf(%d) = %d, %v; want %d, true", i+4, sib, ok, i)
+		}
+	}
+}
+
+func TestSiblingOffWithoutSMT(t *testing.T) {
+	tp := Topology{Cores: 4, SMTWays: 1}
+	if sib, ok := tp.SiblingOf(2); ok || sib != -1 {
+		t.Errorf("SiblingOf without SMT = %d, %v; want -1, false", sib, ok)
+	}
+}
+
+// Property: SiblingOf is an involution sharing the same physical core.
+func TestSiblingInvolution(t *testing.T) {
+	tp := Topology{Cores: 16, SMTWays: 2}
+	f := func(raw uint8) bool {
+		hw := int(raw) % tp.HWThreads()
+		sib, ok := tp.SiblingOf(hw)
+		if !ok {
+			return false
+		}
+		back, ok2 := tp.SiblingOf(sib)
+		return ok2 && back == hw && tp.CoreOf(sib) == tp.CoreOf(hw) && sib != hw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedGovernor(t *testing.T) {
+	g := Fixed{Hz: 2.8e9}
+	for _, active := range []int{0, 1, 16, 32} {
+		if got := g.FreqHz(active, 32); got != 2.8e9 {
+			t.Errorf("Fixed.FreqHz(%d) = %v", active, got)
+		}
+	}
+	if g.Name() != "fixed" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
+
+func TestTurboGovernor(t *testing.T) {
+	g := Turbo{BaseHz: 2.8e9, MaxHz: 3.9e9, FullAt: 16}
+	if got := g.FreqHz(1, 32); got != 3.9e9 {
+		t.Errorf("single-core turbo = %v, want max", got)
+	}
+	if got := g.FreqHz(0, 32); got != 3.9e9 {
+		t.Errorf("idle turbo = %v, want max", got)
+	}
+	if got := g.FreqHz(16, 32); got != 2.8e9 {
+		t.Errorf("full turbo = %v, want base", got)
+	}
+	if got := g.FreqHz(32, 32); got != 2.8e9 {
+		t.Errorf("overfull turbo = %v, want base", got)
+	}
+	mid := g.FreqHz(8, 32)
+	if mid <= 2.8e9 || mid >= 3.9e9 {
+		t.Errorf("mid turbo = %v, want strictly between base and max", mid)
+	}
+	if g.Name() != "turbo" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
+
+func TestTurboMonotoneNonIncreasing(t *testing.T) {
+	g := Turbo{BaseHz: 2.8e9, MaxHz: 3.9e9, FullAt: 16}
+	prev := g.FreqHz(0, 32)
+	for active := 1; active <= 32; active++ {
+		f := g.FreqHz(active, 32)
+		if f > prev {
+			t.Fatalf("turbo frequency increased with load at %d cores: %v > %v", active, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestTurboZeroFullAtFallsBack(t *testing.T) {
+	g := Turbo{BaseHz: 1e9, MaxHz: 2e9, FullAt: 0}
+	if got := g.FreqHz(8, 8); got != 1e9 {
+		t.Errorf("FullAt=0 should treat totalCores as full point, got %v", got)
+	}
+}

@@ -1,0 +1,169 @@
+// Package pmu implements the performance monitoring unit the simulator
+// exposes to the platform — the counters the paper reads through Linux perf:
+// retired instructions, core cycles, cycles stalled on L2 misses
+// (cycle_activity.stalls_l2_miss — the source of T_shared), L2 and L3 miss
+// counts, and a millisecond-granular IPC timeline (used to draw Fig. 6).
+package pmu
+
+import "fmt"
+
+// Counters is a snapshot of one hardware context's event counts. Values are
+// cumulative; subtract two snapshots to measure a window.
+type Counters struct {
+	Instructions float64
+	// Cycles counts core clock cycles during which this context occupied a
+	// hardware thread.
+	Cycles float64
+	// StallL2Miss counts cycles the context was stalled waiting on accesses
+	// that missed the private L2 — time spent in shared resources. This is
+	// the paper's cycle_activity.stalls_l2_miss.
+	StallL2Miss float64
+	// L2Misses counts demand accesses that missed the private L2.
+	L2Misses float64
+	// L3Hits counts L2 misses served by the shared L3.
+	L3Hits float64
+	// L3Misses counts L2 misses that went to DRAM.
+	L3Misses float64
+	// DRAMBytes is the off-chip traffic attributable to the context.
+	DRAMBytes float64
+	// ContextSwitches counts scheduler preemptions of the context.
+	ContextSwitches float64
+}
+
+// Sub returns the delta c - prev, the window between two snapshots.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Instructions:    c.Instructions - prev.Instructions,
+		Cycles:          c.Cycles - prev.Cycles,
+		StallL2Miss:     c.StallL2Miss - prev.StallL2Miss,
+		L2Misses:        c.L2Misses - prev.L2Misses,
+		L3Hits:          c.L3Hits - prev.L3Hits,
+		L3Misses:        c.L3Misses - prev.L3Misses,
+		DRAMBytes:       c.DRAMBytes - prev.DRAMBytes,
+		ContextSwitches: c.ContextSwitches - prev.ContextSwitches,
+	}
+}
+
+// Add returns the sum of two counter sets.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Instructions:    c.Instructions + o.Instructions,
+		Cycles:          c.Cycles + o.Cycles,
+		StallL2Miss:     c.StallL2Miss + o.StallL2Miss,
+		L2Misses:        c.L2Misses + o.L2Misses,
+		L3Hits:          c.L3Hits + o.L3Hits,
+		L3Misses:        c.L3Misses + o.L3Misses,
+		DRAMBytes:       c.DRAMBytes + o.DRAMBytes,
+		ContextSwitches: c.ContextSwitches + o.ContextSwitches,
+	}
+}
+
+// IPC returns instructions per cycle over the counted window (0 when no
+// cycles elapsed).
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return c.Instructions / c.Cycles
+}
+
+// PrivateCycles returns Cycles - StallL2Miss: the cycles spent on resources
+// private to the tenant (paper §5.2: T_private · f).
+func (c Counters) PrivateCycles() float64 { return c.Cycles - c.StallL2Miss }
+
+// SharedCycles returns the cycles stalled on shared resources
+// (paper §5.2: T_shared · f).
+func (c Counters) SharedCycles() float64 { return c.StallL2Miss }
+
+// Validate reports impossible counter relationships; used by tests and by
+// the engine's internal consistency checks.
+func (c Counters) Validate() error {
+	if c.Cycles < 0 || c.Instructions < 0 || c.StallL2Miss < 0 {
+		return fmt.Errorf("pmu: negative counters: %+v", c)
+	}
+	if c.StallL2Miss > c.Cycles*(1+1e-9) {
+		return fmt.Errorf("pmu: stall cycles %v exceed total cycles %v", c.StallL2Miss, c.Cycles)
+	}
+	if c.L3Hits+c.L3Misses > c.L2Misses*(1+1e-9) {
+		return fmt.Errorf("pmu: L3 hits+misses %v exceed L2 misses %v", c.L3Hits+c.L3Misses, c.L2Misses)
+	}
+	return nil
+}
+
+// TimelinePoint is one sample of the IPC timeline.
+type TimelinePoint struct {
+	// TimeMs is the sample's position relative to the start of the traced
+	// window, in milliseconds.
+	TimeMs float64
+	IPC    float64
+}
+
+// Timeline accumulates an IPC trace with a fixed sampling period, mirroring
+// the paper's per-millisecond startup IPC traces (Fig. 6). The zero value is
+// unusable; call NewTimeline.
+type Timeline struct {
+	periodSec float64
+	elapsed   float64 // within current bucket
+	cycles    float64
+	instrs    float64
+	points    []TimelinePoint
+	t         float64 // total traced seconds
+}
+
+// NewTimeline creates a timeline sampling every periodSec seconds (1e-3 for
+// the paper's 1 ms granularity).
+func NewTimeline(periodSec float64) *Timeline {
+	if periodSec <= 0 {
+		panic("pmu: non-positive timeline period")
+	}
+	return &Timeline{periodSec: periodSec}
+}
+
+// Record folds a simulation slice into the timeline: during dtSec the context
+// retired instrs instructions over cycles cycles. Slices may straddle bucket
+// boundaries; they are split proportionally.
+func (tl *Timeline) Record(dtSec, cycles, instrs float64) {
+	for dtSec > 0 {
+		room := tl.periodSec - tl.elapsed
+		if dtSec < room {
+			tl.elapsed += dtSec
+			tl.cycles += cycles
+			tl.instrs += instrs
+			return
+		}
+		frac := room / dtSec
+		tl.cycles += cycles * frac
+		tl.instrs += instrs * frac
+		tl.flush()
+		dtSec -= room
+		cycles *= 1 - frac
+		instrs *= 1 - frac
+	}
+}
+
+func (tl *Timeline) flush() {
+	ipc := 0.0
+	if tl.cycles > 0 {
+		ipc = tl.instrs / tl.cycles
+	}
+	tl.t += tl.periodSec
+	tl.points = append(tl.points, TimelinePoint{TimeMs: tl.t * 1e3, IPC: ipc})
+	tl.elapsed, tl.cycles, tl.instrs = 0, 0, 0
+}
+
+// Close flushes a trailing partial bucket, if any.
+func (tl *Timeline) Close() {
+	if tl.elapsed > 0 {
+		// Scale the partial bucket as if it were full so IPC stays unbiased.
+		tl.t += tl.elapsed
+		ipc := 0.0
+		if tl.cycles > 0 {
+			ipc = tl.instrs / tl.cycles
+		}
+		tl.points = append(tl.points, TimelinePoint{TimeMs: tl.t * 1e3, IPC: ipc})
+		tl.elapsed, tl.cycles, tl.instrs = 0, 0, 0
+	}
+}
+
+// Points returns the accumulated samples.
+func (tl *Timeline) Points() []TimelinePoint { return tl.points }

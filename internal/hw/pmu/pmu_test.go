@@ -1,0 +1,166 @@
+package pmu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Counters {
+	return Counters{
+		Instructions: 1000, Cycles: 2000, StallL2Miss: 500,
+		L2Misses: 50, L3Hits: 30, L3Misses: 20, DRAMBytes: 1 << 20, ContextSwitches: 2,
+	}
+}
+
+func TestSubAdd(t *testing.T) {
+	a := sample()
+	b := a.Add(a)
+	if b.Cycles != 4000 || b.Instructions != 2000 || b.L3Misses != 40 {
+		t.Errorf("Add = %+v", b)
+	}
+	d := b.Sub(a)
+	if d != a {
+		t.Errorf("Sub = %+v, want %+v", d, a)
+	}
+	zero := a.Sub(a)
+	if zero != (Counters{}) {
+		t.Errorf("x.Sub(x) = %+v, want zero", zero)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	c := sample()
+	if got := c.IPC(); got != 0.5 {
+		t.Errorf("IPC = %v, want 0.5", got)
+	}
+	if got := (Counters{}).IPC(); got != 0 {
+		t.Errorf("zero IPC = %v", got)
+	}
+}
+
+func TestPrivateSharedSplit(t *testing.T) {
+	c := sample()
+	if got := c.PrivateCycles(); got != 1500 {
+		t.Errorf("PrivateCycles = %v, want 1500", got)
+	}
+	if got := c.SharedCycles(); got != 500 {
+		t.Errorf("SharedCycles = %v, want 500", got)
+	}
+	if c.PrivateCycles()+c.SharedCycles() != c.Cycles {
+		t.Error("private + shared must equal total cycles")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Errorf("valid counters rejected: %v", err)
+	}
+	bad := []Counters{
+		{Cycles: -1},
+		{Cycles: 100, StallL2Miss: 200},
+		{Cycles: 100, L2Misses: 10, L3Hits: 8, L3Misses: 8},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad counters %d accepted: %+v", i, c)
+		}
+	}
+}
+
+// Property: Add and Sub are inverse and Add is commutative.
+func TestAddSubProperty(t *testing.T) {
+	f := func(i1, c1, s1, i2, c2, s2 float64) bool {
+		a := Counters{Instructions: i1, Cycles: c1, StallL2Miss: s1}
+		b := Counters{Instructions: i2, Cycles: c2, StallL2Miss: s2}
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		rt := a.Add(b).Sub(b)
+		return close(rt.Instructions, a.Instructions) && close(rt.Cycles, a.Cycles) && close(rt.StallL2Miss, a.StallL2Miss)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func close(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return true // not meaningful for this property
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+func TestTimelineBasic(t *testing.T) {
+	tl := NewTimeline(1e-3)
+	// Two 0.5 ms slices at IPC 2, then one 1 ms slice at IPC 1.
+	tl.Record(0.5e-3, 1000, 2000)
+	tl.Record(0.5e-3, 1000, 2000)
+	tl.Record(1e-3, 1000, 1000)
+	pts := tl.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	if math.Abs(pts[0].IPC-2) > 1e-9 {
+		t.Errorf("bucket 0 IPC = %v, want 2", pts[0].IPC)
+	}
+	if math.Abs(pts[1].IPC-1) > 1e-9 {
+		t.Errorf("bucket 1 IPC = %v, want 1", pts[1].IPC)
+	}
+	if math.Abs(pts[0].TimeMs-1) > 1e-9 || math.Abs(pts[1].TimeMs-2) > 1e-9 {
+		t.Errorf("timestamps = %v, %v", pts[0].TimeMs, pts[1].TimeMs)
+	}
+}
+
+func TestTimelineStraddle(t *testing.T) {
+	tl := NewTimeline(1e-3)
+	// One 2.5 ms slice at constant IPC 1.5 must produce two full buckets at
+	// the same IPC and leave a partial.
+	tl.Record(2.5e-3, 1000, 1500)
+	pts := tl.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2 before Close", len(pts))
+	}
+	for i, p := range pts {
+		if math.Abs(p.IPC-1.5) > 1e-9 {
+			t.Errorf("bucket %d IPC = %v, want 1.5", i, p.IPC)
+		}
+	}
+	tl.Close()
+	pts = tl.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points after Close = %d, want 3", len(pts))
+	}
+	if math.Abs(pts[2].IPC-1.5) > 1e-9 {
+		t.Errorf("partial bucket IPC = %v, want 1.5", pts[2].IPC)
+	}
+	if math.Abs(pts[2].TimeMs-2.5) > 1e-9 {
+		t.Errorf("partial bucket time = %v, want 2.5", pts[2].TimeMs)
+	}
+}
+
+func TestTimelineCloseIdempotentWhenEmpty(t *testing.T) {
+	tl := NewTimeline(1e-3)
+	tl.Close()
+	if len(tl.Points()) != 0 {
+		t.Error("Close on empty timeline must not emit points")
+	}
+	tl.Record(1e-3, 100, 100)
+	tl.Close()
+	tl.Close()
+	if len(tl.Points()) != 1 {
+		t.Errorf("points = %d, want 1", len(tl.Points()))
+	}
+}
+
+func TestTimelinePanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTimeline(0) should panic")
+		}
+	}()
+	NewTimeline(0)
+}

@@ -1,0 +1,129 @@
+// Package perf is the measurement façade the provider runs on each machine —
+// the reproduction's stand-in for Linux perf (paper §3, §5.2).
+//
+// It converts raw PMU counter windows into the quantities Litmus pricing is
+// defined over:
+//
+//	T_shared  = stalls_l2_miss / f        (time on shared resources)
+//	T_private = (cycles − stalls_l2_miss) / f
+//
+// and exposes windowed measurement over running contexts so the platform can
+// measure any instruction span (startup probe, whole run) the same way the
+// authors configure perf counter groups.
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/hw/pmu"
+)
+
+// Sample is one measured window over a context.
+type Sample struct {
+	// Counters is the PMU delta across the window.
+	Counters pmu.Counters
+	// FreqHz is the clock used to convert cycles to seconds.
+	FreqHz float64
+	// WallSec is the simulated wall-clock span of the window.
+	WallSec float64
+	// MachineL3Misses is the machine-wide L3 miss delta — the Litmus probe's
+	// supplementary congestion metric.
+	MachineL3Misses float64
+}
+
+// TPrivate returns the window's private-resource occupancy in seconds.
+func (s Sample) TPrivate() float64 {
+	if s.FreqHz <= 0 {
+		return 0
+	}
+	return s.Counters.PrivateCycles() / s.FreqHz
+}
+
+// TShared returns the window's shared-resource occupancy in seconds.
+func (s Sample) TShared() float64 {
+	if s.FreqHz <= 0 {
+		return 0
+	}
+	return s.Counters.SharedCycles() / s.FreqHz
+}
+
+// Total returns TPrivate + TShared.
+func (s Sample) Total() float64 { return s.TPrivate() + s.TShared() }
+
+// IPC returns instructions per cycle over the window.
+func (s Sample) IPC() float64 { return s.Counters.IPC() }
+
+// Validate reports inconsistent samples.
+func (s Sample) Validate() error {
+	if err := s.Counters.Validate(); err != nil {
+		return err
+	}
+	if s.FreqHz <= 0 {
+		return fmt.Errorf("perf: non-positive frequency")
+	}
+	if s.MachineL3Misses < 0 {
+		return fmt.Errorf("perf: negative machine L3 misses")
+	}
+	return nil
+}
+
+// Window is an open measurement over a context, closed by End.
+type Window struct {
+	ctx       *engine.Context
+	m         *engine.Machine
+	start     pmu.Counters
+	startTime float64
+	startL3   float64
+	freqHz    float64
+}
+
+// Begin opens a counter window over ctx on machine m. freqHz is the nominal
+// clock used for cycle→time conversion (the paper fixes 2.8 GHz).
+func Begin(m *engine.Machine, ctx *engine.Context, freqHz float64) *Window {
+	return &Window{
+		ctx:       ctx,
+		m:         m,
+		start:     ctx.Counters(),
+		startTime: m.Now(),
+		startL3:   m.MachineL3Misses(),
+		freqHz:    freqHz,
+	}
+}
+
+// End closes the window and returns its sample.
+func (w *Window) End() Sample {
+	return Sample{
+		Counters:        w.ctx.Counters().Sub(w.start),
+		FreqHz:          w.freqHz,
+		WallSec:         w.m.Now() - w.startTime,
+		MachineL3Misses: w.m.MachineL3Misses() - w.startL3,
+	}
+}
+
+// FromProbe converts an engine probe result into a Sample-compatible view:
+// the probe already carries occupancy in seconds, so the conversion is
+// direct. Exposed so pricing code has a single measurement type.
+func FromProbe(p *engine.ProbeResult) ProbeSample {
+	return ProbeSample{
+		Instructions:    p.Instructions,
+		Cycles:          p.Cycles,
+		TPrivateSec:     p.TPrivateSec,
+		TSharedSec:      p.TSharedSec,
+		WallSec:         p.WallSec,
+		MachineL3Misses: p.MachineL3Misses,
+	}
+}
+
+// ProbeSample is the Litmus-test reading in measurement units.
+type ProbeSample struct {
+	Instructions    float64
+	Cycles          float64
+	TPrivateSec     float64
+	TSharedSec      float64
+	WallSec         float64
+	MachineL3Misses float64
+}
+
+// Total returns the probe's occupancy TPrivate + TShared.
+func (p ProbeSample) Total() float64 { return p.TPrivateSec + p.TSharedSec }

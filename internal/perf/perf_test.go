@@ -1,0 +1,117 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/hw/pmu"
+	"repro/internal/workload"
+)
+
+func TestSampleDerivations(t *testing.T) {
+	s := Sample{
+		Counters: pmu.Counters{
+			Instructions: 2.8e9, Cycles: 2.8e9, StallL2Miss: 0.7e9,
+			L2Misses: 100, L3Hits: 60, L3Misses: 40,
+		},
+		FreqHz:  2.8e9,
+		WallSec: 1.0,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TShared(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("TShared = %v, want 0.25", got)
+	}
+	if got := s.TPrivate(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("TPrivate = %v, want 0.75", got)
+	}
+	if got := s.Total(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Total = %v, want 1", got)
+	}
+	if got := s.IPC(); got != 1 {
+		t.Errorf("IPC = %v, want 1", got)
+	}
+}
+
+func TestSampleValidate(t *testing.T) {
+	bad := Sample{FreqHz: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	bad = Sample{FreqHz: 1, MachineL3Misses: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative machine L3 misses accepted")
+	}
+	bad = Sample{FreqHz: 1, Counters: pmu.Counters{Cycles: 1, StallL2Miss: 2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("stall > cycles accepted")
+	}
+	zeroFreq := Sample{}
+	if zeroFreq.TPrivate() != 0 || zeroFreq.TShared() != 0 {
+		t.Error("zero-frequency sample should yield zero times, not Inf")
+	}
+}
+
+// TestWindowMatchesEngineTimes verifies the paper's derivation: converting
+// counter deltas via T = cycles/f reproduces the engine's internally tracked
+// occupancy decomposition exactly (under a fixed governor).
+func TestWindowMatchesEngineTimes(t *testing.T) {
+	m := engine.New(engine.CascadeLake(1))
+	spec := workload.ByAbbr()["auth-go"].WithBodyScale(0.1)
+	ctx := m.Spawn(spec, 0)
+	w := Begin(m, ctx, 2.8e9)
+	if !m.RunUntilDone(ctx.ID, 10) {
+		t.Fatal("did not finish")
+	}
+	s := w.End()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tp, ts := ctx.Times()
+	if math.Abs(s.TPrivate()-tp) > 1e-9 {
+		t.Errorf("window TPrivate %v != engine %v", s.TPrivate(), tp)
+	}
+	if math.Abs(s.TShared()-ts) > 1e-9 {
+		t.Errorf("window TShared %v != engine %v", s.TShared(), ts)
+	}
+	if s.WallSec <= 0 {
+		t.Error("window wall not positive")
+	}
+}
+
+func TestWindowCapturesSubSpan(t *testing.T) {
+	m := engine.New(engine.CascadeLake(2))
+	spec := workload.ByAbbr()["fib-go"].WithBodyScale(0.2)
+	ctx := m.Spawn(spec, 0)
+	m.Run(2e-3)
+	w := Begin(m, ctx, 2.8e9)
+	m.Run(2e-3)
+	s := w.End()
+	full := ctx.Counters()
+	if s.Counters.Instructions >= full.Instructions {
+		t.Error("window should cover only the second span")
+	}
+	if s.Counters.Instructions <= 0 {
+		t.Error("window captured nothing")
+	}
+	if math.Abs(s.WallSec-2e-3) > 1e-9 {
+		t.Errorf("window wall = %v, want 2 ms", s.WallSec)
+	}
+}
+
+func TestFromProbe(t *testing.T) {
+	p := &engine.ProbeResult{
+		Instructions: 45e6, Cycles: 60e6,
+		TPrivateSec: 0.018, TSharedSec: 0.004,
+		WallSec: 0.025, MachineL3Misses: 1e5,
+	}
+	ps := FromProbe(p)
+	if ps.Instructions != 45e6 || ps.MachineL3Misses != 1e5 {
+		t.Errorf("FromProbe lost fields: %+v", ps)
+	}
+	if math.Abs(ps.Total()-0.022) > 1e-12 {
+		t.Errorf("Total = %v, want 0.022", ps.Total())
+	}
+}

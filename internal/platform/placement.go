@@ -1,0 +1,83 @@
+package platform
+
+import "fmt"
+
+// Placement selects the hardware thread a replacement background function
+// lands on. The paper's environments differ here: the one-function-per-core
+// setup pins each function (Sticky), while the temporal-sharing setup notes
+// that "a switched-out function has a low chance of being rescheduled to the
+// same core" (§7.2) — functions migrate freely over the shared cores
+// (Random), which is why Method 2 builds its tables with unpinned
+// populations.
+type Placement int
+
+// Placement policies.
+const (
+	// PlaceSticky respawns a replacement on the thread its predecessor
+	// occupied (default; keeps per-thread populations exactly balanced).
+	PlaceSticky Placement = iota
+	// PlaceRandom respawns on a uniformly random thread of the churn set.
+	PlaceRandom
+	// PlaceLeastLoaded respawns on the churn thread with the fewest live
+	// background functions, approximating a load-balancing invoker.
+	PlaceLeastLoaded
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlaceSticky:
+		return "sticky"
+	case PlaceRandom:
+		return "random"
+	case PlaceLeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// SetPlacement selects the churn's replacement policy (default PlaceSticky).
+func (c *Churn) SetPlacement(p Placement) *Churn {
+	c.placement = p
+	return c
+}
+
+// Placement returns the churn's replacement policy.
+func (c *Churn) Placement() Placement { return c.placement }
+
+// replacementThread picks the thread for a replacement according to the
+// policy. prev is the finished function's thread.
+func (c *Churn) replacementThread(prev int) int {
+	switch c.placement {
+	case PlaceRandom:
+		return c.threads[c.p.rng.Intn(len(c.threads))]
+	case PlaceLeastLoaded:
+		counts := make(map[int]int, len(c.threads))
+		for _, th := range c.active {
+			counts[th]++
+		}
+		best := c.threads[0]
+		for _, th := range c.threads[1:] {
+			if counts[th] < counts[best] {
+				best = th
+			}
+		}
+		return best
+	default:
+		return prev
+	}
+}
+
+// Load returns the current background population per churn thread, in
+// thread order.
+func (c *Churn) Load() map[int]int {
+	counts := make(map[int]int, len(c.threads))
+	for _, th := range c.threads {
+		counts[th] = 0
+	}
+	for _, th := range c.active {
+		counts[th]++
+	}
+	return counts
+}

@@ -1,0 +1,367 @@
+// Package platform models the serverless platform layer on top of the
+// machine simulator: function invocation, placement across hardware threads,
+// and the background churn the paper's evaluation maintains ("whenever a
+// function finishes, a new randomly-selected function is launched to keep a
+// total of N co-running functions", §4).
+//
+// It is also the measurement harness: every invocation of a subject function
+// produces a RunRecord carrying exactly the quantities Litmus pricing
+// consumes — the probe (startup) measurement, the full-run T_private and
+// T_shared, and the sandbox memory size for the commercial bill.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/trafficgen"
+	"repro/internal/workload"
+)
+
+// Config describes a platform instance.
+type Config struct {
+	// Machine is the simulated server.
+	Machine engine.Config
+	// BodyScale uniformly scales function bodies (experiment fast-path).
+	BodyScale float64
+	// StartupScale uniformly scales language startups (and therefore the
+	// Litmus probe window). Zero means 1. It applies to every spawn on the
+	// platform — probes, baselines and billed runs alike — which keeps
+	// probe slowdown readings comparable.
+	StartupScale float64
+	// JitterFrac adds a per-invocation uniform body-length jitter in
+	// [-J, +J], modelling input variation. Zero for the paper's averaged
+	// measurements.
+	JitterFrac float64
+	// Seed drives invocation randomness (independent of the machine seed).
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.BodyScale <= 0 {
+		return fmt.Errorf("platform: non-positive body scale")
+	}
+	if c.JitterFrac < 0 || c.JitterFrac >= 1 {
+		return fmt.Errorf("platform: jitter must be in [0,1)")
+	}
+	if c.StartupScale < 0 || c.StartupScale > 1 {
+		return fmt.Errorf("platform: startup scale must be in (0,1] (or 0 for default)")
+	}
+	return nil
+}
+
+// DefaultConfig returns a platform on the paper's Cascade Lake machine.
+func DefaultConfig(seed int64) Config {
+	return Config{Machine: engine.CascadeLake(seed), BodyScale: 1, Seed: seed}
+}
+
+// RunRecord captures one complete, billed invocation of a function.
+type RunRecord struct {
+	// Abbr is the function's catalog abbreviation.
+	Abbr string
+	// Language is the function's runtime (selects the Litmus model set).
+	Language workload.Language
+	// MemoryMB is the sandbox allocation (commercial bills MB×seconds).
+	MemoryMB int
+	// TPrivate and TShared decompose the billed occupancy (seconds).
+	TPrivate float64
+	TShared  float64
+	// Wall is the wall-clock latency (seconds).
+	Wall float64
+	// Probe is the Litmus-test measurement from the startup window.
+	Probe *engine.ProbeResult
+	// StartupTPrivate/StartupTShared are occupancy at the startup/body
+	// boundary; Body* are the complement.
+	StartupTPrivate float64
+	StartupTShared  float64
+}
+
+// Total returns the billed occupancy TPrivate + TShared.
+func (r RunRecord) Total() float64 { return r.TPrivate + r.TShared }
+
+// BodyTPrivate returns the body-only private occupancy.
+func (r RunRecord) BodyTPrivate() float64 { return r.TPrivate - r.StartupTPrivate }
+
+// BodyTShared returns the body-only shared occupancy.
+func (r RunRecord) BodyTShared() float64 { return r.TShared - r.StartupTShared }
+
+// Platform wraps a machine with serverless invocation logic.
+type Platform struct {
+	cfg Config
+	m   *engine.Machine
+	rng *rand.Rand
+
+	churns []*Churn
+}
+
+// New builds a platform (panics on invalid config, like engine.New).
+func New(cfg Config) *Platform {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Platform{
+		cfg: cfg,
+		m:   engine.New(cfg.Machine),
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df)),
+	}
+}
+
+// Machine exposes the underlying simulator (read-mostly: utilisation, time).
+func (p *Platform) Machine() *engine.Machine { return p.m }
+
+// Config returns the platform configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// PrepareSpec applies the platform's invocation scaling (StartupScale,
+// BodyScale, per-invocation jitter) to a spec, exactly as Invoke would.
+// Callers that spawn contexts directly on the machine (e.g. the POPPA
+// sampler) must go through it so their measurements stay comparable with
+// platform baselines.
+func (p *Platform) PrepareSpec(spec *workload.Spec) *workload.Spec {
+	return p.scaledSpec(spec)
+}
+
+// scaledSpec applies StartupScale, BodyScale and per-invocation jitter.
+func (p *Platform) scaledSpec(spec *workload.Spec) *workload.Spec {
+	if s := p.cfg.StartupScale; s > 0 && s != 1 && len(spec.Startup) > 0 {
+		spec = spec.WithStartupScale(s)
+	}
+	scale := p.cfg.BodyScale
+	if p.cfg.JitterFrac > 0 {
+		scale *= 1 + (p.rng.Float64()*2-1)*p.cfg.JitterFrac
+	}
+	if scale == 1 {
+		return spec
+	}
+	return spec.WithBodyScale(scale)
+}
+
+// Churn maintains a fixed population of background functions drawn from a
+// pool, spread round-robin over a set of hardware threads. Finished
+// functions are replaced on the same thread by a random pool member.
+type Churn struct {
+	p         *Platform
+	pool      []*workload.Spec
+	threads   []int
+	active    map[int]int // ctxID -> thread
+	placement Placement
+}
+
+// StartChurn launches count background functions from pool onto threads
+// (round-robin) and registers them for automatic replacement.
+func (p *Platform) StartChurn(pool []*workload.Spec, count int, threads []int) *Churn {
+	if len(pool) == 0 || len(threads) == 0 {
+		panic("platform: churn needs a non-empty pool and thread set")
+	}
+	c := &Churn{p: p, pool: pool, threads: threads, active: make(map[int]int)}
+	for i := 0; i < count; i++ {
+		c.spawn(threads[i%len(threads)])
+	}
+	p.churns = append(p.churns, c)
+	return c
+}
+
+func (c *Churn) spawn(thread int) {
+	spec := c.p.scaledSpec(c.pool[c.p.rng.Intn(len(c.pool))])
+	ctx := c.p.m.Spawn(spec, thread)
+	c.active[ctx.ID] = thread
+}
+
+// Size returns the current background population.
+func (c *Churn) Size() int { return len(c.active) }
+
+// Stop removes all background functions of this churn.
+func (c *Churn) Stop() {
+	for id := range c.active {
+		c.p.m.Remove(id)
+	}
+	c.active = make(map[int]int)
+}
+
+// handleDone replaces a finished background function on the thread the
+// churn's placement policy selects.
+func (c *Churn) handleDone(ctxID int) bool {
+	thread, ok := c.active[ctxID]
+	if !ok {
+		return false
+	}
+	c.p.m.Remove(ctxID)
+	delete(c.active, ctxID)
+	c.spawn(c.replacementThread(thread))
+	return true
+}
+
+// SpawnFleet pins a traffic-generator fleet at the given level onto
+// consecutive hardware threads starting at startThread. Generator threads
+// run forever; use RemoveFleet to tear them down.
+func (p *Platform) SpawnFleet(kind trafficgen.Kind, level, startThread int) []int {
+	ids := make([]int, 0, level)
+	for i, spec := range trafficgen.Fleet(kind, level) {
+		ctx := p.m.Spawn(spec, startThread+i)
+		ids = append(ids, ctx.ID)
+	}
+	return ids
+}
+
+// RemoveFleet removes generator contexts spawned by SpawnFleet.
+func (p *Platform) RemoveFleet(ids []int) {
+	for _, id := range ids {
+		p.m.Remove(id)
+	}
+}
+
+// Step advances the platform one quantum, servicing churn replacements.
+func (p *Platform) Step() []engine.Event {
+	events := p.m.Step()
+	for _, ev := range events {
+		if ev.Kind != engine.EventDone {
+			continue
+		}
+		for _, c := range p.churns {
+			if c.handleDone(ev.Ctx) {
+				break
+			}
+		}
+	}
+	return events
+}
+
+// Warm runs the platform for durSec of simulated time (lets generators and
+// churn populate caches before measurements).
+func (p *Platform) Warm(durSec float64) {
+	steps := int(math.Ceil(durSec / p.cfg.Machine.QuantumSec))
+	for i := 0; i < steps; i++ {
+		p.Step()
+	}
+}
+
+// Invoke runs spec to completion on the given hardware thread, maintaining
+// churn, and returns its billed measurement. The Litmus probe is armed over
+// min(startup, 45M instructions) per the paper, and the startup/body
+// boundary is marked.
+func (p *Platform) Invoke(spec *workload.Spec, thread int, maxSec float64) (RunRecord, error) {
+	scaled := p.scaledSpec(spec)
+	opts := []engine.SpawnOpt{}
+	if n := scaled.StartupInstr(); n > 0 {
+		opts = append(opts,
+			engine.WithProbe(math.Min(workload.ProbeInstrCap, n)),
+			engine.WithMark(n))
+	}
+	ctx := p.m.Spawn(scaled, thread, opts...)
+	deadline := p.m.Now() + maxSec
+	for !ctx.Done() && p.m.Now() < deadline {
+		p.Step()
+	}
+	if !ctx.Done() {
+		p.m.Remove(ctx.ID)
+		return RunRecord{}, fmt.Errorf("platform: %s did not finish within %v simulated seconds", spec.Abbr, maxSec)
+	}
+	tp, ts := ctx.Times()
+	rec := RunRecord{
+		Abbr:     spec.Abbr,
+		Language: spec.Language,
+		MemoryMB: spec.MemoryMB,
+		TPrivate: tp,
+		TShared:  ts,
+		Wall:     ctx.WallDuration(),
+		Probe:    ctx.Probe(),
+	}
+	if mark := ctx.MarkResult(); mark != nil {
+		rec.StartupTPrivate = mark.TPrivateSec
+		rec.StartupTShared = mark.TSharedSec
+	}
+	p.m.Remove(ctx.ID)
+	return rec, nil
+}
+
+// ProbeStartup runs a pure Litmus test: it spawns spec (with the platform's
+// scaling applied), steps the platform only until the probe over the startup
+// prefix fires, removes the context, and returns the probe reading. The
+// tenant body never executes.
+func (p *Platform) ProbeStartup(spec *workload.Spec, thread int, maxSec float64) (*engine.ProbeResult, error) {
+	scaled := p.scaledSpec(spec)
+	n := scaled.StartupInstr()
+	if n <= 0 {
+		return nil, fmt.Errorf("platform: spec %s has no startup to probe", spec.Abbr)
+	}
+	if n > workload.ProbeInstrCap {
+		n = workload.ProbeInstrCap
+	}
+	ctx := p.m.Spawn(scaled, thread, engine.WithProbe(n))
+	deadline := p.m.Now() + maxSec
+	for ctx.Probe() == nil && p.m.Now() < deadline {
+		p.Step()
+	}
+	probe := ctx.Probe()
+	p.m.Remove(ctx.ID)
+	if probe == nil {
+		return nil, fmt.Errorf("platform: probe for %s did not fire within %v simulated seconds", spec.Abbr, maxSec)
+	}
+	return probe, nil
+}
+
+// Solo captures a function's interference-free baseline (paper: T_solo).
+type Solo struct {
+	Abbr            string
+	TPrivate        float64
+	TShared         float64
+	Wall            float64
+	StartupTPrivate float64
+	StartupTShared  float64
+	Probe           *engine.ProbeResult
+}
+
+// Total returns TPrivate + TShared.
+func (s Solo) Total() float64 { return s.TPrivate + s.TShared }
+
+// MeasureSolo runs spec alone on a fresh instance of the platform's machine
+// configuration and returns its baseline. The fresh machine guarantees a
+// congestion-free environment regardless of the platform's current state.
+func MeasureSolo(cfg Config, spec *workload.Spec) (Solo, error) {
+	c := cfg
+	c.JitterFrac = 0 // baselines are the expected (un-jittered) execution
+	p := New(c)
+	rec, err := p.Invoke(spec, 0, 300)
+	if err != nil {
+		return Solo{}, err
+	}
+	return Solo{
+		Abbr:            rec.Abbr,
+		TPrivate:        rec.TPrivate,
+		TShared:         rec.TShared,
+		Wall:            rec.Wall,
+		StartupTPrivate: rec.StartupTPrivate,
+		StartupTShared:  rec.StartupTShared,
+		Probe:           rec.Probe,
+	}, nil
+}
+
+// Baselines measures solo baselines for a set of specs, keyed by
+// abbreviation.
+func Baselines(cfg Config, specs []*workload.Spec) (map[string]Solo, error) {
+	out := make(map[string]Solo, len(specs))
+	for _, s := range specs {
+		solo, err := MeasureSolo(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		out[s.Abbr] = solo
+	}
+	return out, nil
+}
+
+// Threads returns the list [first, first+1, …, first+n-1], a convenience for
+// placement sets.
+func Threads(first, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = first + i
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Fig. X — sample", "fn", "slowdown")
+	t.AddRow("pager-py", "1.31")
+	t.AddRow("float-py", "1.04")
+	t.AddNote("gmean = %.3f", 1.117)
+	return t
+}
+
+func TestStringAlignment(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, separator, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Fig. X") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "fn") || !strings.Contains(lines[1], "slowdown") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "--") {
+		t.Errorf("separator wrong: %q", lines[2])
+	}
+	// Columns align: "slowdown" column starts at same offset in all rows.
+	idx := strings.Index(lines[1], "slowdown")
+	if !strings.HasPrefix(lines[3][idx:], "1.31") {
+		t.Errorf("row misaligned: %q", lines[3])
+	}
+	if !strings.Contains(lines[5], "note: gmean = 1.117") {
+		t.Errorf("note wrong: %q", lines[5])
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tab := NewTable("t", "a", "b", "c")
+	tab.AddRow("1")                // short: padded
+	tab.AddRow("1", "2", "3", "4") // long: truncated
+	if len(tab.Rows[0]) != 3 || tab.Rows[0][1] != "" {
+		t.Errorf("short row not padded: %v", tab.Rows[0])
+	}
+	if len(tab.Rows[1]) != 3 {
+		t.Errorf("long row not truncated: %v", tab.Rows[1])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow(`quo"ted`, "with,comma")
+	out := tab.CSV()
+	want := "a,b\n\"quo\"\"ted\",\"with,comma\"\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestJSON(t *testing.T) {
+	out, err := sample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"pager-py"`) || !strings.Contains(out, `"columns"`) {
+		t.Errorf("JSON missing content: %s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(1.23456, 2); got != "1.23" {
+		t.Errorf("F = %q", got)
+	}
+	if got := Pct(0.123); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Sci(12345.0); got != "1.23e+04" {
+		t.Errorf("Sci = %q", got)
+	}
+}

@@ -1,0 +1,92 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestThreadSpecShapes(t *testing.T) {
+	ct := ThreadSpec(CTGen, 0)
+	mb := ThreadSpec(MBGen, 3)
+	for _, s := range []*workload.Spec{ct, mb} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Abbr, err)
+		}
+		if len(s.Startup) != 0 {
+			t.Errorf("%s: generator threads must have no language startup", s.Abbr)
+		}
+		if s.TotalInstr() < 1e12 {
+			t.Errorf("%s: generator must be effectively endless, got %v instructions", s.Abbr, s.TotalInstr())
+		}
+	}
+	if ct.Abbr == mb.Abbr {
+		t.Error("generator abbreviations must differ")
+	}
+}
+
+func TestCTGenIsL3Resident(t *testing.T) {
+	ph := ThreadSpec(CTGen, 0).Body[0]
+	if ph.EffectiveReuse() != 1.0 {
+		t.Errorf("CT-Gen reuse = %v, want 1.0 (perfect residency: L2 misses end as L3 hits)", ph.EffectiveReuse())
+	}
+	// 24 blocks × 16 KiB = 384 KiB per thread: misses L2 (1 MiB shared by
+	// many lines at line granularity) yet 31 threads stay within a 22 MiB L3.
+	if ph.WSBlocks*31 > 1408 {
+		t.Errorf("31 CT threads (%d blocks) would overflow the 1408-block L3", ph.WSBlocks*31)
+	}
+}
+
+func TestMBGenStreamsPastL3(t *testing.T) {
+	ph := ThreadSpec(MBGen, 0).Body[0]
+	if ph.Pattern != workload.Scan {
+		t.Errorf("MB-Gen pattern = %v, want scan", ph.Pattern)
+	}
+	if ph.WSBlocks <= 1408 {
+		t.Errorf("MB-Gen working set %d blocks must exceed the L3 (1408 blocks)", ph.WSBlocks)
+	}
+	if ph.EffectiveReuse() >= 0.5 {
+		t.Errorf("MB-Gen reuse = %v, must be streaming", ph.EffectiveReuse())
+	}
+}
+
+func TestFleet(t *testing.T) {
+	f := Fleet(MBGen, 14)
+	if len(f) != 14 {
+		t.Fatalf("fleet size = %d, want 14", len(f))
+	}
+	seen := map[string]bool{}
+	for _, s := range f {
+		if seen[s.Abbr] {
+			t.Errorf("duplicate thread abbr %s", s.Abbr)
+		}
+		seen[s.Abbr] = true
+	}
+	if got := Fleet(CTGen, 0); len(got) != 0 {
+		t.Errorf("level 0 fleet = %d threads", len(got))
+	}
+	if got := Fleet(CTGen, -3); len(got) != 0 {
+		t.Errorf("negative level fleet = %d threads", len(got))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if CTGen.String() != "CT-Gen" || MBGen.String() != "MB-Gen" {
+		t.Error("kind names must match the paper")
+	}
+	if len(Kinds()) != 2 {
+		t.Error("Kinds() must list both generators")
+	}
+	if Kind(9).String() != "gen(9)" {
+		t.Errorf("unknown kind = %q", Kind(9).String())
+	}
+}
+
+func TestThreadSpecPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind should panic")
+		}
+	}()
+	ThreadSpec(Kind(42), 0)
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// specJSON is the wire form of a Spec. Languages and patterns are encoded as
+// their string names so files stay readable and stable across refactors.
+type specJSON struct {
+	Name      string      `json:"name"`
+	Abbr      string      `json:"abbr"`
+	Language  string      `json:"language"`
+	Suite     string      `json:"suite,omitempty"`
+	Reference bool        `json:"reference,omitempty"`
+	MemoryMB  int         `json:"memoryMB"`
+	Startup   []phaseJSON `json:"startup,omitempty"`
+	Body      []phaseJSON `json:"body"`
+}
+
+type phaseJSON struct {
+	Name      string  `json:"name"`
+	Instr     float64 `json:"instr"`
+	CPIBase   float64 `json:"cpiBase"`
+	L2MPKI    float64 `json:"l2mpki"`
+	WSBlocks  int     `json:"wsBlocks"`
+	Pattern   string  `json:"pattern"`
+	MLP       float64 `json:"mlp"`
+	DirtyFrac float64 `json:"dirtyFrac,omitempty"`
+	Reuse     float64 `json:"reuse,omitempty"`
+}
+
+// ParseLanguage converts a language suffix ("py", "nj", "go") to a Language.
+func ParseLanguage(s string) (Language, error) {
+	for _, l := range Languages() {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown language %q", s)
+}
+
+// ParsePattern converts a pattern name ("hot", "scan", "mixed") to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range []Pattern{Hot, Scan, Mixed} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown pattern %q", s)
+}
+
+func toJSON(s *Spec) specJSON {
+	out := specJSON{
+		Name: s.Name, Abbr: s.Abbr, Language: s.Language.String(),
+		Suite: s.Suite, Reference: s.Reference, MemoryMB: s.MemoryMB,
+	}
+	for _, ph := range s.Startup {
+		out.Startup = append(out.Startup, phaseToJSON(ph))
+	}
+	for _, ph := range s.Body {
+		out.Body = append(out.Body, phaseToJSON(ph))
+	}
+	return out
+}
+
+func phaseToJSON(p Phase) phaseJSON {
+	return phaseJSON{
+		Name: p.Name, Instr: p.Instr, CPIBase: p.CPIBase, L2MPKI: p.L2MPKI,
+		WSBlocks: p.WSBlocks, Pattern: p.Pattern.String(), MLP: p.MLP,
+		DirtyFrac: p.DirtyFrac, Reuse: p.Reuse,
+	}
+}
+
+func fromJSON(in specJSON) (*Spec, error) {
+	lang, err := ParseLanguage(in.Language)
+	if err != nil {
+		return nil, fmt.Errorf("spec %q: %w", in.Abbr, err)
+	}
+	s := &Spec{
+		Name: in.Name, Abbr: in.Abbr, Language: lang,
+		Suite: in.Suite, Reference: in.Reference, MemoryMB: in.MemoryMB,
+	}
+	for _, ph := range in.Startup {
+		p, err := phaseFromJSON(ph)
+		if err != nil {
+			return nil, fmt.Errorf("spec %q startup: %w", in.Abbr, err)
+		}
+		s.Startup = append(s.Startup, p)
+	}
+	for _, ph := range in.Body {
+		p, err := phaseFromJSON(ph)
+		if err != nil {
+			return nil, fmt.Errorf("spec %q body: %w", in.Abbr, err)
+		}
+		s.Body = append(s.Body, p)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func phaseFromJSON(in phaseJSON) (Phase, error) {
+	pat, err := ParsePattern(in.Pattern)
+	if err != nil {
+		return Phase{}, err
+	}
+	return Phase{
+		Name: in.Name, Instr: in.Instr, CPIBase: in.CPIBase, L2MPKI: in.L2MPKI,
+		WSBlocks: in.WSBlocks, Pattern: pat, MLP: in.MLP,
+		DirtyFrac: in.DirtyFrac, Reuse: in.Reuse,
+	}, nil
+}
+
+// EncodeSpecs serialises function specs as indented JSON, the interchange
+// format for custom catalogs (downstream users model their own functions and
+// feed them to the platform and calibrator).
+func EncodeSpecs(specs []*Spec) ([]byte, error) {
+	out := make([]specJSON, len(specs))
+	for i, s := range specs {
+		out[i] = toJSON(s)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// DecodeSpecs parses specs produced by EncodeSpecs (or written by hand),
+// validating every entry.
+func DecodeSpecs(data []byte) ([]*Spec, error) {
+	var raw []specJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("workload: decoding specs: %w", err)
+	}
+	seen := map[string]bool{}
+	out := make([]*Spec, 0, len(raw))
+	for _, r := range raw {
+		s, err := fromJSON(r)
+		if err != nil {
+			return nil, err
+		}
+		if seen[s.Abbr] {
+			return nil, fmt.Errorf("workload: duplicate abbreviation %q", s.Abbr)
+		}
+		seen[s.Abbr] = true
+		out = append(out, s)
+	}
+	return out, nil
+}

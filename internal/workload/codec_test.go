@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	orig := Catalog()
+	data, err := EncodeSpecs(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSpecs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost specs: %d vs %d", len(back), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], back[i]
+		if a.Abbr != b.Abbr || a.Language != b.Language || a.Reference != b.Reference ||
+			a.MemoryMB != b.MemoryMB || a.Suite != b.Suite {
+			t.Errorf("%s: header fields changed: %+v vs %+v", a.Abbr, a, b)
+		}
+		if len(a.Startup) != len(b.Startup) || len(a.Body) != len(b.Body) {
+			t.Fatalf("%s: phase counts changed", a.Abbr)
+		}
+		for j := range a.Body {
+			if a.Body[j] != b.Body[j] {
+				t.Errorf("%s body[%d]: %+v vs %+v", a.Abbr, j, a.Body[j], b.Body[j])
+			}
+		}
+		for j := range a.Startup {
+			if a.Startup[j] != b.Startup[j] {
+				t.Errorf("%s startup[%d] changed", a.Abbr, j)
+			}
+		}
+	}
+}
+
+func TestEncodeReadableNames(t *testing.T) {
+	data, err := EncodeSpecs([]*Spec{ByAbbr()["pager-py"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"language": "py"`, `"pattern": "hot"`, `"abbr": "pager-py"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("encoded JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestDecodeSpecsErrors(t *testing.T) {
+	if _, err := DecodeSpecs([]byte("{")); err == nil {
+		t.Error("garbage accepted")
+	}
+	bad := `[{"name":"x","abbr":"x-py","language":"rust","memoryMB":128,
+		"body":[{"name":"b","instr":1e6,"cpiBase":1,"l2mpki":1,"wsBlocks":1,"pattern":"hot","mlp":2}]}]`
+	if _, err := DecodeSpecs([]byte(bad)); err == nil {
+		t.Error("unknown language accepted")
+	}
+	bad = `[{"name":"x","abbr":"x-py","language":"py","memoryMB":128,
+		"body":[{"name":"b","instr":1e6,"cpiBase":1,"l2mpki":1,"wsBlocks":1,"pattern":"spiral","mlp":2}]}]`
+	if _, err := DecodeSpecs([]byte(bad)); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	bad = `[{"name":"x","abbr":"x-py","language":"py","memoryMB":0,
+		"body":[{"name":"b","instr":1e6,"cpiBase":1,"l2mpki":1,"wsBlocks":1,"pattern":"hot","mlp":2}]}]`
+	if _, err := DecodeSpecs([]byte(bad)); err == nil {
+		t.Error("invalid spec (zero memory) accepted")
+	}
+	dup := `[
+	 {"name":"x","abbr":"x-py","language":"py","memoryMB":128,
+	  "body":[{"name":"b","instr":1e6,"cpiBase":1,"l2mpki":1,"wsBlocks":1,"pattern":"hot","mlp":2}]},
+	 {"name":"y","abbr":"x-py","language":"py","memoryMB":128,
+	  "body":[{"name":"b","instr":1e6,"cpiBase":1,"l2mpki":1,"wsBlocks":1,"pattern":"hot","mlp":2}]}
+	]`
+	if _, err := DecodeSpecs([]byte(dup)); err == nil {
+		t.Error("duplicate abbreviation accepted")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for _, l := range Languages() {
+		got, err := ParseLanguage(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLanguage(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := ParseLanguage("cobol"); err == nil {
+		t.Error("unknown language parsed")
+	}
+	for _, p := range []Pattern{Hot, Scan, Mixed} {
+		got, err := ParsePattern(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePattern(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePattern("zigzag"); err == nil {
+		t.Error("unknown pattern parsed")
+	}
+}
+
+func TestDecodedSpecRunsOnEngine(t *testing.T) {
+	// A hand-written custom function must be directly usable.
+	custom := `[{"name":"Custom ETL","abbr":"etl-go","language":"go","memoryMB":256,
+	  "body":[{"name":"transform","instr":5e6,"cpiBase":0.9,"l2mpki":3,"wsBlocks":64,"pattern":"mixed","mlp":3}]}]`
+	specs, err := DecodeSpecs([]byte(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Abbr != "etl-go" {
+		t.Fatalf("decoded %+v", specs)
+	}
+	if specs[0].TotalInstr() != 5e6 {
+		t.Errorf("total instr = %v", specs[0].TotalInstr())
+	}
+}

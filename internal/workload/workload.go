@@ -1,0 +1,320 @@
+// Package workload models the serverless functions the paper evaluates.
+//
+// A function is a sequence of phases. Each phase is characterised the way an
+// interval simulator sees code: a base CPI (covering issue width, branch and
+// private-cache behaviour), an L2 miss rate (L2MPKI — the demand traffic
+// leaving the private domain), an L3 footprint, an access pattern, and a
+// memory-level-parallelism factor. These are the only knobs that matter to
+// Litmus pricing, because the PMU events it consumes (cycles, L2-miss stall
+// cycles, L3 misses) are fully determined by them plus machine congestion.
+//
+// The catalog reproduces Table 1 of the paper: 27 functions across SeBS,
+// FunctionBench, DeathStarBench Hotel Reservation, Online Boutique and the
+// AWS authorizer samples, written in Python, Node.js and Go, 13 of which
+// (* in the table) serve as the provider's reference set. Per-function
+// parameters are calibrated so the solo T_private/T_shared decomposition
+// matches the spread of Fig. 4 (float-py ≈99.9% private … pager-py ≈58%).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Language identifies the function's runtime, which determines its startup
+// phase model (paper §2, Fig. 6).
+type Language int
+
+// Supported language runtimes.
+const (
+	Python Language = iota
+	NodeJS
+	Go
+)
+
+// String returns the table-style suffix for the language (py, nj, go).
+func (l Language) String() string {
+	switch l {
+	case Python:
+		return "py"
+	case NodeJS:
+		return "nj"
+	case Go:
+		return "go"
+	default:
+		return fmt.Sprintf("lang(%d)", int(l))
+	}
+}
+
+// Languages lists all supported runtimes in display order.
+func Languages() []Language { return []Language{Python, NodeJS, Go} }
+
+// Pattern describes how a phase walks its L3 footprint.
+type Pattern int
+
+// Access patterns.
+const (
+	// Hot re-references a resident working set (graph kernels, interpreters).
+	Hot Pattern = iota
+	// Scan streams through data with little temporal reuse (compression,
+	// encryption, sequential I/O buffers).
+	Scan
+	// Mixed blends resident structures with streaming data (image and ML
+	// pipelines).
+	Mixed
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Hot:
+		return "hot"
+	case Scan:
+		return "scan"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Reuse returns the fraction of a phase's L3 accesses that target blocks the
+// phase keeps live (and therefore can hit, if the blocks survive co-runner
+// evictions). The complement is streaming traffic that always misses.
+func (p Pattern) Reuse() float64 {
+	switch p {
+	case Hot:
+		return 0.97
+	case Scan:
+		return 0.08
+	case Mixed:
+		return 0.60
+	default:
+		return 0.5
+	}
+}
+
+// FillProb returns the probability that a miss by this pattern installs its
+// block in the shared cache. Modern LLCs use adaptive insertion that resists
+// streaming pollution, so scans install with low probability while resident
+// working sets install always.
+func (p Pattern) FillProb() float64 {
+	switch p {
+	case Hot:
+		return 1.0
+	case Scan:
+		return 0.15
+	case Mixed:
+		return 0.50
+	default:
+		return 0.5
+	}
+}
+
+// Phase is one homogeneous segment of a function's execution.
+type Phase struct {
+	// Name labels the phase in traces ("interp-load", "body", …).
+	Name string
+	// Instr is the phase length in retired instructions.
+	Instr float64
+	// CPIBase is cycles/instruction excluding L2-miss stalls: issue, branch,
+	// L1/L2 hit latency. This is the private-resource cost of the phase.
+	CPIBase float64
+	// L2MPKI is demand L2 misses per kilo-instruction — the traffic entering
+	// the shared domain.
+	L2MPKI float64
+	// WSBlocks is the phase's L3 footprint in cache blocks.
+	WSBlocks int
+	// Pattern is the phase's access pattern over that footprint.
+	Pattern Pattern
+	// MLP is the memory-level parallelism: the average number of outstanding
+	// misses that overlap, dividing the effective stall per miss.
+	MLP float64
+	// DirtyFrac is the fraction of L3 misses that also write back a victim
+	// line, inflating DRAM traffic.
+	DirtyFrac float64
+	// Reuse overrides the pattern's default temporal-reuse fraction when
+	// non-zero. Traffic generators use it for perfectly resident (CT-Gen,
+	// 1.0) loops.
+	Reuse float64
+}
+
+// EffectiveReuse returns the phase's reuse fraction: the explicit override
+// when set, otherwise the pattern default.
+func (p Phase) EffectiveReuse() float64 {
+	if p.Reuse > 0 {
+		return p.Reuse
+	}
+	return p.Pattern.Reuse()
+}
+
+// Validate reports parameter errors.
+func (p Phase) Validate() error {
+	switch {
+	case p.Instr <= 0:
+		return fmt.Errorf("phase %q: non-positive instruction count", p.Name)
+	case p.CPIBase <= 0:
+		return fmt.Errorf("phase %q: non-positive CPIBase", p.Name)
+	case p.L2MPKI < 0:
+		return fmt.Errorf("phase %q: negative L2MPKI", p.Name)
+	case p.WSBlocks <= 0:
+		return fmt.Errorf("phase %q: non-positive working set", p.Name)
+	case p.MLP < 1:
+		return fmt.Errorf("phase %q: MLP below 1", p.Name)
+	case p.DirtyFrac < 0 || p.DirtyFrac > 1:
+		return fmt.Errorf("phase %q: DirtyFrac outside [0,1]", p.Name)
+	case p.Reuse < 0 || p.Reuse > 1:
+		return fmt.Errorf("phase %q: Reuse outside [0,1]", p.Name)
+	}
+	return nil
+}
+
+// Spec is a complete function model.
+type Spec struct {
+	// Name is the full benchmark name from Table 1 ("Graph Rank").
+	Name string
+	// Abbr is the table abbreviation ("pager-py"); unique across the catalog.
+	Abbr string
+	// Language selects the startup model.
+	Language Language
+	// Suite records provenance (SeBS, FunctionBench, …).
+	Suite string
+	// Reference marks the 13 functions the provider uses to build
+	// performance tables (* in Table 1). Reference functions are never
+	// priced in the evaluation; the remaining 14 are the test set.
+	Reference bool
+	// MemoryMB is the sandbox memory allocation used by the pay-as-you-go
+	// bill (commercial price ∝ MemoryMB × duration).
+	MemoryMB int
+	// Startup is the language runtime initialisation, identical across
+	// functions of one language. The Litmus probe measures this prefix.
+	Startup []Phase
+	// Body is the tenant's own code.
+	Body []Phase
+}
+
+// Validate reports spec errors.
+func (s *Spec) Validate() error {
+	if s.Abbr == "" {
+		return fmt.Errorf("spec %q: empty abbreviation", s.Name)
+	}
+	if s.MemoryMB <= 0 {
+		return fmt.Errorf("spec %q: non-positive memory", s.Abbr)
+	}
+	if len(s.Body) == 0 {
+		return fmt.Errorf("spec %q: no body phases", s.Abbr)
+	}
+	for _, ph := range s.Startup {
+		if err := ph.Validate(); err != nil {
+			return fmt.Errorf("spec %q startup: %w", s.Abbr, err)
+		}
+	}
+	for _, ph := range s.Body {
+		if err := ph.Validate(); err != nil {
+			return fmt.Errorf("spec %q body: %w", s.Abbr, err)
+		}
+	}
+	return nil
+}
+
+// Phases returns startup followed by body.
+func (s *Spec) Phases() []Phase {
+	out := make([]Phase, 0, len(s.Startup)+len(s.Body))
+	out = append(out, s.Startup...)
+	out = append(out, s.Body...)
+	return out
+}
+
+// TotalInstr returns the total instruction count across all phases.
+func (s *Spec) TotalInstr() float64 {
+	var t float64
+	for _, ph := range s.Phases() {
+		t += ph.Instr
+	}
+	return t
+}
+
+// StartupInstr returns the startup prefix length in instructions.
+func (s *Spec) StartupInstr() float64 {
+	var t float64
+	for _, ph := range s.Startup {
+		t += ph.Instr
+	}
+	return t
+}
+
+// WithBodyScale returns a copy of the spec whose body phases are scaled to
+// frac of their instruction counts (0 < frac). Startups are not scaled here:
+// the Litmus probe window must stay comparable across invocations; use
+// WithStartupScale (applied uniformly by the platform) to shrink startups
+// for reduced-scale experiments.
+func (s *Spec) WithBodyScale(frac float64) *Spec {
+	if frac <= 0 {
+		panic("workload: non-positive body scale")
+	}
+	c := *s
+	c.Body = make([]Phase, len(s.Body))
+	copy(c.Body, s.Body)
+	for i := range c.Body {
+		c.Body[i].Instr *= frac
+	}
+	return &c
+}
+
+// WithStartupScale returns a copy with startup phases scaled to frac of
+// their instruction counts. Because the Litmus test compares a startup only
+// against the same startup's solo baseline, scaling is sound as long as it
+// is applied platform-wide (every probe, baseline and billed run sees the
+// same startup); the platform layer guarantees that.
+func (s *Spec) WithStartupScale(frac float64) *Spec {
+	if frac <= 0 {
+		panic("workload: non-positive startup scale")
+	}
+	c := *s
+	c.Startup = make([]Phase, len(s.Startup))
+	copy(c.Startup, s.Startup)
+	for i := range c.Startup {
+		c.Startup[i].Instr *= frac
+	}
+	return &c
+}
+
+// Sampler draws block addresses for a phase's sampled L3 accesses. Each
+// context namespaces its blocks by a base offset so sandboxes never share
+// cache blocks (address spaces are disjoint, as between real containers).
+type Sampler struct {
+	base   uint64
+	ws     uint64
+	cursor uint64
+}
+
+// NewSampler creates a sampler over ws blocks at the given namespace base.
+func NewSampler(base uint64, ws int) *Sampler {
+	if ws <= 0 {
+		ws = 1
+	}
+	return &Sampler{base: base, ws: uint64(ws)}
+}
+
+// Next draws the next block address for the given pattern.
+func (s *Sampler) Next(p Pattern, rng *rand.Rand) uint64 {
+	switch p {
+	case Scan:
+		s.cursor++
+		return s.base + s.cursor%s.ws
+	case Hot:
+		// Skewed reuse: square a uniform draw so a hot subset dominates,
+		// approximating LRU-friendly locality.
+		u := rng.Float64()
+		return s.base + uint64(u*u*float64(s.ws))%s.ws
+	case Mixed:
+		if rng.Float64() < 0.5 {
+			s.cursor++
+			return s.base + s.cursor%s.ws
+		}
+		u := rng.Float64()
+		return s.base + uint64(u*u*float64(s.ws))%s.ws
+	default:
+		return s.base + uint64(rng.Int63n(int64(s.ws)))
+	}
+}

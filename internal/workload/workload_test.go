@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 27 {
+		t.Fatalf("catalog has %d functions, Table 1 has 27", len(cat))
+	}
+	refs := 0
+	byLang := map[Language]int{}
+	seen := map[string]bool{}
+	for _, s := range cat {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Abbr, err)
+		}
+		if seen[s.Abbr] {
+			t.Errorf("duplicate abbreviation %q", s.Abbr)
+		}
+		seen[s.Abbr] = true
+		if s.Reference {
+			refs++
+		}
+		byLang[s.Language]++
+		if !strings.HasSuffix(s.Abbr, "-"+s.Language.String()) {
+			t.Errorf("%s: abbreviation suffix does not match language %s", s.Abbr, s.Language)
+		}
+	}
+	if refs != 13 {
+		t.Errorf("reference functions = %d, Table 1 marks 13", refs)
+	}
+	if byLang[Python] != 16 || byLang[NodeJS] != 5 || byLang[Go] != 6 {
+		t.Errorf("language mix = py:%d nj:%d go:%d, want 16/5/6",
+			byLang[Python], byLang[NodeJS], byLang[Go])
+	}
+}
+
+func TestReferenceTestSetPartition(t *testing.T) {
+	refs, tests := References(), TestSet()
+	if len(refs) != 13 || len(tests) != 14 {
+		t.Fatalf("partition = %d refs + %d tests, want 13 + 14", len(refs), len(tests))
+	}
+	all := map[string]bool{}
+	for _, s := range append(append([]*Spec{}, refs...), tests...) {
+		all[s.Abbr] = true
+	}
+	if len(all) != 27 {
+		t.Errorf("partition does not cover catalog: %d unique", len(all))
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i-1].Abbr >= refs[i].Abbr {
+			t.Errorf("References not sorted at %d", i)
+		}
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	m := ByAbbr()
+	if len(m) != 27 {
+		t.Fatalf("ByAbbr has %d entries", len(m))
+	}
+	s, ok := m["pager-py"]
+	if !ok || s.Name != "Graph Rank" {
+		t.Errorf("pager-py lookup = %+v, %v", s, ok)
+	}
+}
+
+func TestMemoryIntensiveSelection(t *testing.T) {
+	mi := MemoryIntensive()
+	if len(mi) != 8 {
+		t.Fatalf("memory-intensive set = %d functions, paper picks 8", len(mi))
+	}
+	// The selection rule is "most L2 misses": every selected function must
+	// produce at least as many body L2 misses as every excluded one.
+	selected := map[string]bool{}
+	minSelected := -1.0
+	for _, s := range mi {
+		selected[s.Abbr] = true
+		m := bodyMisses(s)
+		if minSelected < 0 || m < minSelected {
+			minSelected = m
+		}
+	}
+	for _, s := range Catalog() {
+		if !selected[s.Abbr] && bodyMisses(s) > minSelected {
+			t.Errorf("%s produces more L2 misses than a selected function", s.Abbr)
+		}
+	}
+	// The catalog's heaviest miss producers must be in (pager-py tops the
+	// catalog by construction).
+	if !selected["pager-py"] || !selected["mst-py"] {
+		t.Errorf("selection missing the graph kernels: %v", selected)
+	}
+}
+
+func TestStartupSharedWithinLanguage(t *testing.T) {
+	// All functions of one language must share an identical startup — the
+	// property the Litmus test relies on.
+	perLang := map[Language][]*Spec{}
+	for _, s := range Catalog() {
+		perLang[s.Language] = append(perLang[s.Language], s)
+	}
+	for lang, specs := range perLang {
+		first := specs[0].Startup
+		for _, s := range specs[1:] {
+			if len(s.Startup) != len(first) {
+				t.Fatalf("%s: startup length differs within language %s", s.Abbr, lang)
+			}
+			for i := range first {
+				if s.Startup[i] != first[i] {
+					t.Errorf("%s: startup phase %d differs from %s", s.Abbr, i, specs[0].Abbr)
+				}
+			}
+		}
+	}
+}
+
+func TestStartupScalesMatchPaper(t *testing.T) {
+	// Approximate solo durations at 2.8 GHz (CPI ≈ CPIBase + small stall
+	// component): Go shortest, Python mid, Node longest (Fig. 6: ≈6 / 19 /
+	// 97 ms). Check ordering and rough instruction budgets.
+	py := (&Spec{Startup: StartupPhases(Python), Body: body(1, 1, 1, 1, Hot, 2, 0), Abbr: "x", MemoryMB: 1}).StartupInstr()
+	nj := (&Spec{Startup: StartupPhases(NodeJS), Body: body(1, 1, 1, 1, Hot, 2, 0), Abbr: "x", MemoryMB: 1}).StartupInstr()
+	gg := (&Spec{Startup: StartupPhases(Go), Body: body(1, 1, 1, 1, Hot, 2, 0), Abbr: "x", MemoryMB: 1}).StartupInstr()
+	if !(gg < py && py < nj) {
+		t.Errorf("startup instruction ordering go(%v) < py(%v) < nj(%v) violated", gg, py, nj)
+	}
+	if py != 45e6 {
+		t.Errorf("python startup = %v instructions; probe cap is 45e6 and should cover it exactly", py)
+	}
+	if gg >= ProbeInstrCap {
+		t.Errorf("go startup %v should be below the probe cap", gg)
+	}
+}
+
+func TestLanguageString(t *testing.T) {
+	if Python.String() != "py" || NodeJS.String() != "nj" || Go.String() != "go" {
+		t.Error("language suffixes wrong")
+	}
+	if got := Language(99).String(); got != "lang(99)" {
+		t.Errorf("unknown language = %q", got)
+	}
+	if len(Languages()) != 3 {
+		t.Error("Languages() must list 3 runtimes")
+	}
+}
+
+func TestPatternReuse(t *testing.T) {
+	if !(Scan.Reuse() < Mixed.Reuse() && Mixed.Reuse() < Hot.Reuse()) {
+		t.Error("pattern reuse ordering violated")
+	}
+	for _, p := range []Pattern{Hot, Scan, Mixed, Pattern(9)} {
+		r := p.Reuse()
+		if r < 0 || r > 1 {
+			t.Errorf("reuse(%v) = %v outside [0,1]", p, r)
+		}
+	}
+	if Hot.String() != "hot" || Scan.String() != "scan" || Mixed.String() != "mixed" {
+		t.Error("pattern names wrong")
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	good := Catalog()[0]
+	bad := *good
+	bad.Abbr = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty abbr accepted")
+	}
+	bad = *good
+	bad.MemoryMB = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero memory accepted")
+	}
+	bad = *good
+	bad.Body = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("missing body accepted")
+	}
+	bad = *good
+	bad.Body = body(-1, 1, 1, 1, Hot, 2, 0)
+	if err := bad.Validate(); err == nil {
+		t.Error("negative instructions accepted")
+	}
+	bad = *good
+	bad.Body = body(1, 1, 1, 1, Hot, 0.5, 0)
+	if err := bad.Validate(); err == nil {
+		t.Error("MLP < 1 accepted")
+	}
+	bad = *good
+	bad.Body = body(1, 1, -1, 1, Hot, 2, 0)
+	if err := bad.Validate(); err == nil {
+		t.Error("negative L2MPKI accepted")
+	}
+	bad = *good
+	bad.Body = body(1, 1, 1, 1, Hot, 2, 1.5)
+	if err := bad.Validate(); err == nil {
+		t.Error("DirtyFrac > 1 accepted")
+	}
+}
+
+func TestWithBodyScale(t *testing.T) {
+	s := ByAbbr()["pager-py"]
+	half := s.WithBodyScale(0.5)
+	if half.StartupInstr() != s.StartupInstr() {
+		t.Error("scaling must not touch the startup (probe window)")
+	}
+	wantBody := s.TotalInstr() - s.StartupInstr()
+	gotBody := half.TotalInstr() - half.StartupInstr()
+	if gotBody != wantBody/2 {
+		t.Errorf("scaled body = %v, want %v", gotBody, wantBody/2)
+	}
+	// Original untouched.
+	if s.Body[0].Instr != 180e6 {
+		t.Errorf("original mutated: %v", s.Body[0].Instr)
+	}
+}
+
+func TestWithBodyScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithBodyScale(0) should panic")
+		}
+	}()
+	Catalog()[0].WithBodyScale(0)
+}
+
+func TestPhasesConcatenation(t *testing.T) {
+	s := ByAbbr()["fib-go"]
+	ph := s.Phases()
+	if len(ph) != len(s.Startup)+len(s.Body) {
+		t.Fatalf("Phases len = %d", len(ph))
+	}
+	if ph[0] != s.Startup[0] || ph[len(ph)-1] != s.Body[len(s.Body)-1] {
+		t.Error("Phases order wrong")
+	}
+}
+
+func TestSamplerStaysInWindow(t *testing.T) {
+	f := func(seed int64, wsRaw uint8) bool {
+		ws := int(wsRaw%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSampler(1<<32, ws)
+		for i := 0; i < 200; i++ {
+			for _, p := range []Pattern{Hot, Scan, Mixed} {
+				b := s.Next(p, rng)
+				if b < 1<<32 || b >= 1<<32+uint64(ws) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplerScanCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSampler(0, 4)
+	seen := map[uint64]int{}
+	for i := 0; i < 400; i++ {
+		seen[s.Next(Scan, rng)]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("scan covered %d blocks, want 4", len(seen))
+	}
+	for b, n := range seen {
+		if n != 100 {
+			t.Errorf("scan block %d visited %d times, want uniform 100", b, n)
+		}
+	}
+}
+
+func TestSamplerHotIsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSampler(0, 100)
+	lowHalf := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if s.Next(Hot, rng) < 50 {
+			lowHalf++
+		}
+	}
+	// u² concentrates below 0.5 with probability sqrt(0.5) ≈ 0.707.
+	frac := float64(lowHalf) / draws
+	if frac < 0.65 || frac > 0.77 {
+		t.Errorf("hot pattern low-half fraction = %v, want ≈0.707", frac)
+	}
+}
+
+func TestSamplerDegenerateWS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSampler(0, 0) // clamps to 1 block
+	for i := 0; i < 10; i++ {
+		if got := s.Next(Hot, rng); got != 0 {
+			t.Fatalf("degenerate sampler returned %d", got)
+		}
+	}
+}

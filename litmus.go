@@ -1,0 +1,241 @@
+// Package litmus is the public façade of the Litmus pricing reproduction
+// (Pei, Wang, Shin — "Litmus: Fair Pricing for Serverless Computing",
+// ASPLOS 2024).
+//
+// The package re-exports the stable surface of the internal packages so a
+// downstream user can simulate a serverless machine, calibrate Litmus
+// tables, price invocations, and regenerate every figure of the paper:
+//
+//	pcfg := litmus.DefaultPlatformConfig(42)
+//	cal, _ := litmus.Calibrate(litmus.CalibratorConfig{Platform: pcfg})
+//	models, _ := litmus.FitModels(cal)
+//
+//	p := litmus.NewPlatform(pcfg)
+//	p.StartChurn(litmus.Catalog(), 26, litmus.Threads(1, 26))
+//	p.Warm(30e-3)
+//	rec, _ := p.Invoke(litmus.FunctionsByAbbr()["pager-py"], 0, 600)
+//
+//	pricer := litmus.NewLitmusPricer(models, 1)
+//	quote, _ := pricer.Quote(rec)
+//	fmt.Printf("discount: %.1f%%\n", quote.Discount()*100)
+//
+// See the examples/ directory for runnable programs and cmd/litmusbench for
+// the paper's full experiment suite.
+package litmus
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/platform"
+	"repro/internal/trafficgen"
+	"repro/internal/workload"
+)
+
+// Re-exported types. These aliases are the supported public names; the
+// internal packages may reorganise behind them.
+type (
+	// PlatformConfig configures a simulated serverless machine plus its
+	// invocation policies.
+	PlatformConfig = platform.Config
+	// Platform is a running serverless machine.
+	Platform = platform.Platform
+	// RunRecord is one billed invocation measurement.
+	RunRecord = platform.RunRecord
+	// Solo is a function's interference-free baseline.
+	Solo = platform.Solo
+	// Churn is a self-replacing background function population.
+	Churn = platform.Churn
+	// ChurnPlacement selects where churn replacements land.
+	ChurnPlacement = platform.Placement
+
+	// MachineConfig describes the simulated hardware.
+	MachineConfig = engine.Config
+	// ProbeResult is a raw Litmus-test reading.
+	ProbeResult = engine.ProbeResult
+
+	// FunctionSpec models one serverless function (Table 1 entry).
+	FunctionSpec = workload.Spec
+	// Phase is one homogeneous execution segment of a function.
+	Phase = workload.Phase
+	// Language is a function runtime (Python, Node.js, Go).
+	Language = workload.Language
+	// Pattern is a memory access pattern (Hot, Scan, Mixed).
+	Pattern = workload.Pattern
+
+	// Calibration is the provider's congestion + performance tables.
+	Calibration = core.Calibration
+	// CalibratorConfig drives table building.
+	CalibratorConfig = core.CalibratorConfig
+	// Models is the fitted regression set used at runtime.
+	Models = core.Models
+	// Reading is a probe observation in slowdown units.
+	Reading = core.Reading
+	// Estimate is a congestion estimate derived from one reading.
+	Estimate = core.Estimate
+	// Quote is a priced invocation.
+	Quote = core.Quote
+	// Pricer prices run records.
+	Pricer = core.Pricer
+	// SharingOverhead is the Fig. 14 temporal-sharing cost curve.
+	SharingOverhead = core.SharingOverhead
+	// POPPAConfig drives the sampling baseline.
+	POPPAConfig = core.POPPAConfig
+	// POPPAResult is a POPPA-priced invocation.
+	POPPAResult = core.POPPAResult
+
+	// Experiment regenerates one paper artifact.
+	Experiment = exp.Experiment
+	// ExperimentConfig parameterises experiment runs.
+	ExperimentConfig = exp.Config
+	// ExperimentResult is an experiment's output.
+	ExperimentResult = exp.Result
+)
+
+// Language runtimes.
+const (
+	Python = workload.Python
+	NodeJS = workload.NodeJS
+	Go     = workload.Go
+)
+
+// Access patterns.
+const (
+	Hot   = workload.Hot
+	Scan  = workload.Scan
+	Mixed = workload.Mixed
+)
+
+// Churn placement policies.
+const (
+	PlaceSticky      = platform.PlaceSticky
+	PlaceRandom      = platform.PlaceRandom
+	PlaceLeastLoaded = platform.PlaceLeastLoaded
+)
+
+// ProbeInstrCap is the Litmus probe window in instructions (paper §7.1).
+const ProbeInstrCap = workload.ProbeInstrCap
+
+// --- Machine presets -------------------------------------------------------
+
+// CascadeLakeMachine returns the paper's primary machine (§3).
+func CascadeLakeMachine(seed int64) MachineConfig { return engine.CascadeLake(seed) }
+
+// CascadeLakeSMTMachine returns the SMT-enabled variant (Fig. 21).
+func CascadeLakeSMTMachine(seed int64) MachineConfig { return engine.CascadeLakeSMT(seed) }
+
+// CascadeLakeTurboMachine returns the unfixed-frequency variant (Fig. 18).
+func CascadeLakeTurboMachine(seed int64) MachineConfig { return engine.CascadeLakeTurbo(seed) }
+
+// IceLakeMachine returns the Xeon Silver 4314 machine (Fig. 19).
+func IceLakeMachine(seed int64) MachineConfig { return engine.IceLake(seed) }
+
+// DefaultPlatformConfig returns a full-scale platform on the Cascade Lake
+// machine.
+func DefaultPlatformConfig(seed int64) PlatformConfig { return platform.DefaultConfig(seed) }
+
+// NewPlatform builds a platform; it panics on invalid configuration.
+func NewPlatform(cfg PlatformConfig) *Platform { return platform.New(cfg) }
+
+// Threads returns [first, first+n): a placement convenience.
+func Threads(first, n int) []int { return platform.Threads(first, n) }
+
+// MeasureSolo runs spec alone on a fresh machine and returns its baseline.
+func MeasureSolo(cfg PlatformConfig, spec *FunctionSpec) (Solo, error) {
+	return platform.MeasureSolo(cfg, spec)
+}
+
+// Baselines measures solo baselines for the given specs.
+func Baselines(cfg PlatformConfig, specs []*FunctionSpec) (map[string]Solo, error) {
+	return platform.Baselines(cfg, specs)
+}
+
+// --- Workloads -------------------------------------------------------------
+
+// Catalog returns the paper's 27-function benchmark set (Table 1).
+func Catalog() []*FunctionSpec { return workload.Catalog() }
+
+// FunctionsByAbbr returns the catalog indexed by abbreviation.
+func FunctionsByAbbr() map[string]*FunctionSpec { return workload.ByAbbr() }
+
+// References returns the 13 reference functions.
+func References() []*FunctionSpec { return workload.References() }
+
+// TestSet returns the 14 functions the paper prices in its evaluation.
+func TestSet() []*FunctionSpec { return workload.TestSet() }
+
+// ProbeFunction returns a minimal function of the given language for pure
+// Litmus tests.
+func ProbeFunction(lang Language) *FunctionSpec { return workload.ProbeSpec(lang) }
+
+// EncodeFunctionSpecs serialises function specs as JSON (custom catalogs).
+func EncodeFunctionSpecs(specs []*FunctionSpec) ([]byte, error) {
+	return workload.EncodeSpecs(specs)
+}
+
+// DecodeFunctionSpecs parses specs produced by EncodeFunctionSpecs or
+// written by hand, validating every entry.
+func DecodeFunctionSpecs(data []byte) ([]*FunctionSpec, error) {
+	return workload.DecodeSpecs(data)
+}
+
+// CTGenFleet returns level CT-Gen thread specs (calibration stressor).
+func CTGenFleet(level int) []*FunctionSpec { return trafficgen.Fleet(trafficgen.CTGen, level) }
+
+// MBGenFleet returns level MB-Gen thread specs (calibration stressor).
+func MBGenFleet(level int) []*FunctionSpec { return trafficgen.Fleet(trafficgen.MBGen, level) }
+
+// --- Calibration and pricing ------------------------------------------------
+
+// Calibrate runs the provider's offline table-building pass.
+func Calibrate(cfg CalibratorConfig) (*Calibration, error) { return core.Calibrate(cfg) }
+
+// DecodeCalibration parses tables produced by Calibration.Encode.
+func DecodeCalibration(data []byte) (*Calibration, error) { return core.DecodeCalibration(data) }
+
+// FitModels fits the runtime regression set from calibration tables.
+func FitModels(cal *Calibration) (*Models, error) { return core.FitModels(cal) }
+
+// NewCommercialPricer prices like today's clouds: flat rate, no discounts.
+func NewCommercialPricer(rateBase float64) Pricer { return core.Commercial{RateBase: rateBase} }
+
+// NewIdealPricer prices with the evaluation oracle: the exact solo cost.
+func NewIdealPricer(rateBase float64, baselines map[string]Solo) Pricer {
+	return core.Ideal{RateBase: rateBase, Baselines: baselines}
+}
+
+// NewLitmusPricer prices with Litmus tables (Method 2 when the tables were
+// calibrated under sharing; otherwise exclusive-core pricing).
+func NewLitmusPricer(models *Models, rateBase float64) Pricer {
+	return core.Litmus{Models: models, RateBase: rateBase}
+}
+
+// NewLitmusMethod1Pricer prices with exclusive-core tables corrected by the
+// pre-measured temporal-sharing overhead curve (paper §7.2, Method 1).
+func NewLitmusMethod1Pricer(models *Models, rateBase float64, sharing *SharingOverhead, coRunnersPerCore int) Pricer {
+	return core.Litmus{Models: models, RateBase: rateBase, Sharing: sharing, CoRunnersPerCore: coRunnersPerCore}
+}
+
+// MeasureSharingOverhead measures the Fig. 14 temporal-sharing cost curve.
+func MeasureSharingOverhead(cfg PlatformConfig, ref *FunctionSpec, ks []int) (SharingOverhead, []core.OverheadPoint, error) {
+	return core.MeasureSharingOverhead(cfg, ref, ks)
+}
+
+// RunPOPPA runs the POPPA sampling baseline for one invocation.
+func RunPOPPA(p *Platform, spec *FunctionSpec, thread int, cfg POPPAConfig, maxSec float64) (POPPAResult, error) {
+	return core.RunPOPPA(p, spec, thread, cfg, maxSec)
+}
+
+// DefaultPOPPAConfig returns the baseline's default sampling cadence.
+func DefaultPOPPAConfig() POPPAConfig { return core.DefaultPOPPAConfig() }
+
+// --- Experiments -------------------------------------------------------------
+
+// Experiments returns every paper artifact regenerator (T1, E1–E21, A1–A3).
+func Experiments() []Experiment { return exp.All() }
+
+// ExperimentByID looks up one experiment.
+func ExperimentByID(id string) (Experiment, bool) { return exp.ByID(id) }
+
+// DefaultExperimentConfig returns the standard experiment configuration.
+func DefaultExperimentConfig() ExperimentConfig { return exp.DefaultConfig() }
