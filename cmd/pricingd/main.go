@@ -1,11 +1,18 @@
-// Command pricingd serves Litmus price quotes over HTTP.
+// Command pricingd serves Litmus price quotes over HTTP via the reusable
+// internal/api service layer.
 //
 // It loads calibration tables (produced by cmd/litmuscalib) or calibrates a
-// simulated machine at startup, then answers:
+// simulated machine at startup, then serves:
 //
-//	GET  /healthz    — liveness
-//	GET  /v1/tables  — the calibration tables (JSON)
-//	POST /v1/quote   — price one invocation from its measurements
+//	GET  /healthz                     — liveness
+//	GET  /v1/tables                   — the calibration tables (legacy)
+//	POST /v1/quote                    — price one invocation (legacy)
+//	POST /v2/quote                    — price one invocation (named pricer,
+//	                                    optional tenant ledger accrual)
+//	POST /v2/quotes                   — batch quoting
+//	GET  /v2/pricers                  — the named pricer registry
+//	GET|POST /v2/tables               — read / hot-swap the tables
+//	GET  /v2/tenants/{tenant}/summary — per-tenant billing ledger
 //
 // A quote request carries exactly what a real agent would read from perf:
 // the billed T_private/T_shared, the sandbox memory size, and the Litmus
@@ -19,25 +26,28 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/platform"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		tables = flag.String("tables", "", "calibration tables JSON (from litmuscalib); empty = calibrate now")
-		scale  = flag.Float64("scale", 0.25, "body scale for startup calibration when -tables is empty")
-		seed   = flag.Int64("seed", 7, "seed for startup calibration")
+		addr     = flag.String("addr", ":8080", "listen address")
+		tables   = flag.String("tables", "", "calibration tables JSON (from litmuscalib); empty = calibrate now")
+		scale    = flag.Float64("scale", 0.25, "body scale for startup calibration when -tables is empty")
+		seed     = flag.Int64("seed", 7, "seed for startup calibration")
+		rateBase = flag.Float64("rate-base", 1, "flat per-MB-second rate (the paper normalises to 1)")
+		maxBody  = flag.Int64("max-body", api.DefaultMaxBodyBytes, "request body size limit in bytes")
+		shareK   = flag.Int("share-per-core", 0, "co-runners per core for litmus-method1 pricing (0 = disabled; >1 measures the temporal-sharing curve at startup)")
 	)
 	flag.Parse()
 
@@ -45,7 +55,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("pricingd: %v", err)
 	}
-	srv, err := newServer(cal)
+	cfg := api.Config{
+		Calibration:  cal,
+		RateBase:     *rateBase,
+		MaxBodyBytes: *maxBody,
+	}
+	if *shareK > 1 {
+		sharing, err := measureSharing(*scale, *seed)
+		if err != nil {
+			log.Fatalf("pricingd: measuring sharing curve: %v", err)
+		}
+		cfg.Sharing = sharing
+		cfg.CoRunnersPerCore = *shareK
+	}
+	srv, err := api.New(cfg)
 	if err != nil {
 		log.Fatalf("pricingd: %v", err)
 	}
@@ -53,7 +76,7 @@ func main() {
 		*addr, len(cal.Generators), cal.SharePerCore)
 	s := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.handler(),
+		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Fatal(s.ListenAndServe())
@@ -73,133 +96,15 @@ func loadOrCalibrate(path string, scale float64, seed int64) (*core.Calibration,
 	})
 }
 
-// server holds the fitted models and answers quote requests.
-type server struct {
-	cal    *core.Calibration
-	models *core.Models
-}
-
-func newServer(cal *core.Calibration) (*server, error) {
-	models, err := core.FitModels(cal)
+// measureSharing reproduces the provider's Fig. 14 pre-measurement on the
+// simulated machine, enabling Method 1 pricing.
+func measureSharing(scale float64, seed int64) (*core.SharingOverhead, error) {
+	log.Printf("pricingd: measuring temporal-sharing overhead curve…")
+	cfg := platform.Config{Machine: engine.CascadeLake(seed), BodyScale: scale, Seed: seed}
+	ref := workload.References()[0]
+	sharing, _, err := core.MeasureSharingOverhead(cfg, ref, []int{2, 5, 10, 20})
 	if err != nil {
 		return nil, err
 	}
-	return &server{cal: cal, models: models}, nil
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/tables", s.handleTables)
-	mux.HandleFunc("/v1/quote", s.handleQuote)
-	return mux
-}
-
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-}
-
-func (s *server) handleTables(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	writeJSON(w, http.StatusOK, s.cal)
-}
-
-// quoteRequest is the wire format of POST /v1/quote.
-type quoteRequest struct {
-	// Abbr labels the function (echoed back; not interpreted).
-	Abbr string `json:"abbr"`
-	// Language selects the startup model: "py", "nj" or "go".
-	Language string `json:"language"`
-	// MemoryMB is the sandbox allocation.
-	MemoryMB int `json:"memoryMB"`
-	// TPrivate / TShared are the billed occupancy components in seconds.
-	TPrivate float64 `json:"tPrivate"`
-	TShared  float64 `json:"tShared"`
-	// Probe carries the Litmus-test readings from the startup window.
-	Probe struct {
-		TPrivate        float64 `json:"tPrivate"`
-		TShared         float64 `json:"tShared"`
-		MachineL3Misses float64 `json:"machineL3Misses"`
-	} `json:"probe"`
-}
-
-// quoteResponse is the priced result.
-type quoteResponse struct {
-	Abbr       string  `json:"abbr"`
-	Commercial float64 `json:"commercial"`
-	Price      float64 `json:"price"`
-	Discount   float64 `json:"discount"`
-	RPrivate   float64 `json:"rPrivate"`
-	RShared    float64 `json:"rShared"`
-	// Estimate explains the congestion reading behind the rates.
-	Estimate struct {
-		PrivSlow   float64 `json:"privSlow"`
-		SharedSlow float64 `json:"sharedSlow"`
-		Weight     float64 `json:"mbWeight"`
-	} `json:"estimate"`
-}
-
-func (s *server) handleQuote(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req quoteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
-		return
-	}
-	if req.MemoryMB <= 0 || req.TPrivate <= 0 || req.TShared < 0 {
-		writeError(w, http.StatusBadRequest, "memoryMB and tPrivate must be positive, tShared non-negative")
-		return
-	}
-	base, ok := s.models.Solo[req.Language]
-	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown language %q (want py, nj or go)", req.Language))
-		return
-	}
-	reading := core.Reading{
-		Lang:       req.Language,
-		PrivSlow:   req.Probe.TPrivate / base.TPrivate,
-		SharedSlow: req.Probe.TShared / base.TShared,
-		TotalSlow:  (req.Probe.TPrivate + req.Probe.TShared) / base.Total(),
-		L3Misses:   req.Probe.MachineL3Misses,
-	}
-	est, err := s.models.Estimate(reading)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	rPriv := 1 / est.PrivSlow
-	rShared := 1 / est.SharedSlow
-	mem := float64(req.MemoryMB)
-	commercial := mem * (req.TPrivate + req.TShared)
-	price := rPriv*mem*req.TPrivate + rShared*mem*req.TShared
-
-	var resp quoteResponse
-	resp.Abbr = req.Abbr
-	resp.Commercial = commercial
-	resp.Price = price
-	resp.Discount = 1 - price/commercial
-	resp.RPrivate = rPriv
-	resp.RShared = rShared
-	resp.Estimate.PrivSlow = est.PrivSlow
-	resp.Estimate.SharedSlow = est.SharedSlow
-	resp.Estimate.Weight = est.Weight
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("pricingd: encoding response: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	return &sharing, nil
 }

@@ -3,173 +3,23 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
+
+	"repro/internal/api"
+	"repro/internal/api/apitest"
 )
 
-// testCalibration builds a small synthetic calibration with clean linear
-// structure (mirrors core's test fixture).
-func testServer(t *testing.T) *server {
-	t.Helper()
-	cal := syntheticCalibration()
-	srv, err := newServer(cal)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return srv
-}
-
-func syntheticCalibration() *coreCalibration {
-	return buildSyntheticCalibration()
-}
-
-func TestHealthz(t *testing.T) {
-	srv := testServer(t)
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("status = %d", resp.StatusCode)
-	}
-}
-
-func TestTablesEndpoint(t *testing.T) {
-	srv := testServer(t)
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/v1/tables")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	var decoded map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
-		t.Fatal(err)
-	}
-	if decoded["generators"] == nil {
-		t.Error("tables response missing generators")
-	}
-	// POST must be rejected.
-	post, err := http.Post(ts.URL+"/v1/tables", "application/json", bytes.NewReader(nil))
-	if err != nil {
-		t.Fatal(err)
-	}
-	post.Body.Close()
-	if post.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST /v1/tables status = %d", post.StatusCode)
-	}
-}
-
-func postQuote(t *testing.T, url string, body string) (*http.Response, quoteResponse) {
-	t.Helper()
-	resp, err := http.Post(url+"/v1/quote", "application/json", bytes.NewReader([]byte(body)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var q quoteResponse
-	_ = json.NewDecoder(resp.Body).Decode(&q)
-	return resp, q
-}
-
-func TestQuoteCongested(t *testing.T) {
-	srv := testServer(t)
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-
-	// Probe at 1.3× private / 1.9× shared slowdown with MB-heavy misses.
-	body := fmt.Sprintf(`{
-		"abbr": "pager-py", "language": "py", "memoryMB": 512,
-		"tPrivate": 0.08, "tShared": 0.02,
-		"probe": {"tPrivate": %g, "tShared": %g, "machineL3Misses": 1.2e7}
-	}`, 0.015*1.3, 0.004*1.9)
-	resp, q := postQuote(t, ts.URL, body)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	if q.Commercial <= 0 || q.Price <= 0 {
-		t.Fatalf("degenerate quote: %+v", q)
-	}
-	if q.Price > q.Commercial {
-		t.Errorf("price %v above commercial %v", q.Price, q.Commercial)
-	}
-	if q.Discount <= 0 {
-		t.Errorf("congested quote got no discount: %+v", q)
-	}
-	if q.RShared >= q.RPrivate {
-		t.Errorf("R_shared %v should be below R_private %v", q.RShared, q.RPrivate)
-	}
-	if q.Estimate.Weight < 0.5 {
-		t.Errorf("MB-heavy probe got weight %v", q.Estimate.Weight)
-	}
-}
-
-func TestQuoteUncongested(t *testing.T) {
-	srv := testServer(t)
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-	body := fmt.Sprintf(`{
-		"language": "go", "memoryMB": 128,
-		"tPrivate": 0.01, "tShared": 0.001,
-		"probe": {"tPrivate": %g, "tShared": %g, "machineL3Misses": 1e5}
-	}`, 0.015, 0.004)
-	resp, q := postQuote(t, ts.URL, body)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	if q.Discount > 0.03 {
-		t.Errorf("idle machine should quote ≈no discount, got %v", q.Discount)
-	}
-}
-
-func TestQuoteValidation(t *testing.T) {
-	srv := testServer(t)
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-
-	cases := []struct {
-		name, body string
-		wantStatus int
-	}{
-		{"malformed", `{not json`, http.StatusBadRequest},
-		{"zero memory", `{"language":"py","memoryMB":0,"tPrivate":1,"tShared":0}`, http.StatusBadRequest},
-		{"bad language", `{"language":"rs","memoryMB":1,"tPrivate":1,"tShared":0}`, http.StatusBadRequest},
-		{"negative shared", `{"language":"py","memoryMB":1,"tPrivate":1,"tShared":-1}`, http.StatusBadRequest},
-	}
-	for _, c := range cases {
-		resp, _ := postQuote(t, ts.URL, c.body)
-		if resp.StatusCode != c.wantStatus {
-			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.wantStatus)
-		}
-	}
-	// GET must be rejected.
-	resp, err := http.Get(ts.URL + "/v1/quote")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /v1/quote status = %d", resp.StatusCode)
-	}
-}
-
 func TestLoadOrCalibrateFromFile(t *testing.T) {
-	cal := syntheticCalibration()
+	cal := apitest.Calibration()
 	data, err := cal.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
 	path := t.TempDir() + "/tables.json"
-	if err := writeFile(path, data); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	loaded, err := loadOrCalibrate(path, 1, 1)
@@ -181,5 +31,51 @@ func TestLoadOrCalibrateFromFile(t *testing.T) {
 	}
 	if _, err := loadOrCalibrate(t.TempDir()+"/missing.json", 1, 1); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestServerWiring smoke-tests the daemon's handler stack end to end: the
+// loaded tables drive both the legacy /v1 path and the /v2 path.
+func TestServerWiring(t *testing.T) {
+	srv, err := api.New(api.Config{Calibration: apitest.Calibration()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+
+	body := `{
+		"abbr": "pager-py", "language": "py", "memoryMB": 512,
+		"tPrivate": 0.08, "tShared": 0.02,
+		"probe": {"tPrivate": 0.0195, "tShared": 0.0076, "machineL3Misses": 1.2e7}
+	}`
+	for _, path := range []string{"/v1/quote", "/v2/quote"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q struct {
+			Price    float64 `json:"price"`
+			Discount float64 `json:"discount"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s status = %d", path, resp.StatusCode)
+		}
+		if q.Price <= 0 || q.Discount <= 0 {
+			t.Errorf("POST %s: degenerate quote %+v", path, q)
+		}
 	}
 }

@@ -1,14 +1,14 @@
-// Billingserver: runs the pricingd HTTP pricing flow in-process. It
-// calibrates a machine, serves the pricing API on a local port, then plays
-// a tenant agent: it measures a function on a congested machine and POSTs
-// the measurements to /v1/quote.
+// Billingserver: runs the pricingd HTTP pricing flow in-process on the
+// reusable service layer. It calibrates a machine, serves the versioned
+// pricing API on a local port, then plays a tenant agent: it measures a
+// function on a congested machine and bills it through the typed client —
+// a single /v2 quote, a batch, and the tenant's ledger summary.
 //
 //	go run ./examples/billingserver
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -16,7 +16,6 @@ import (
 	"time"
 
 	litmus "repro"
-	"repro/internal/core"
 )
 
 func main() {
@@ -31,90 +30,78 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	models, err := litmus.FitModels(cal)
+
+	// Serve the quoting API (the same handler stack as cmd/pricingd).
+	server, err := litmus.NewPricingServer(litmus.PricingServerConfig{Calibration: cal})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Serve the quoting API (same wire format as cmd/pricingd).
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/quote", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Abbr     string  `json:"abbr"`
-			Language string  `json:"language"`
-			MemoryMB int     `json:"memoryMB"`
-			TPrivate float64 `json:"tPrivate"`
-			TShared  float64 `json:"tShared"`
-			Probe    struct {
-				TPrivate        float64 `json:"tPrivate"`
-				TShared         float64 `json:"tShared"`
-				MachineL3Misses float64 `json:"machineL3Misses"`
-			} `json:"probe"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		base := models.Solo[req.Language]
-		reading := core.Reading{
-			Lang:       req.Language,
-			PrivSlow:   req.Probe.TPrivate / base.TPrivate,
-			SharedSlow: req.Probe.TShared / base.TShared,
-			TotalSlow:  (req.Probe.TPrivate + req.Probe.TShared) / base.Total(),
-			L3Misses:   req.Probe.MachineL3Misses,
-		}
-		est, err := models.Estimate(reading)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		mem := float64(req.MemoryMB)
-		commercial := mem * (req.TPrivate + req.TShared)
-		price := mem * (req.TPrivate/est.PrivSlow + req.TShared/est.SharedSlow)
-		json.NewEncoder(w).Encode(map[string]any{
-			"abbr": req.Abbr, "commercial": commercial, "price": price,
-			"discount": 1 - price/commercial, "mbWeight": est.Weight,
-		})
-	})
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: server, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	defer srv.Close()
 	fmt.Printf("pricing API on http://%s\n", ln.Addr())
 
-	// Tenant agent: run a function on a congested machine and bill it.
+	// Tenant agent: run functions on a congested machine and bill them.
 	p := litmus.NewPlatform(pcfg)
 	p.StartChurn(litmus.Catalog(), 26, litmus.Threads(1, 26))
 	p.Warm(30e-3)
+
+	ctx := context.Background()
+	client := litmus.NewPricingClient("http://" + ln.Addr().String())
+	const tenant = "acme"
+
+	// One function through POST /v2/quote.
 	target := litmus.FunctionsByAbbr()["recogn-py"]
 	rec, err := p.Invoke(target, 0, 600)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	reqBody, _ := json.Marshal(map[string]any{
-		"abbr": rec.Abbr, "language": rec.Language.String(), "memoryMB": rec.MemoryMB,
-		"tPrivate": rec.TPrivate, "tShared": rec.TShared,
-		"probe": map[string]any{
-			"tPrivate":        rec.Probe.TPrivateSec,
-			"tShared":         rec.Probe.TSharedSec,
-			"machineL3Misses": rec.Probe.MachineL3Misses,
-		},
+	quote, err := client.Quote(ctx, litmus.QuoteRequest{
+		Usage:  litmus.UsageFromRecord(rec),
+		Tenant: tenant,
 	})
-	resp, err := http.Post(fmt.Sprintf("http://%s/v1/quote", ln.Addr()), "application/json", bytes.NewReader(reqBody))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var quote map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&quote); err != nil {
+	fmt.Printf("\nPOST /v2/quote for %s:\n", rec.Abbr)
+	fmt.Printf("  commercial: %10.2f MB·s\n", quote.Commercial)
+	fmt.Printf("  litmus:     %10.2f MB·s (discount %.1f%%, MB weight %.2f)\n",
+		quote.Price, 100*quote.Discount, quote.Estimate.Weight)
+
+	// Two more invocations through the batch endpoint.
+	var batch []litmus.QuoteRequest
+	for _, abbr := range []string{"pager-py", "auth-go"} {
+		rec, err := p.Invoke(litmus.FunctionsByAbbr()[abbr], 0, 600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		batch = append(batch, litmus.QuoteRequest{Usage: litmus.UsageFromRecord(rec), Tenant: tenant})
+	}
+	items, err := client.QuoteBatch(ctx, batch)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nPOST /v1/quote for %s:\n", rec.Abbr)
-	fmt.Printf("  commercial: %10.2f MB·s\n", quote["commercial"])
-	fmt.Printf("  litmus:     %10.2f MB·s (discount %.1f%%, MB weight %.2f)\n",
-		quote["price"], 100*quote["discount"].(float64), quote["mbWeight"])
+	fmt.Printf("\nPOST /v2/quotes (batch of %d):\n", len(batch))
+	for _, item := range items {
+		if item.Error != nil {
+			log.Fatal(item.Error)
+		}
+		fmt.Printf("  %-10s commercial %8.2f → litmus %8.2f (discount %.1f%%)\n",
+			item.Quote.Abbr, item.Quote.Commercial, item.Quote.Price, 100*item.Quote.Discount)
+	}
+
+	// The provider-side ledger has accumulated all three invocations.
+	sum, err := client.TenantSummary(ctx, tenant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET /v2/tenants/%s/summary:\n", tenant)
+	fmt.Printf("  invocations: %d\n", sum.Invocations)
+	fmt.Printf("  commercial:  %10.2f MB·s\n", sum.Commercial)
+	fmt.Printf("  billed:      %10.2f MB·s (aggregate discount %.1f%%)\n",
+		sum.Billed, 100*sum.Discount)
 }

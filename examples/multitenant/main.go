@@ -1,15 +1,21 @@
-// Multitenant: the paper's Fig. 11 scenario as a program. Fourteen tenant
-// functions are priced on a machine churning 26 co-runners; the program
-// prints each tenant's commercial, Litmus and ideal bill and the aggregate
-// discounts.
+// Multitenant: the paper's Fig. 11 scenario as a program, billed through
+// the versioned pricing service. Fourteen tenant functions are priced on a
+// machine churning 26 co-runners: the measurements travel through one
+// /v2/quotes batch call, the ideal oracle prices them locally for
+// comparison, and the provider-side tenant ledger reports the fleet's
+// aggregate bill.
 //
 //	go run ./examples/multitenant
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"net"
+	"net/http"
+	"time"
 
 	litmus "repro"
 )
@@ -26,10 +32,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	models, err := litmus.FitModels(cal)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	fmt.Println("measuring solo baselines…")
 	tenants := litmus.TestSet()
@@ -38,32 +40,60 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The provider's pricing service, served over HTTP as in production.
+	server, err := litmus.NewPricingServer(litmus.PricingServerConfig{Calibration: cal})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	defer srv.Close()
+	client := litmus.NewPricingClient("http://" + ln.Addr().String())
+
 	p := litmus.NewPlatform(pcfg)
 	p.StartChurn(litmus.Catalog(), 26, litmus.Threads(1, 26))
 	p.Warm(30e-3)
 
-	pricer := litmus.NewLitmusPricer(models, 1)
-	ideal := litmus.NewIdealPricer(1, baselines)
-
-	fmt.Printf("\n%-12s %10s %10s %10s %9s %9s\n",
-		"tenant", "commercial", "litmus", "ideal", "L-disc", "I-disc")
-	var sumLog, sumLogIdeal float64
+	// Measure all fourteen tenants, then bill them in one batch call under
+	// a single fleet tenant so the ledger shows the aggregate.
+	const fleet = "fig11-fleet"
+	var reqs []litmus.QuoteRequest
+	var usages []litmus.Usage
 	for _, spec := range tenants {
 		rec, err := p.Invoke(spec, 0, 600)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ql, err := pricer.Quote(rec)
-		if err != nil {
-			log.Fatal(err)
+		u := litmus.UsageFromRecord(rec)
+		usages = append(usages, u)
+		reqs = append(reqs, litmus.QuoteRequest{Usage: u, Tenant: fleet})
+	}
+	ctx := context.Background()
+	items, err := client.QuoteBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ideal := litmus.NewIdealPricer(1, baselines)
+	fmt.Printf("\n%-12s %10s %10s %10s %9s %9s\n",
+		"tenant", "commercial", "litmus", "ideal", "L-disc", "I-disc")
+	var sumLog, sumLogIdeal float64
+	for i, item := range items {
+		if item.Error != nil {
+			log.Fatal(item.Error)
 		}
-		qi, err := ideal.Quote(rec)
+		ql := item.Quote
+		qi, err := ideal.Quote(usages[i])
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-12s %10.2f %10.2f %10.2f %8.1f%% %8.1f%%\n",
-			spec.Abbr, ql.Commercial, ql.Price, qi.Price,
-			ql.Discount()*100, qi.Discount()*100)
+			ql.Abbr, ql.Commercial, ql.Price, qi.Price,
+			ql.Discount*100, qi.Discount()*100)
 		sumLog += math.Log(ql.Price / ql.Commercial)
 		sumLogIdeal += math.Log(qi.Price / qi.Commercial)
 	}
@@ -73,4 +103,11 @@ func main() {
 	fmt.Printf("\ngmean normalized price: litmus %.3f (discount %.1f%%), ideal %.3f (discount %.1f%%)\n",
 		gl, (1-gl)*100, gi, (1-gi)*100)
 	fmt.Printf("paper (Fig. 11): litmus 10.7%% vs ideal 10.3%%\n")
+
+	sum, err := client.TenantSummary(ctx, fleet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprovider ledger for %s: %d invocations, commercial %.2f → billed %.2f MB·s (aggregate discount %.1f%%)\n",
+		fleet, sum.Invocations, sum.Commercial, sum.Billed, 100*sum.Discount)
 }

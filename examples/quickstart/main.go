@@ -56,12 +56,13 @@ func main() {
 	pricer := litmus.NewLitmusPricer(models, 1)
 	ideal := litmus.NewIdealPricer(1, map[string]litmus.Solo{target.Abbr: solo})
 
-	qc, _ := commercial.Quote(rec)
-	ql, err := pricer.Quote(rec)
+	usage := litmus.UsageFromRecord(rec)
+	qc, _ := commercial.Quote(usage)
+	ql, err := pricer.Quote(usage)
 	if err != nil {
 		log.Fatal(err)
 	}
-	qi, _ := ideal.Quote(rec)
+	qi, _ := ideal.Quote(usage)
 
 	fmt.Printf("\nfunction %s on a 26-co-runner machine:\n", target.Abbr)
 	fmt.Printf("  occupancy: T_private %.2f ms, T_shared %.2f ms (solo total %.2f ms)\n",

@@ -1,0 +1,143 @@
+// Package api is the versioned HTTP surface of the Litmus pricing service:
+// a reusable Server that prices invocations through core.Pricer — the exact
+// code the in-process simulation path uses — and a typed Client for tenant
+// agents.
+//
+// Versioned endpoints:
+//
+//	GET  /healthz                    — liveness
+//	POST /v1/quote                   — legacy single quote (wire-compatible
+//	                                   with the original pricingd)
+//	GET  /v1/tables                  — legacy calibration dump
+//	POST /v2/quote                   — single quote; named pricer, optional
+//	                                   tenant ledger accrual
+//	POST /v2/quotes                  — batch quote, priced concurrently,
+//	                                   response order matches request order
+//	GET  /v2/pricers                 — the named pricer registry
+//	GET  /v2/tables                  — current calibration tables
+//	POST /v2/tables                  — hot-swap calibration tables
+//	GET  /v2/tenants/{tenant}/summary — per-tenant billing ledger
+//
+// v2 errors are structured: {"error":{"status":400,"message":"…"}}. The v1
+// endpoints keep the legacy flat {"error":"…"} shape.
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Limits applied when Config leaves them zero.
+const (
+	// DefaultMaxBodyBytes bounds request bodies (http.MaxBytesReader).
+	DefaultMaxBodyBytes = 1 << 20
+	// DefaultMaxBatch bounds the number of quotes in one /v2/quotes call.
+	DefaultMaxBatch = 1024
+	// DefaultMaxTenants bounds the billing ledger's tenant count.
+	DefaultMaxTenants = 100_000
+)
+
+// Error is the structured v2 error payload; it doubles as the error value
+// the Client returns for non-2xx responses.
+type Error struct {
+	// Status is the HTTP status code.
+	Status int `json:"status"`
+	// Message describes the failure.
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %d: %s", e.Status, e.Message)
+}
+
+// errorEnvelope is the v2 error wire shape.
+type errorEnvelope struct {
+	Err Error `json:"error"`
+}
+
+// QuoteRequest is the wire format of POST /v2/quote and the element type of
+// /v2/quotes. The usage fields are inlined (abbr, language, memoryMB,
+// tPrivate, tShared, probe).
+type QuoteRequest struct {
+	core.Usage
+	// Tenant, when set, accrues this quote in the tenant's billing ledger.
+	Tenant string `json:"tenant,omitempty"`
+	// Pricer names the registry entry to price with; empty selects litmus.
+	Pricer string `json:"pricer,omitempty"`
+}
+
+// EstimateBody explains the congestion reading behind a quote's rates.
+type EstimateBody struct {
+	PrivSlow   float64 `json:"privSlow"`
+	SharedSlow float64 `json:"sharedSlow"`
+	TotalSlow  float64 `json:"totalSlow"`
+	Weight     float64 `json:"mbWeight"`
+}
+
+// QuoteResponse is one priced invocation on the wire.
+type QuoteResponse struct {
+	Abbr   string `json:"abbr,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// Pricer is the registry entry that produced the quote.
+	Pricer string `json:"pricer"`
+	// Commercial is the undiscounted pay-as-you-go price (MB·s × rate).
+	Commercial float64 `json:"commercial"`
+	// Price is the charged amount; Discount its fraction below Commercial.
+	Price    float64 `json:"price"`
+	Discount float64 `json:"discount"`
+	// PPrivate / PShared decompose Price; RPrivate / RShared are the rates.
+	PPrivate float64 `json:"pPrivate"`
+	PShared  float64 `json:"pShared"`
+	RPrivate float64 `json:"rPrivate"`
+	RShared  float64 `json:"rShared"`
+	// Estimate carries the congestion estimate when the pricer produced one.
+	Estimate EstimateBody `json:"estimate"`
+}
+
+// BatchRequest is the wire format of POST /v2/quotes.
+type BatchRequest struct {
+	Quotes []QuoteRequest `json:"quotes"`
+}
+
+// BatchItem is one batch result: exactly one of Quote or Error is set, and
+// item i answers request i.
+type BatchItem struct {
+	Quote *QuoteResponse `json:"quote,omitempty"`
+	Error *Error         `json:"error,omitempty"`
+}
+
+// BatchResponse is the wire format of the /v2/quotes reply.
+type BatchResponse struct {
+	Quotes []BatchItem `json:"quotes"`
+}
+
+// PricerInfo describes one registry entry (GET /v2/pricers).
+type PricerInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Default marks the pricer used when a request names none.
+	Default bool `json:"default,omitempty"`
+}
+
+// TablesStatus summarises the active calibration (POST /v2/tables reply).
+type TablesStatus struct {
+	Machine      string `json:"machine"`
+	SharePerCore int    `json:"sharePerCore"`
+	Generators   int    `json:"generators"`
+	Languages    int    `json:"languages"`
+}
+
+// TenantSummary is a tenant's aggregate billing ledger
+// (GET /v2/tenants/{tenant}/summary).
+type TenantSummary struct {
+	Tenant string `json:"tenant"`
+	// Invocations counts the quotes accrued to the ledger.
+	Invocations int64 `json:"invocations"`
+	// Commercial and Billed are the aggregate undiscounted and charged
+	// totals; Discount is the aggregate fraction saved.
+	Commercial float64 `json:"commercial"`
+	Billed     float64 `json:"billed"`
+	Discount   float64 `json:"discount"`
+}

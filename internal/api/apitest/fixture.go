@@ -1,23 +1,27 @@
-package main
+// Package apitest provides a synthetic calibration fixture shared by the
+// pricing-service tests (internal/api, cmd/pricingd). It is test support
+// code, kept out of _test files so several packages can import it.
+package apitest
 
-import (
-	"os"
+import "repro/internal/core"
 
-	"repro/internal/core"
+// SoloTPrivate / SoloTShared / SoloL3 are the fixture's solo startup
+// baselines; tests fabricate probe readings as multiples of these.
+const (
+	SoloTPrivate = 0.015
+	SoloTShared  = 0.004
+	SoloL3       = 1e5
 )
 
-// coreCalibration aliases the tables type for test readability.
-type coreCalibration = core.Calibration
-
-// buildSyntheticCalibration constructs a well-formed calibration with clean
-// linear structure: reference slowdowns are affine in startup slowdowns and
-// the MB-Gen L3 anchor sits ~30× above CT-Gen's (the same fixture shape the
+// Calibration constructs a well-formed calibration with clean linear
+// structure: reference slowdowns are affine in startup slowdowns and the
+// MB-Gen L3 anchor sits ~30× above CT-Gen's (the same fixture shape the
 // core package tests use).
-func buildSyntheticCalibration() *core.Calibration {
+func Calibration() *core.Calibration {
 	langs := []string{"py", "nj", "go"}
 	solo := map[string]core.SoloStartup{}
 	for _, l := range langs {
-		solo[l] = core.SoloStartup{TPrivate: 0.015, TShared: 0.004, L3Misses: 1e5}
+		solo[l] = core.SoloStartup{TPrivate: SoloTPrivate, TShared: SoloTShared, L3Misses: SoloL3}
 	}
 	mkRows := func(mb bool) []core.LevelRow {
 		var rows []core.LevelRow
@@ -66,9 +70,4 @@ func buildSyntheticCalibration() *core.Calibration {
 			{Kind: "MB-Gen", Rows: mkRows(true)},
 		},
 	}
-}
-
-// writeFile is a thin wrapper so the main test file reads cleanly.
-func writeFile(path string, data []byte) error {
-	return os.WriteFile(path, data, 0o644)
 }

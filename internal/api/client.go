@@ -1,0 +1,139 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Client is a typed client for the pricing service's /v2 API.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// do performs one round trip: marshals in (when non-nil), decodes a 2xx
+// response into out (when non-nil), and surfaces structured service errors
+// as *Error values.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var envelope errorEnvelope
+		if json.Unmarshal(data, &envelope) == nil && envelope.Err.Message != "" {
+			if envelope.Err.Status == 0 {
+				envelope.Err.Status = resp.StatusCode
+			}
+			return &envelope.Err
+		}
+		// Legacy flat {"error":"…"} shape (v1) or non-JSON bodies.
+		var flat struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &flat) == nil && flat.Error != "" {
+			return &Error{Status: resp.StatusCode, Message: flat.Error}
+		}
+		return &Error{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Health checks the service's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Quote prices one invocation (POST /v2/quote).
+func (c *Client) Quote(ctx context.Context, req QuoteRequest) (QuoteResponse, error) {
+	var resp QuoteResponse
+	err := c.do(ctx, http.MethodPost, "/v2/quote", req, &resp)
+	return resp, err
+}
+
+// QuoteBatch prices a set of invocations in one call (POST /v2/quotes).
+// Item i of the result answers request i; per-item failures come back as
+// BatchItem.Error, not as a call error.
+func (c *Client) QuoteBatch(ctx context.Context, reqs []QuoteRequest) ([]BatchItem, error) {
+	var resp BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/quotes", BatchRequest{Quotes: reqs}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Quotes) != len(reqs) {
+		return nil, fmt.Errorf("api: batch answered %d of %d quotes", len(resp.Quotes), len(reqs))
+	}
+	return resp.Quotes, nil
+}
+
+// Pricers lists the service's named pricer registry (GET /v2/pricers).
+func (c *Client) Pricers(ctx context.Context) ([]PricerInfo, error) {
+	var infos []PricerInfo
+	err := c.do(ctx, http.MethodGet, "/v2/pricers", nil, &infos)
+	return infos, err
+}
+
+// Tables fetches the active calibration tables (GET /v2/tables).
+func (c *Client) Tables(ctx context.Context) (*core.Calibration, error) {
+	var cal core.Calibration
+	if err := c.do(ctx, http.MethodGet, "/v2/tables", nil, &cal); err != nil {
+		return nil, err
+	}
+	return &cal, nil
+}
+
+// SwapTables hot-swaps the service's calibration tables (POST /v2/tables).
+func (c *Client) SwapTables(ctx context.Context, cal *core.Calibration) (TablesStatus, error) {
+	var status TablesStatus
+	err := c.do(ctx, http.MethodPost, "/v2/tables", cal, &status)
+	return status, err
+}
+
+// TenantSummary fetches a tenant's aggregate billing ledger
+// (GET /v2/tenants/{tenant}/summary).
+func (c *Client) TenantSummary(ctx context.Context, tenant string) (TenantSummary, error) {
+	var sum TenantSummary
+	err := c.do(ctx, http.MethodGet, "/v2/tenants/"+url.PathEscape(tenant)+"/summary", nil, &sum)
+	return sum, err
+}

@@ -1,0 +1,153 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api/apitest"
+	"repro/internal/core"
+)
+
+func newClientPair(t *testing.T) (*Client, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{Calibration: apitest.Calibration()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), ts
+}
+
+// usageAt fabricates a usage at the given startup slowdowns.
+func usageAt(abbr string, mem int, privSlow, sharedSlow, misses float64) core.Usage {
+	return core.Usage{
+		Abbr:     abbr,
+		Language: "py",
+		MemoryMB: mem,
+		TPrivate: 0.08,
+		TShared:  0.02,
+		Probe: &core.ProbeUsage{
+			TPrivate:        apitest.SoloTPrivate * privSlow,
+			TShared:         apitest.SoloTShared * sharedSlow,
+			MachineL3Misses: misses,
+		},
+	}
+}
+
+func TestClientQuote(t *testing.T) {
+	c, _ := newClientPair(t)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.Quote(ctx, QuoteRequest{
+		Usage:  usageAt("pager-py", 512, 1.3, 1.9, 1.2e7),
+		Tenant: "acme",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Abbr != "pager-py" || q.Pricer != "litmus" || q.Discount <= 0 {
+		t.Errorf("quote = %+v", q)
+	}
+
+	sum, err := c.TenantSummary(ctx, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Invocations != 1 || math.Abs(sum.Billed-q.Price) > 1e-9 {
+		t.Errorf("summary = %+v, want the one quote", sum)
+	}
+}
+
+func TestClientQuoteError(t *testing.T) {
+	c, _ := newClientPair(t)
+	_, err := c.Quote(context.Background(), QuoteRequest{
+		Usage: core.Usage{Language: "rs", MemoryMB: 1, TPrivate: 1},
+	})
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *api.Error", err)
+	}
+	if apiErr.Status != http.StatusBadRequest {
+		t.Errorf("status = %d", apiErr.Status)
+	}
+
+	_, err = c.TenantSummary(context.Background(), "ghost")
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Errorf("unknown tenant err = %v", err)
+	}
+}
+
+func TestClientQuoteBatch(t *testing.T) {
+	c, _ := newClientPair(t)
+	reqs := []QuoteRequest{
+		{Usage: usageAt("a", 128, 1.3, 1.9, 1.2e7)},
+		{Usage: usageAt("bad", 0, 1.3, 1.9, 1.2e7)}, // invalid: zero memory
+		{Usage: usageAt("c", 512, 1.3, 1.9, 1.2e7)},
+	}
+	items, err := c.QuoteBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("got %d items", len(items))
+	}
+	if items[0].Quote == nil || items[0].Quote.Abbr != "a" {
+		t.Errorf("item 0 = %+v", items[0])
+	}
+	if items[1].Error == nil || items[1].Quote != nil {
+		t.Errorf("item 1 must fail inline, got %+v", items[1])
+	}
+	if items[2].Quote == nil || items[2].Quote.Abbr != "c" {
+		t.Errorf("item 2 = %+v", items[2])
+	}
+	// Identical measurements: price scales with memory.
+	if items[0].Quote != nil && items[2].Quote != nil {
+		ratio := items[2].Quote.Price / items[0].Quote.Price
+		if math.Abs(ratio-4) > 1e-6 {
+			t.Errorf("price ratio = %v, want 4 (memory 512/128)", ratio)
+		}
+	}
+}
+
+func TestClientPricersAndTables(t *testing.T) {
+	c, _ := newClientPair(t)
+	ctx := context.Background()
+	infos, err := c.Pricers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Errorf("pricers = %+v", infos)
+	}
+
+	cal, err := c.Tables(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Machine != "fixed" {
+		t.Errorf("tables machine = %q", cal.Machine)
+	}
+
+	cal.Machine = "client-swapped"
+	status, err := c.SwapTables(ctx, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Machine != "client-swapped" {
+		t.Errorf("swap status = %+v", status)
+	}
+	again, err := c.Tables(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Machine != "client-swapped" {
+		t.Error("swap did not take effect")
+	}
+}

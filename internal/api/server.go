@@ -1,0 +1,401 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Config parameterises a pricing server.
+type Config struct {
+	// Calibration is the initial table set (required).
+	Calibration *core.Calibration
+	// RateBase is the flat per-MB-second rate; 0 means 1 (the paper's
+	// normalisation).
+	RateBase float64
+	// Sharing, when set, enables the litmus-method1 registry entry:
+	// exclusive-core tables corrected by the pre-measured temporal-sharing
+	// curve at CoRunnersPerCore.
+	Sharing          *core.SharingOverhead
+	CoRunnersPerCore int
+	// MaxBodyBytes bounds request bodies; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxBatch bounds /v2/quotes batch sizes; 0 means DefaultMaxBatch.
+	MaxBatch int
+	// MaxTenants bounds the billing ledger; 0 means DefaultMaxTenants.
+	// Quotes naming a new tenant beyond the cap are rejected rather than
+	// silently left unbilled.
+	MaxTenants int
+}
+
+// Server is the reusable pricing service. It is an http.Handler; calibration
+// tables can be hot-swapped while quotes are in flight.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// mu guards the swap-able pricing state below.
+	mu      sync.RWMutex
+	cal     *core.Calibration
+	models  *core.Models
+	pricers map[string]core.Pricer
+
+	// ledgerMu guards the per-tenant billing ledger.
+	ledgerMu sync.Mutex
+	ledger   map[string]*tenantAccount
+}
+
+// tenantAccount accumulates one tenant's bills.
+type tenantAccount struct {
+	invocations int64
+	commercial  float64
+	billed      float64
+}
+
+// New builds a server from cfg, fitting models from the calibration.
+func New(cfg Config) (*Server, error) {
+	if cfg.Calibration == nil {
+		return nil, fmt.Errorf("api: config needs a calibration")
+	}
+	if cfg.RateBase == 0 {
+		cfg.RateBase = 1
+	}
+	if cfg.RateBase < 0 {
+		return nil, fmt.Errorf("api: negative rate base %v", cfg.RateBase)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = DefaultMaxTenants
+	}
+	models, err := core.FitModels(cfg.Calibration)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		cal:    cfg.Calibration,
+		models: models,
+		ledger: make(map[string]*tenantAccount),
+	}
+	s.pricers = s.buildPricers(models)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/tables", s.handleV1Tables)
+	mux.HandleFunc("/v1/quote", s.handleV1Quote)
+	mux.HandleFunc("/v2/quote", s.handleQuote)
+	mux.HandleFunc("/v2/quotes", s.handleQuoteBatch)
+	mux.HandleFunc("/v2/pricers", s.handlePricers)
+	mux.HandleFunc("/v2/tables", s.handleTables)
+	mux.HandleFunc("/v2/tenants/{tenant}/summary", s.handleTenantSummary)
+	s.mux = mux
+	return s, nil
+}
+
+// DefaultPricer is the registry entry used when a request names none.
+const DefaultPricer = "litmus"
+
+// buildPricers constructs the named registry against one model set.
+func (s *Server) buildPricers(models *core.Models) map[string]core.Pricer {
+	p := map[string]core.Pricer{
+		"commercial": core.Commercial{RateBase: s.cfg.RateBase},
+		"litmus":     core.Litmus{Models: models, RateBase: s.cfg.RateBase},
+	}
+	if s.cfg.Sharing != nil {
+		p["litmus-method1"] = core.Litmus{
+			Models:           models,
+			RateBase:         s.cfg.RateBase,
+			Sharing:          s.cfg.Sharing,
+			CoRunnersPerCore: s.cfg.CoRunnersPerCore,
+		}
+	}
+	return p
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- shared plumbing -------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("api: encoding response: %v", err)
+	}
+}
+
+// v2Error writes the structured v2 error envelope.
+func v2Error(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Err: Error{Status: status, Message: fmt.Sprintf(format, args...)}})
+}
+
+// decodeBody decodes a JSON request body under the configured size limit.
+// It writes the error response itself and reports whether decoding
+// succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			v2Error(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		v2Error(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// --- /v2/quote and /v2/quotes ----------------------------------------------
+
+// snapshot returns the pricer registry of one table generation. Models and
+// pricers are immutable once built, so callers can price against a snapshot
+// without holding the lock — and a whole batch prices against a single
+// generation even if tables are swapped mid-flight.
+func (s *Server) snapshot() map[string]core.Pricer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pricers
+}
+
+// priceOne prices one request through the given registry snapshot. It
+// returns a structured error instead of writing, so the batch handler can
+// embed failures inline.
+func (s *Server) priceOne(pricers map[string]core.Pricer, req QuoteRequest) (*QuoteResponse, *Error) {
+	if err := req.Usage.Validate(); err != nil {
+		return nil, &Error{Status: http.StatusBadRequest, Message: err.Error()}
+	}
+	name := req.Pricer
+	if name == "" {
+		name = DefaultPricer
+	}
+	pricer, ok := pricers[name]
+	if !ok {
+		return nil, &Error{Status: http.StatusBadRequest, Message: fmt.Sprintf("unknown pricer %q", name)}
+	}
+	q, err := pricer.Quote(req.Usage)
+	if err != nil {
+		return nil, &Error{Status: http.StatusBadRequest, Message: err.Error()}
+	}
+
+	if req.Tenant != "" {
+		if !s.accrue(req.Tenant, q) {
+			return nil, &Error{Status: http.StatusServiceUnavailable,
+				Message: fmt.Sprintf("tenant ledger full (%d tenants); quote not billed", s.cfg.MaxTenants)}
+		}
+	}
+	return &QuoteResponse{
+		Abbr:       q.Abbr,
+		Tenant:     req.Tenant,
+		Pricer:     name,
+		Commercial: q.Commercial,
+		Price:      q.Price,
+		Discount:   q.Discount(),
+		PPrivate:   q.PPrivate,
+		PShared:    q.PShared,
+		RPrivate:   q.RPrivate,
+		RShared:    q.RShared,
+		Estimate: EstimateBody{
+			PrivSlow:   q.Estimate.PrivSlow,
+			SharedSlow: q.Estimate.SharedSlow,
+			TotalSlow:  q.Estimate.TotalSlow,
+			Weight:     q.Estimate.Weight,
+		},
+	}, nil
+}
+
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		v2Error(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QuoteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	resp, apiErr := s.priceOne(s.snapshot(), req)
+	if apiErr != nil {
+		writeJSON(w, apiErr.Status, errorEnvelope{Err: *apiErr})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuoteBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		v2Error(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Quotes) == 0 {
+		v2Error(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Quotes) > s.cfg.MaxBatch {
+		v2Error(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Quotes), s.cfg.MaxBatch)
+		return
+	}
+
+	// Price concurrently against one registry snapshot, so every item of
+	// the batch sees the same table generation; item i of the response
+	// answers request i.
+	pricers := s.snapshot()
+	items := make([]BatchItem, len(req.Quotes))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, q := range req.Quotes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q QuoteRequest) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp, apiErr := s.priceOne(pricers, q)
+			items[i] = BatchItem{Quote: resp, Error: apiErr}
+		}(i, q)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Quotes: items})
+}
+
+// --- /v2/pricers ------------------------------------------------------------
+
+// pricerDescriptions documents the registry entries buildPricers can
+// construct; the /v2/pricers listing is derived from the live registry so
+// the two cannot drift.
+var pricerDescriptions = map[string]string{
+	"commercial":     "pay-as-you-go: flat rate, congestion billed to the tenant",
+	"litmus":         "per-component congestion discount from the invocation's Litmus test",
+	"litmus-method1": "litmus with exclusive-core tables corrected by the temporal-sharing curve",
+}
+
+func (s *Server) handlePricers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		v2Error(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	pricers := s.snapshot()
+	names := make([]string, 0, len(pricers))
+	for name := range pricers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	infos := make([]PricerInfo, 0, len(names))
+	for _, name := range names {
+		infos = append(infos, PricerInfo{
+			Name:        name,
+			Description: pricerDescriptions[name],
+			Default:     name == DefaultPricer,
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// --- /v2/tables -------------------------------------------------------------
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.RLock()
+		cal := s.cal
+		s.mu.RUnlock()
+		writeJSON(w, http.StatusOK, cal)
+	case http.MethodPost:
+		var cal core.Calibration
+		if !s.decodeBody(w, r, &cal) {
+			return
+		}
+		if err := cal.Validate(); err != nil {
+			v2Error(w, http.StatusBadRequest, "invalid tables: %v", err)
+			return
+		}
+		models, err := core.FitModels(&cal)
+		if err != nil {
+			v2Error(w, http.StatusBadRequest, "fitting models: %v", err)
+			return
+		}
+		s.mu.Lock()
+		s.cal = &cal
+		s.models = models
+		s.pricers = s.buildPricers(models)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, TablesStatus{
+			Machine:      cal.Machine,
+			SharePerCore: cal.SharePerCore,
+			Generators:   len(cal.Generators),
+			Languages:    len(cal.SoloStartups),
+		})
+	default:
+		v2Error(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// --- /v2/tenants/{tenant}/summary -------------------------------------------
+
+// accrue adds one quote to a tenant's ledger. It reports false — without
+// billing — when the ledger is at its tenant cap and the tenant is new,
+// bounding memory against clients that cycle arbitrary tenant IDs.
+func (s *Server) accrue(tenant string, q core.Quote) bool {
+	s.ledgerMu.Lock()
+	defer s.ledgerMu.Unlock()
+	acct := s.ledger[tenant]
+	if acct == nil {
+		if len(s.ledger) >= s.cfg.MaxTenants {
+			return false
+		}
+		acct = &tenantAccount{}
+		s.ledger[tenant] = acct
+	}
+	acct.invocations++
+	acct.commercial += q.Commercial
+	acct.billed += q.Price
+	return true
+}
+
+func (s *Server) handleTenantSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		v2Error(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	tenant := r.PathValue("tenant")
+	s.ledgerMu.Lock()
+	acct, ok := s.ledger[tenant]
+	var sum TenantSummary
+	if ok {
+		sum = TenantSummary{
+			Tenant:      tenant,
+			Invocations: acct.invocations,
+			Commercial:  acct.commercial,
+			Billed:      acct.billed,
+		}
+	}
+	s.ledgerMu.Unlock()
+	if !ok {
+		v2Error(w, http.StatusNotFound, "no ledger for tenant %q", tenant)
+		return
+	}
+	if sum.Commercial > 0 {
+		sum.Discount = 1 - sum.Billed/sum.Commercial
+	}
+	writeJSON(w, http.StatusOK, sum)
+}

@@ -1,0 +1,686 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/api/apitest"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Calibration == nil {
+		cfg.Calibration = apitest.Calibration()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// congestedBody returns a valid quote body at ~1.3× private / 1.9× shared
+// slowdown with MB-heavy misses.
+func congestedBody(extra string) string {
+	return fmt.Sprintf(`{
+		"abbr": "pager-py", "language": "py", "memoryMB": 512,
+		"tPrivate": 0.08, "tShared": 0.02,
+		"probe": {"tPrivate": %g, "tShared": %g, "machineL3Misses": 1.2e7}%s
+	}`, apitest.SoloTPrivate*1.3, apitest.SoloTShared*1.9, extra)
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var ok map[string]any
+	if resp := getJSON(t, ts.URL+"/healthz", &ok); resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if ok["ok"] != true {
+		t.Errorf("healthz body = %v", ok)
+	}
+}
+
+// --- /v1 compatibility ------------------------------------------------------
+
+// seedV1Response reimplements the original cmd/pricingd quote handler (the
+// seed of this repo) verbatim and renders its response exactly as the seed's
+// writeJSON did. The shim must match it byte for byte on valid requests.
+func seedV1Response(t *testing.T, models *core.Models, body string) []byte {
+	t.Helper()
+	var req v1QuoteRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	base, ok := models.Solo[req.Language]
+	if !ok {
+		t.Fatalf("seed reference: unknown language %q", req.Language)
+	}
+	reading := core.Reading{
+		Lang:       req.Language,
+		PrivSlow:   req.Probe.TPrivate / base.TPrivate,
+		SharedSlow: req.Probe.TShared / base.TShared,
+		TotalSlow:  (req.Probe.TPrivate + req.Probe.TShared) / base.Total(),
+		L3Misses:   req.Probe.MachineL3Misses,
+	}
+	est, err := models.Estimate(reading)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPriv := 1 / est.PrivSlow
+	rShared := 1 / est.SharedSlow
+	mem := float64(req.MemoryMB)
+	commercial := mem * (req.TPrivate + req.TShared)
+	price := rPriv*mem*req.TPrivate + rShared*mem*req.TShared
+
+	var resp v1QuoteResponse
+	resp.Abbr = req.Abbr
+	resp.Commercial = commercial
+	resp.Price = price
+	resp.Discount = 1 - price/commercial
+	resp.RPrivate = rPriv
+	resp.RShared = rShared
+	resp.Estimate.PrivSlow = est.PrivSlow
+	resp.Estimate.SharedSlow = est.SharedSlow
+	resp.Estimate.Weight = est.Weight
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestV1QuoteByteCompatible(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	bodies := []string{
+		congestedBody(""),
+		// Uncongested go function.
+		fmt.Sprintf(`{"language":"go","memoryMB":128,"tPrivate":0.01,"tShared":0.001,
+			"probe":{"tPrivate":%g,"tShared":%g,"machineL3Misses":1e5}}`,
+			apitest.SoloTPrivate, apitest.SoloTShared),
+		// CT-heavy nj function, no abbr.
+		fmt.Sprintf(`{"language":"nj","memoryMB":1024,"tPrivate":0.3,"tShared":0.07,
+			"probe":{"tPrivate":%g,"tShared":%g,"machineL3Misses":3.1e5}}`,
+			apitest.SoloTPrivate*1.02, apitest.SoloTShared*1.5),
+	}
+	for i, body := range bodies {
+		resp, got := postJSON(t, ts.URL+"/v1/quote", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("case %d: status = %d: %s", i, resp.StatusCode, got)
+		}
+		want := seedV1Response(t, srv.models, body)
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d: v1 response diverged from seed\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+}
+
+func TestV1QuoteValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"malformed", `{not json`, http.StatusBadRequest},
+		{"zero memory", `{"language":"py","memoryMB":0,"tPrivate":1,"tShared":0}`, http.StatusBadRequest},
+		{"bad language", `{"language":"rs","memoryMB":1,"tPrivate":1,"tShared":0}`, http.StatusBadRequest},
+		{"negative shared", `{"language":"py","memoryMB":1,"tPrivate":1,"tShared":-1}`, http.StatusBadRequest},
+		{"negative probe", `{"language":"py","memoryMB":1,"tPrivate":1,"tShared":0,
+			"probe":{"tPrivate":-0.01,"tShared":0,"machineL3Misses":1}}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, data := postJSON(t, ts.URL+"/v1/quote", c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.wantStatus)
+		}
+		var flat struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &flat); err != nil || flat.Error == "" {
+			t.Errorf("%s: v1 error must use the flat shape, got %s", c.name, data)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/quote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/quote status = %d", resp.StatusCode)
+	}
+}
+
+func TestV1Tables(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var decoded map[string]any
+	if resp := getJSON(t, ts.URL+"/v1/tables", &decoded); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if decoded["generators"] == nil {
+		t.Error("tables response missing generators")
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/tables", "")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/tables status = %d", resp.StatusCode)
+	}
+}
+
+// --- /v2/quote --------------------------------------------------------------
+
+func TestV2Quote(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v2/quote", congestedBody(`, "tenant": "acme"`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var q QuoteResponse
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Pricer != "litmus" || q.Tenant != "acme" || q.Abbr != "pager-py" {
+		t.Errorf("echo fields wrong: %+v", q)
+	}
+	if q.Price <= 0 || q.Price > q.Commercial || q.Discount <= 0 {
+		t.Errorf("degenerate quote: %+v", q)
+	}
+	if q.RShared >= q.RPrivate {
+		t.Errorf("R_shared %v should be below R_private %v", q.RShared, q.RPrivate)
+	}
+	if math.Abs(q.PPrivate+q.PShared-q.Price) > 1e-9 {
+		t.Error("components do not sum to price")
+	}
+	if q.Estimate.Weight < 0.5 {
+		t.Errorf("MB-heavy probe got weight %v", q.Estimate.Weight)
+	}
+}
+
+func TestV2QuoteCommercialPricer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Commercial needs no probe and gives no discount.
+	body := `{"language":"py","memoryMB":256,"tPrivate":0.08,"tShared":0.02,"pricer":"commercial"}`
+	resp, data := postJSON(t, ts.URL+"/v2/quote", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var q QuoteResponse
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	want := 256 * 0.1
+	if q.Pricer != "commercial" || math.Abs(q.Price-want) > 1e-9 || q.Discount != 0 {
+		t.Errorf("commercial quote = %+v, want price %v", q, want)
+	}
+
+	// Commercial is language-independent: an uncalibrated language prices
+	// fine (only the litmus pricers need a startup baseline).
+	body = `{"language":"rs","memoryMB":256,"tPrivate":0.08,"tShared":0.02,"pricer":"commercial"}`
+	resp, data = postJSON(t, ts.URL+"/v2/quote", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("commercial quote for uncalibrated language: status = %d (%s)", resp.StatusCode, data)
+	}
+}
+
+func v2ErrorOf(t *testing.T, data []byte) Error {
+	t.Helper()
+	var envelope errorEnvelope
+	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Err.Message == "" {
+		t.Fatalf("response is not a structured v2 error: %s", data)
+	}
+	return envelope.Err
+}
+
+func TestV2QuoteErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body  string
+		wantStatus  int
+		wantMessage string
+	}{
+		{"malformed", `{not json`, http.StatusBadRequest, "malformed JSON"},
+		{"zero memory", `{"language":"py","memoryMB":0,"tPrivate":1}`, http.StatusBadRequest, "memoryMB"},
+		{"unknown language", `{"language":"rs","memoryMB":1,"tPrivate":1,
+			"probe":{"tPrivate":0.02,"tShared":0.005,"machineL3Misses":1e6}}`, http.StatusBadRequest, "unknown language"},
+		{"unknown pricer", congestedBody(`, "pricer": "poppa"`), http.StatusBadRequest, "unknown pricer"},
+		{"negative probe", `{"language":"py","memoryMB":1,"tPrivate":1,
+			"probe":{"tPrivate":-1,"tShared":0,"machineL3Misses":0}}`, http.StatusBadRequest, "probe"},
+		{"litmus needs probe", `{"language":"py","memoryMB":1,"tPrivate":1}`, http.StatusBadRequest, "no Litmus probe"},
+	}
+	for _, c := range cases {
+		resp, data := postJSON(t, ts.URL+"/v2/quote", c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, resp.StatusCode, c.wantStatus, data)
+			continue
+		}
+		e := v2ErrorOf(t, data)
+		if e.Status != c.wantStatus || !strings.Contains(e.Message, c.wantMessage) {
+			t.Errorf("%s: error = %+v, want message containing %q", c.name, e, c.wantMessage)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v2/quote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v2/quote status = %d", resp.StatusCode)
+	}
+}
+
+func TestV2QuoteBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	big := congestedBody(`, "abbr": "` + strings.Repeat("x", 1024) + `"`)
+	for _, path := range []string{"/v1/quote", "/v2/quote", "/v2/quotes"} {
+		resp, _ := postJSON(t, ts.URL+path, big)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s with oversized body: status = %d, want %d",
+				path, resp.StatusCode, http.StatusRequestEntityTooLarge)
+		}
+	}
+}
+
+// --- /v2/quotes -------------------------------------------------------------
+
+func TestV2BatchOrderingAndInlineErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Distinct memory sizes make every price distinct, so order mix-ups are
+	// detectable; item 2 is invalid and must fail inline without sinking
+	// the batch.
+	var quotes []string
+	mems := []int{128, 256, 0, 512, 1024}
+	for _, mem := range mems {
+		quotes = append(quotes, fmt.Sprintf(`{
+			"language": "py", "memoryMB": %d, "tPrivate": 0.08, "tShared": 0.02,
+			"probe": {"tPrivate": %g, "tShared": %g, "machineL3Misses": 1.2e7}
+		}`, mem, apitest.SoloTPrivate*1.3, apitest.SoloTShared*1.9))
+	}
+	body := `{"quotes":[` + strings.Join(quotes, ",") + `]}`
+	resp, data := postJSON(t, ts.URL+"/v2/quotes", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(data, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Quotes) != len(mems) {
+		t.Fatalf("got %d items, want %d", len(batch.Quotes), len(mems))
+	}
+	var ref float64
+	for i, item := range batch.Quotes {
+		if mems[i] == 0 {
+			if item.Error == nil || item.Quote != nil {
+				t.Errorf("item %d: invalid quote must fail inline, got %+v", i, item)
+			}
+			continue
+		}
+		if item.Error != nil {
+			t.Errorf("item %d: unexpected error %v", i, item.Error)
+			continue
+		}
+		// Same measurements, so price scales exactly with memory: item i's
+		// price must match item 0's scaled by the memory ratio.
+		if ref == 0 {
+			ref = item.Quote.Price / float64(mems[i])
+			continue
+		}
+		want := ref * float64(mems[i])
+		if math.Abs(item.Quote.Price-want) > 1e-6*want {
+			t.Errorf("item %d: price %v, want %v — ordering broken", i, item.Quote.Price, want)
+		}
+	}
+}
+
+func TestV2BatchLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 3})
+	resp, data := postJSON(t, ts.URL+"/v2/quotes", `{"quotes":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d (%s)", resp.StatusCode, data)
+	}
+	item := congestedBody("")
+	over := `{"quotes":[` + strings.Join([]string{item, item, item, item}, ",") + `]}`
+	resp, data = postJSON(t, ts.URL+"/v2/quotes", over)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status = %d (%s)", resp.StatusCode, data)
+	}
+	if e := v2ErrorOf(t, data); !strings.Contains(e.Message, "exceeds limit 3") {
+		t.Errorf("oversized batch error = %+v", e)
+	}
+}
+
+// --- /v2/pricers ------------------------------------------------------------
+
+func sharingCurve(t *testing.T) *core.SharingOverhead {
+	t.Helper()
+	var xs, ys []float64
+	for _, k := range []int{2, 5, 10, 20} {
+		xs = append(xs, float64(k))
+		ys = append(ys, 0.01*math.Log(float64(k)))
+	}
+	model, err := stats.FitLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.SharingOverhead{Model: model, SatK: 20}
+}
+
+func TestV2Pricers(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var infos []PricerInfo
+	if resp := getJSON(t, ts.URL+"/v2/pricers", &infos); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	names := map[string]bool{}
+	for _, info := range infos {
+		names[info.Name] = true
+		if info.Default && info.Name != "litmus" {
+			t.Errorf("default pricer = %s, want litmus", info.Name)
+		}
+	}
+	if !names["commercial"] || !names["litmus"] || names["litmus-method1"] {
+		t.Errorf("registry = %v, want commercial+litmus only", names)
+	}
+
+	// With a sharing curve configured, method 1 joins the registry and
+	// prices quotes.
+	_, ts2 := newTestServer(t, Config{
+		Calibration:      apitest.Calibration(),
+		Sharing:          sharingCurve(t),
+		CoRunnersPerCore: 10,
+	})
+	infos = nil
+	getJSON(t, ts2.URL+"/v2/pricers", &infos)
+	found := false
+	for _, info := range infos {
+		found = found || info.Name == "litmus-method1"
+	}
+	if !found {
+		t.Fatalf("litmus-method1 missing from %v", infos)
+	}
+	resp, data := postJSON(t, ts2.URL+"/v2/quote", congestedBody(`, "pricer": "litmus-method1"`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("method1 quote status = %d: %s", resp.StatusCode, data)
+	}
+	var q QuoteResponse
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Pricer != "litmus-method1" || q.Price <= 0 {
+		t.Errorf("method1 quote = %+v", q)
+	}
+}
+
+// --- /v2/tables -------------------------------------------------------------
+
+func TestV2TablesHotSwap(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	quoteBody := congestedBody("")
+	priceOf := func() float64 {
+		t.Helper()
+		resp, data := postJSON(t, ts.URL+"/v2/quote", quoteBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("quote status = %d: %s", resp.StatusCode, data)
+		}
+		var q QuoteResponse
+		if err := json.Unmarshal(data, &q); err != nil {
+			t.Fatal(err)
+		}
+		return q.Price
+	}
+	before := priceOf()
+
+	// Swap in tables whose solo baselines are 2× slower: the same probe
+	// reading now means half the slowdown, so the price must change.
+	swapped := apitest.Calibration()
+	swapped.Machine = "swapped"
+	for lang, solo := range swapped.SoloStartups {
+		solo.TPrivate *= 2
+		solo.TShared *= 2
+		swapped.SoloStartups[lang] = solo
+	}
+	data, err := json.Marshal(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, respData := postJSON(t, ts.URL+"/v2/tables", string(data))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status = %d: %s", resp.StatusCode, respData)
+	}
+	var status TablesStatus
+	if err := json.Unmarshal(respData, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Machine != "swapped" || status.Generators != 2 || status.Languages != 3 {
+		t.Errorf("swap status = %+v", status)
+	}
+	if after := priceOf(); after == before {
+		t.Error("hot-swapped tables did not change pricing")
+	}
+
+	// GET returns the active tables.
+	var active core.Calibration
+	getJSON(t, ts.URL+"/v2/tables", &active)
+	if active.Machine != "swapped" {
+		t.Errorf("GET /v2/tables machine = %q, want swapped", active.Machine)
+	}
+}
+
+func TestV2TablesRejectsInvalid(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	bad := apitest.Calibration()
+	bad.Generators = bad.Generators[:1] // needs both generators
+	data, _ := json.Marshal(bad)
+	resp, respData := postJSON(t, ts.URL+"/v2/tables", string(data))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid swap status = %d: %s", resp.StatusCode, respData)
+	}
+	// The old tables must remain active.
+	var active core.Calibration
+	getJSON(t, ts.URL+"/v2/tables", &active)
+	if len(active.Generators) != 2 {
+		t.Error("invalid swap clobbered the active tables")
+	}
+}
+
+// --- /v2/tenants/{id}/summary ------------------------------------------------
+
+func TestTenantLedgerAccumulates(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var wantCommercial, wantBilled float64
+	// Two litmus quotes and one commercial quote for the same tenant, plus
+	// one for another tenant that must not leak in.
+	for _, body := range []string{
+		congestedBody(`, "tenant": "acme"`),
+		congestedBody(`, "tenant": "acme"`),
+		`{"language":"py","memoryMB":256,"tPrivate":0.08,"tShared":0.02,"pricer":"commercial","tenant":"acme"}`,
+	} {
+		resp, data := postJSON(t, ts.URL+"/v2/quote", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("quote status = %d: %s", resp.StatusCode, data)
+		}
+		var q QuoteResponse
+		if err := json.Unmarshal(data, &q); err != nil {
+			t.Fatal(err)
+		}
+		wantCommercial += q.Commercial
+		wantBilled += q.Price
+	}
+	postJSON(t, ts.URL+"/v2/quote", congestedBody(`, "tenant": "other"`))
+
+	var sum TenantSummary
+	if resp := getJSON(t, ts.URL+"/v2/tenants/acme/summary", &sum); resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary status = %d", resp.StatusCode)
+	}
+	if sum.Tenant != "acme" || sum.Invocations != 3 {
+		t.Errorf("summary = %+v, want 3 invocations for acme", sum)
+	}
+	if math.Abs(sum.Commercial-wantCommercial) > 1e-9 || math.Abs(sum.Billed-wantBilled) > 1e-9 {
+		t.Errorf("summary totals = %v/%v, want %v/%v", sum.Commercial, sum.Billed, wantCommercial, wantBilled)
+	}
+	wantDiscount := 1 - wantBilled/wantCommercial
+	if math.Abs(sum.Discount-wantDiscount) > 1e-9 {
+		t.Errorf("summary discount = %v, want %v", sum.Discount, wantDiscount)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v2/quote", congestedBody(""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenantless quote status = %d: %s", resp.StatusCode, data)
+	}
+	var after TenantSummary
+	getJSON(t, ts.URL+"/v2/tenants/acme/summary", &after)
+	if after.Invocations != 3 {
+		t.Error("tenantless quote leaked into a ledger")
+	}
+}
+
+func TestTenantLedgerCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTenants: 2})
+	for _, tenant := range []string{"a", "b"} {
+		resp, data := postJSON(t, ts.URL+"/v2/quote", congestedBody(`, "tenant": "`+tenant+`"`))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %s: status = %d: %s", tenant, resp.StatusCode, data)
+		}
+	}
+	// A third tenant exceeds the cap: rejected loudly, not silently unbilled.
+	resp, data := postJSON(t, ts.URL+"/v2/quote", congestedBody(`, "tenant": "c"`))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("over-cap tenant: status = %d (%s)", resp.StatusCode, data)
+	}
+	if e := v2ErrorOf(t, data); !strings.Contains(e.Message, "ledger full") {
+		t.Errorf("over-cap error = %+v", e)
+	}
+	// Existing tenants keep accruing.
+	resp, data = postJSON(t, ts.URL+"/v2/quote", congestedBody(`, "tenant": "a"`))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("existing tenant after cap: status = %d (%s)", resp.StatusCode, data)
+	}
+	var sum TenantSummary
+	getJSON(t, ts.URL+"/v2/tenants/a/summary", &sum)
+	if sum.Invocations != 2 {
+		t.Errorf("tenant a invocations = %d, want 2", sum.Invocations)
+	}
+}
+
+func TestTenantSummaryUnknown(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v2/tenants/ghost/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown tenant status = %d", resp.StatusCode)
+	}
+	if e := v2ErrorOf(t, data); e.Status != http.StatusNotFound {
+		t.Errorf("error envelope = %+v", e)
+	}
+}
+
+// --- concurrency -------------------------------------------------------------
+
+// TestConcurrentQuotesAndSwaps hammers the quote endpoints while tables are
+// hot-swapped underneath; run with -race this verifies the RWMutex
+// discipline around the swap-able pricing state.
+func TestConcurrentQuotesAndSwaps(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	alt := apitest.Calibration()
+	alt.Machine = "alt"
+	for lang, solo := range alt.SoloStartups {
+		solo.TPrivate *= 1.5
+		alt.SoloStartups[lang] = solo
+	}
+	altData, err := json.Marshal(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// post is goroutine-safe: failures go to the errs channel, never t.
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*30)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch w % 4 {
+				case 0: // single quotes with ledger accrual
+					if code, data := post("/v2/quote", congestedBody(`, "tenant": "load"`)); code != http.StatusOK {
+						errs <- fmt.Sprintf("quote: %d %s", code, data)
+					}
+				case 1: // batches
+					body := `{"quotes":[` + congestedBody("") + "," + congestedBody("") + `]}`
+					if code, data := post("/v2/quotes", body); code != http.StatusOK {
+						errs <- fmt.Sprintf("batch: %d %s", code, data)
+					}
+				case 2: // table swaps
+					if code, data := post("/v2/tables", string(altData)); code != http.StatusOK {
+						errs <- fmt.Sprintf("swap: %d %s", code, data)
+					}
+				case 3: // ledger reads
+					resp, err := http.Get(ts.URL + "/v2/tenants/load/summary")
+					if err != nil {
+						errs <- err.Error()
+						continue
+					}
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,129 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// The /v1 endpoints are thin compatibility shims over the same pricing path
+// as /v2: the wire format (request, response and flat {"error":…} shape)
+// matches the original cmd/pricingd handler byte for byte for valid
+// requests at the default rate base.
+
+// v1QuoteRequest is the legacy wire format of POST /v1/quote.
+type v1QuoteRequest struct {
+	// Abbr labels the function (echoed back; not interpreted).
+	Abbr string `json:"abbr"`
+	// Language selects the startup model: "py", "nj" or "go".
+	Language string `json:"language"`
+	// MemoryMB is the sandbox allocation.
+	MemoryMB int `json:"memoryMB"`
+	// TPrivate / TShared are the billed occupancy components in seconds.
+	TPrivate float64 `json:"tPrivate"`
+	TShared  float64 `json:"tShared"`
+	// Probe carries the Litmus-test readings from the startup window.
+	Probe struct {
+		TPrivate        float64 `json:"tPrivate"`
+		TShared         float64 `json:"tShared"`
+		MachineL3Misses float64 `json:"machineL3Misses"`
+	} `json:"probe"`
+}
+
+// v1QuoteResponse is the legacy priced result.
+type v1QuoteResponse struct {
+	Abbr       string  `json:"abbr"`
+	Commercial float64 `json:"commercial"`
+	Price      float64 `json:"price"`
+	Discount   float64 `json:"discount"`
+	RPrivate   float64 `json:"rPrivate"`
+	RShared    float64 `json:"rShared"`
+	// Estimate explains the congestion reading behind the rates.
+	Estimate struct {
+		PrivSlow   float64 `json:"privSlow"`
+		SharedSlow float64 `json:"sharedSlow"`
+		Weight     float64 `json:"mbWeight"`
+	} `json:"estimate"`
+}
+
+// v1Error writes the legacy flat error shape.
+func v1Error(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleV1Tables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		v1Error(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	cal := s.cal
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, cal)
+}
+
+func (s *Server) handleV1Quote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		v1Error(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req v1QuoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			v1Error(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		v1Error(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.MemoryMB <= 0 || req.TPrivate <= 0 || req.TShared < 0 {
+		v1Error(w, http.StatusBadRequest, "memoryMB and tPrivate must be positive, tShared non-negative")
+		return
+	}
+	if req.Probe.TPrivate < 0 || req.Probe.TShared < 0 || req.Probe.MachineL3Misses < 0 {
+		v1Error(w, http.StatusBadRequest, "probe readings must be non-negative")
+		return
+	}
+	u := core.Usage{
+		Abbr:     req.Abbr,
+		Language: req.Language,
+		MemoryMB: req.MemoryMB,
+		TPrivate: req.TPrivate,
+		TShared:  req.TShared,
+		Probe: &core.ProbeUsage{
+			TPrivate:        req.Probe.TPrivate,
+			TShared:         req.Probe.TShared,
+			MachineL3Misses: req.Probe.MachineL3Misses,
+		},
+	}
+
+	s.mu.RLock()
+	if _, ok := s.models.Solo[req.Language]; !ok {
+		s.mu.RUnlock()
+		v1Error(w, http.StatusBadRequest, fmt.Sprintf("unknown language %q (want py, nj or go)", req.Language))
+		return
+	}
+	q, err := s.pricers[DefaultPricer].Quote(u)
+	s.mu.RUnlock()
+	if err != nil {
+		v1Error(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	var resp v1QuoteResponse
+	resp.Abbr = q.Abbr
+	resp.Commercial = q.Commercial
+	resp.Price = q.Price
+	resp.Discount = q.Discount()
+	resp.RPrivate = q.RPrivate
+	resp.RShared = q.RShared
+	resp.Estimate.PrivSlow = q.Estimate.PrivSlow
+	resp.Estimate.SharedSlow = q.Estimate.SharedSlow
+	resp.Estimate.Weight = q.Estimate.Weight
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -123,11 +123,12 @@ func TestLitmusTracksIdealUnderChurn(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ql, err := litmus.Quote(rec)
+		u := UsageFromRecord(rec)
+		ql, err := litmus.Quote(u)
 		if err != nil {
 			t.Fatal(err)
 		}
-		qi, err := ideal.Quote(rec)
+		qi, err := ideal.Quote(u)
 		if err != nil {
 			t.Fatal(err)
 		}

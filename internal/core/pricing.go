@@ -38,15 +38,17 @@ func (q Quote) Discount() float64 {
 
 // Pricer prices completed invocations.
 type Pricer interface {
-	// Quote prices one run record.
-	Quote(rec platform.RunRecord) (Quote, error)
+	// Quote prices one usage record. Simulation callers adapt run records
+	// with UsageFromRecord; the HTTP service decodes Usage straight off the
+	// wire — both paths price through the same code.
+	Quote(u Usage) (Quote, error)
 	// Name identifies the pricer in experiment output.
 	Name() string
 }
 
-// memSec converts a record's occupancy into MB-seconds.
-func memSec(rec platform.RunRecord, t float64) float64 {
-	return float64(rec.MemoryMB) * t
+// memSec converts a usage's occupancy into MB-seconds.
+func memSec(u Usage, t float64) float64 {
+	return float64(u.MemoryMB) * t
 }
 
 // ---------------------------------------------------------------------------
@@ -62,14 +64,14 @@ type Commercial struct {
 func (c Commercial) Name() string { return "commercial" }
 
 // Quote implements Pricer.
-func (c Commercial) Quote(rec platform.RunRecord) (Quote, error) {
-	price := c.RateBase * memSec(rec, rec.Total())
+func (c Commercial) Quote(u Usage) (Quote, error) {
+	price := c.RateBase * memSec(u, u.Total())
 	return Quote{
-		Abbr:       rec.Abbr,
+		Abbr:       u.Abbr,
 		Commercial: price,
 		Price:      price,
-		PPrivate:   c.RateBase * memSec(rec, rec.TPrivate),
-		PShared:    c.RateBase * memSec(rec, rec.TShared),
+		PPrivate:   c.RateBase * memSec(u, u.TPrivate),
+		PShared:    c.RateBase * memSec(u, u.TShared),
 		RPrivate:   c.RateBase,
 		RShared:    c.RateBase,
 	}, nil
@@ -91,20 +93,20 @@ type Ideal struct {
 func (p Ideal) Name() string { return "ideal" }
 
 // Quote implements Pricer.
-func (p Ideal) Quote(rec platform.RunRecord) (Quote, error) {
-	solo, ok := p.Baselines[rec.Abbr]
+func (p Ideal) Quote(u Usage) (Quote, error) {
+	solo, ok := p.Baselines[u.Abbr]
 	if !ok {
-		return Quote{}, fmt.Errorf("core: ideal pricer has no baseline for %s", rec.Abbr)
+		return Quote{}, fmt.Errorf("core: ideal pricer has no baseline for %s", u.Abbr)
 	}
-	commercial := p.RateBase * memSec(rec, rec.Total())
+	commercial := p.RateBase * memSec(u, u.Total())
 	return Quote{
-		Abbr:       rec.Abbr,
+		Abbr:       u.Abbr,
 		Commercial: commercial,
-		Price:      p.RateBase * memSec(rec, solo.Total()),
-		PPrivate:   p.RateBase * memSec(rec, solo.TPrivate),
-		PShared:    p.RateBase * memSec(rec, solo.TShared),
-		RPrivate:   p.RateBase * solo.TPrivate / nonZero(rec.TPrivate),
-		RShared:    p.RateBase * solo.TShared / nonZero(rec.TShared),
+		Price:      p.RateBase * memSec(u, solo.Total()),
+		PPrivate:   p.RateBase * memSec(u, solo.TPrivate),
+		PShared:    p.RateBase * memSec(u, solo.TShared),
+		RPrivate:   p.RateBase * solo.TPrivate / nonZero(u.TPrivate),
+		RShared:    p.RateBase * solo.TShared / nonZero(u.TShared),
 	}, nil
 }
 
@@ -226,11 +228,11 @@ func (l Litmus) Name() string {
 }
 
 // Quote implements Pricer.
-func (l Litmus) Quote(rec platform.RunRecord) (Quote, error) {
-	if rec.Probe == nil {
-		return Quote{}, fmt.Errorf("core: record for %s has no Litmus probe", rec.Abbr)
+func (l Litmus) Quote(u Usage) (Quote, error) {
+	if u.Probe == nil {
+		return Quote{}, fmt.Errorf("core: usage for %s has no Litmus probe", u.Abbr)
 	}
-	reading, err := l.Models.NewReading(rec.Language, rec.Probe)
+	reading, err := l.Models.UsageReading(u)
 	if err != nil {
 		return Quote{}, err
 	}
@@ -258,11 +260,14 @@ func (l Litmus) Quote(rec platform.RunRecord) (Quote, error) {
 	}
 	rPriv := l.RateBase / est.PrivSlow
 	rShared := l.RateBase / est.SharedSlow
-	pPriv := rPriv * memSec(rec, rec.TPrivate)
-	pShared := rShared * memSec(rec, rec.TShared)
+	// Left-associated products: keeps /v1 wire responses bit-identical to
+	// the original inline handler.
+	mem := float64(u.MemoryMB)
+	pPriv := rPriv * mem * u.TPrivate
+	pShared := rShared * mem * u.TShared
 	return Quote{
-		Abbr:       rec.Abbr,
-		Commercial: l.RateBase * memSec(rec, rec.Total()),
+		Abbr:       u.Abbr,
+		Commercial: l.RateBase * memSec(u, u.Total()),
 		Price:      pPriv + pShared,
 		PPrivate:   pPriv,
 		PShared:    pShared,
@@ -286,11 +291,11 @@ type LitmusSingleRate struct {
 func (l LitmusSingleRate) Name() string { return "litmus-single-rate" }
 
 // Quote implements Pricer.
-func (l LitmusSingleRate) Quote(rec platform.RunRecord) (Quote, error) {
-	if rec.Probe == nil {
-		return Quote{}, fmt.Errorf("core: record for %s has no Litmus probe", rec.Abbr)
+func (l LitmusSingleRate) Quote(u Usage) (Quote, error) {
+	if u.Probe == nil {
+		return Quote{}, fmt.Errorf("core: usage for %s has no Litmus probe", u.Abbr)
 	}
-	reading, err := l.Models.NewReading(rec.Language, rec.Probe)
+	reading, err := l.Models.UsageReading(u)
 	if err != nil {
 		return Quote{}, err
 	}
@@ -300,9 +305,9 @@ func (l LitmusSingleRate) Quote(rec platform.RunRecord) (Quote, error) {
 	}
 	r := l.RateBase / est.TotalSlow
 	return Quote{
-		Abbr:       rec.Abbr,
-		Commercial: l.RateBase * memSec(rec, rec.Total()),
-		Price:      r * memSec(rec, rec.Total()),
+		Abbr:       u.Abbr,
+		Commercial: l.RateBase * memSec(u, u.Total()),
+		Price:      r * memSec(u, u.Total()),
 		RPrivate:   r,
 		RShared:    r,
 		Estimate:   est,

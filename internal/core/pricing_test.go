@@ -11,11 +11,11 @@ import (
 	"repro/internal/workload"
 )
 
-func record(tp, ts float64, probe *engine.ProbeResult) platform.RunRecord {
-	return platform.RunRecord{
+func record(tp, ts float64, probe *engine.ProbeResult) Usage {
+	return UsageFromRecord(platform.RunRecord{
 		Abbr: "dyn-py", Language: workload.Python, MemoryMB: 256,
 		TPrivate: tp, TShared: ts, Wall: tp + ts, Probe: probe,
-	}
+	})
 }
 
 func TestCommercialQuote(t *testing.T) {
@@ -53,7 +53,7 @@ func TestIdealQuote(t *testing.T) {
 	if math.Abs(q.Discount()-wantDiscount) > 1e-9 {
 		t.Errorf("ideal discount = %v, want %v", q.Discount(), wantDiscount)
 	}
-	if _, err := p.Quote(platform.RunRecord{Abbr: "nope", MemoryMB: 1, TPrivate: 1}); err == nil {
+	if _, err := p.Quote(Usage{Abbr: "nope", Language: "py", MemoryMB: 1, TPrivate: 1}); err == nil {
 		t.Error("missing baseline accepted")
 	}
 }

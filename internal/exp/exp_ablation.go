@@ -53,11 +53,12 @@ func expA1() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				ql, err := litmus.Quote(rec)
+				u := core.UsageFromRecord(rec)
+				ql, err := litmus.Quote(u)
 				if err != nil {
 					return nil, err
 				}
-				qi, err := ideal.Quote(rec)
+				qi, err := ideal.Quote(u)
 				if err != nil {
 					return nil, err
 				}
@@ -66,7 +67,7 @@ func expA1() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				qiP, err := ideal.Quote(pres.Record)
+				qiP, err := ideal.Quote(core.UsageFromRecord(pres.Record))
 				if err != nil {
 					return nil, err
 				}
@@ -122,15 +123,16 @@ func expA2() Experiment {
 			perFn := map[string]*accum{}
 			var order []string
 			for _, run := range runs {
-				qi, err := ideal.Quote(run.rec)
+				u := core.UsageFromRecord(run.rec)
+				qi, err := ideal.Quote(u)
 				if err != nil {
 					return nil, err
 				}
-				qt, err := two.Quote(run.rec)
+				qt, err := two.Quote(u)
 				if err != nil {
 					return nil, err
 				}
-				qo, err := one.Quote(run.rec)
+				qo, err := one.Quote(u)
 				if err != nil {
 					return nil, err
 				}
@@ -200,11 +202,12 @@ func expA3() Experiment {
 			for _, v := range variants {
 				var prices, ideals, errs []float64
 				for _, run := range runs {
-					q, err := v.pricer.Quote(run.rec)
+					u := core.UsageFromRecord(run.rec)
+					q, err := v.pricer.Quote(u)
 					if err != nil {
 						return nil, err
 					}
-					qi, err := ideal.Quote(run.rec)
+					qi, err := ideal.Quote(u)
 					if err != nil {
 						return nil, err
 					}

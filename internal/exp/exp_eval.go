@@ -41,15 +41,16 @@ func comparePrices(title string, runs []pricedRun, litmus core.Pricer, base map[
 	var order []string
 	var rows []priceRow
 	for _, run := range runs {
-		ql, err := litmus.Quote(run.rec)
+		u := core.UsageFromRecord(run.rec)
+		ql, err := litmus.Quote(u)
 		if err != nil {
 			return nil, err
 		}
-		qi, err := ideal.Quote(run.rec)
+		qi, err := ideal.Quote(u)
 		if err != nil {
 			return nil, err
 		}
-		qc, err := comm.Quote(run.rec)
+		qc, err := comm.Quote(u)
 		if err != nil {
 			return nil, err
 		}

@@ -16,7 +16,7 @@
 //	rec, _ := p.Invoke(litmus.FunctionsByAbbr()["pager-py"], 0, 600)
 //
 //	pricer := litmus.NewLitmusPricer(models, 1)
-//	quote, _ := pricer.Quote(rec)
+//	quote, _ := pricer.Quote(litmus.UsageFromRecord(rec))
 //	fmt.Printf("discount: %.1f%%\n", quote.Discount()*100)
 //
 // See the examples/ directory for runnable programs and cmd/litmusbench for
@@ -24,6 +24,7 @@
 package litmus
 
 import (
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exp"
@@ -63,6 +64,11 @@ type (
 	// Pattern is a memory access pattern (Hot, Scan, Mixed).
 	Pattern = workload.Pattern
 
+	// Usage is the transport-friendly pricing input: the measurements of
+	// one billed invocation (Pricer.Quote's argument type).
+	Usage = core.Usage
+	// ProbeUsage is the wire form of a Litmus-test reading.
+	ProbeUsage = core.ProbeUsage
 	// Calibration is the provider's congestion + performance tables.
 	Calibration = core.Calibration
 	// CalibratorConfig drives table building.
@@ -83,6 +89,18 @@ type (
 	POPPAConfig = core.POPPAConfig
 	// POPPAResult is a POPPA-priced invocation.
 	POPPAResult = core.POPPAResult
+
+	// PricingServer is the versioned HTTP pricing service (an http.Handler).
+	PricingServer = api.Server
+	// PricingServerConfig parameterises a pricing server.
+	PricingServerConfig = api.Config
+	// PricingClient is the typed client for the /v2 pricing API.
+	PricingClient = api.Client
+	// QuoteRequest / QuoteResponse are the /v2 quote wire formats.
+	QuoteRequest  = api.QuoteRequest
+	QuoteResponse = api.QuoteResponse
+	// TenantSummary is a tenant's aggregate billing ledger.
+	TenantSummary = api.TenantSummary
 
 	// Experiment regenerates one paper artifact.
 	Experiment = exp.Experiment
@@ -196,6 +214,9 @@ func DecodeCalibration(data []byte) (*Calibration, error) { return core.DecodeCa
 // FitModels fits the runtime regression set from calibration tables.
 func FitModels(cal *Calibration) (*Models, error) { return core.FitModels(cal) }
 
+// UsageFromRecord adapts a simulator run record to the pricing input type.
+func UsageFromRecord(rec RunRecord) Usage { return core.UsageFromRecord(rec) }
+
 // NewCommercialPricer prices like today's clouds: flat rate, no discounts.
 func NewCommercialPricer(rateBase float64) Pricer { return core.Commercial{RateBase: rateBase} }
 
@@ -220,6 +241,12 @@ func NewLitmusMethod1Pricer(models *Models, rateBase float64, sharing *SharingOv
 func MeasureSharingOverhead(cfg PlatformConfig, ref *FunctionSpec, ks []int) (SharingOverhead, []core.OverheadPoint, error) {
 	return core.MeasureSharingOverhead(cfg, ref, ks)
 }
+
+// NewPricingServer builds the versioned HTTP pricing service.
+func NewPricingServer(cfg PricingServerConfig) (*PricingServer, error) { return api.New(cfg) }
+
+// NewPricingClient returns a typed client for the service at baseURL.
+func NewPricingClient(baseURL string) *PricingClient { return api.NewClient(baseURL) }
 
 // RunPOPPA runs the POPPA sampling baseline for one invocation.
 func RunPOPPA(p *Platform, spec *FunctionSpec, thread int, cfg POPPAConfig, maxSec float64) (POPPAResult, error) {

@@ -89,15 +89,16 @@ func TestFacadeEndToEnd(t *testing.T) {
 	idealP := NewIdealPricer(1, map[string]Solo{target.Abbr: solo})
 	commP := NewCommercialPricer(1)
 
-	ql, err := litmusP.Quote(rec)
+	usage := UsageFromRecord(rec)
+	ql, err := litmusP.Quote(usage)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qi, err := idealP.Quote(rec)
+	qi, err := idealP.Quote(usage)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qc, err := commP.Quote(rec)
+	qc, err := commP.Quote(usage)
 	if err != nil {
 		t.Fatal(err)
 	}
