@@ -1,0 +1,285 @@
+// Command fleetsim replays an invocation trace across a simulated fleet of
+// serverless machines and meters the resulting run records into per-tenant
+// bills, commercial and Litmus side by side.
+//
+// Usage:
+//
+//	fleetsim -machines 4 -tenants 3 -minutes 5            # synthesized trace
+//	fleetsim -trace trace.csv -policy binpack             # replay a CSV trace
+//	fleetsim -machines 8 -shape burst -format json        # machine-readable
+//
+// Without -trace a deterministic trace is synthesized (InVitro-style ramp
+// from -start-rate toward -target-rate, optional burst/diurnal shaping) and
+// can be exported with -write-trace for later replay. Pricing tables come
+// from -tables (a litmuscalib JSON dump) or a quick reduced calibration at
+// startup. Trace minutes are compressed onto the simulated clock via
+// -minute-sec, the same fast-path scaling the examples apply to function
+// bodies.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// options collects the CLI configuration; main fills it from flags, tests
+// construct it directly.
+type options struct {
+	machines      int
+	tenants       int
+	funcs         int
+	minutes       int
+	tracePath     string
+	writeTrace    string
+	policy        string
+	arrivals      string
+	shape         string
+	startRate     float64
+	stepRate      float64
+	targetRate    float64
+	jitter        float64
+	minuteSec     float64
+	windowMinutes int
+	workerThreads int
+	memCapMB      int
+	churn         int
+	tables        string
+	bodyScale     float64
+	startupScale  float64
+	seed          int64
+	format        string
+	quiet         bool
+}
+
+func defaultOptions() options {
+	return options{
+		machines:      4,
+		tenants:       3,
+		funcs:         2,
+		minutes:       5,
+		policy:        "round-robin",
+		arrivals:      "poisson",
+		shape:         "steady",
+		startRate:     2,
+		stepRate:      2,
+		targetRate:    8,
+		jitter:        0.2,
+		minuteSec:     0.25,
+		windowMinutes: 1,
+		workerThreads: 4,
+		memCapMB:      fleet.DefaultMemoryCapMB,
+		tables:        "",
+		bodyScale:     0.15,
+		startupScale:  0.2,
+		seed:          7,
+		format:        "table",
+	}
+}
+
+func main() {
+	o := defaultOptions()
+	flag.IntVar(&o.machines, "machines", o.machines, "fleet size")
+	flag.IntVar(&o.tenants, "tenants", o.tenants, "synthesized tenants (ignored with -trace)")
+	flag.IntVar(&o.funcs, "funcs", o.funcs, "functions per synthesized tenant")
+	flag.IntVar(&o.minutes, "minutes", o.minutes, "synthesized trace minutes")
+	flag.StringVar(&o.tracePath, "trace", o.tracePath, "replay a trace CSV instead of synthesizing")
+	flag.StringVar(&o.writeTrace, "write-trace", o.writeTrace, "export the (synthesized or loaded) trace CSV to this path")
+	flag.StringVar(&o.policy, "policy", o.policy, "routing policy: round-robin, least-loaded or binpack")
+	flag.StringVar(&o.arrivals, "arrivals", o.arrivals, "within-minute arrival process: uniform or poisson")
+	flag.StringVar(&o.shape, "shape", o.shape, "synthesized rate shape: steady, burst or diurnal")
+	flag.Float64Var(&o.startRate, "start-rate", o.startRate, "per-function invocations/minute at minute 0")
+	flag.Float64Var(&o.stepRate, "step-rate", o.stepRate, "per-minute rate step toward -target-rate")
+	flag.Float64Var(&o.targetRate, "target-rate", o.targetRate, "per-function invocations/minute plateau")
+	flag.Float64Var(&o.jitter, "jitter", o.jitter, "fractional per-minute count jitter in [0,1)")
+	flag.Float64Var(&o.minuteSec, "minute-sec", o.minuteSec, "simulated seconds per trace minute (60 = real time)")
+	flag.IntVar(&o.windowMinutes, "window-min", o.windowMinutes, "metering window in trace minutes")
+	flag.IntVar(&o.workerThreads, "worker-threads", o.workerThreads, "hardware threads per machine serving invocations")
+	flag.IntVar(&o.memCapMB, "mem-cap", o.memCapMB, "per-machine sandbox memory capacity (MB, binpack target)")
+	flag.IntVar(&o.churn, "churn", o.churn, "background churned functions per machine")
+	flag.StringVar(&o.tables, "tables", o.tables, "calibration tables JSON (from litmuscalib); empty = quick calibration at startup")
+	flag.Float64Var(&o.bodyScale, "scale", o.bodyScale, "function body scale (experiment fast-path)")
+	flag.Float64Var(&o.startupScale, "startup-scale", o.startupScale, "language startup scale in [0,1]")
+	flag.Int64Var(&o.seed, "seed", o.seed, "seed for synthesis, arrivals and machines")
+	flag.StringVar(&o.format, "format", o.format, "output format: table, csv or json")
+	flag.BoolVar(&o.quiet, "q", o.quiet, "suppress progress logging")
+	flag.Parse()
+
+	if err := run(os.Stdout, os.Stderr, o); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// output is the JSON-mode document.
+type output struct {
+	Trace struct {
+		Functions   int `json:"functions"`
+		Minutes     int `json:"minutes"`
+		Invocations int `json:"invocations"`
+	} `json:"trace"`
+	Report *fleet.Report `json:"report"`
+	Result fleet.Result  `json:"result"`
+}
+
+// run executes one fleet simulation and writes the report to w (progress to
+// errw).
+func run(w, errw io.Writer, o options) error {
+	progress := func(format string, args ...any) {
+		if !o.quiet {
+			fmt.Fprintf(errw, "fleetsim: "+format+"\n", args...)
+		}
+	}
+
+	// Validate the cheap flags before the expensive calibration/simulation.
+	switch o.format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv or json)", o.format)
+	}
+	policy, err := fleet.ParsePolicy(o.policy)
+	if err != nil {
+		return err
+	}
+	mode, err := trace.ParseMode(o.arrivals)
+	if err != nil {
+		return err
+	}
+
+	// --- trace ----------------------------------------------------------
+	tr, err := loadOrSynthesize(o, progress)
+	if err != nil {
+		return err
+	}
+	if o.writeTrace != "" {
+		if err := tr.WriteCSVFile(o.writeTrace); err != nil {
+			return err
+		}
+		progress("wrote trace to %s", o.writeTrace)
+	}
+	arrivals, err := trace.Expand(tr, trace.ExpandConfig{Mode: mode, MinuteSec: o.minuteSec, Seed: o.seed})
+	if err != nil {
+		return err
+	}
+	progress("trace: %d rows × %d minutes → %d invocations over %.2f simulated seconds",
+		len(tr.Functions), tr.Minutes(), len(arrivals), float64(tr.Minutes())*o.minuteSec)
+
+	// --- pricers --------------------------------------------------------
+	pcfg := platform.Config{
+		Machine:      platform.DefaultConfig(o.seed).Machine,
+		BodyScale:    o.bodyScale,
+		StartupScale: o.startupScale,
+		Seed:         o.seed,
+	}
+	if err := pcfg.Validate(); err != nil {
+		return err
+	}
+	cal, err := loadOrCalibrate(o, pcfg, progress)
+	if err != nil {
+		return err
+	}
+	models, err := core.FitModels(cal)
+	if err != nil {
+		return err
+	}
+	pricers := []core.Pricer{
+		core.Commercial{RateBase: 1},
+		core.Litmus{Models: models, RateBase: 1},
+	}
+
+	// --- fleet + metering ----------------------------------------------
+	fcfg := fleet.Config{
+		Machines:      o.machines,
+		Platform:      pcfg,
+		WorkerThreads: o.workerThreads,
+		MemoryCapMB:   o.memCapMB,
+		Policy:        policy,
+		ChurnCount:    o.churn,
+	}
+	mcfg := fleet.MeterConfig{
+		Pricers:       pricers,
+		WindowMinutes: o.windowMinutes,
+	}
+	progress("running %d machines (%s)…", o.machines, policy.Name())
+	start := time.Now()
+	rep, res, err := fleet.Simulate(fcfg, arrivals, mcfg)
+	if err != nil {
+		return err
+	}
+	progress("simulated %.2f seconds in %v (%d completed, %d dropped)",
+		res.SimSec, time.Since(start).Round(time.Millisecond), res.Completed, res.Dropped)
+
+	// --- output ---------------------------------------------------------
+	switch o.format {
+	case "table":
+		fmt.Fprintln(w, rep.BillTable())
+		fmt.Fprintln(w, fleet.MachineTable(res))
+	case "csv":
+		fmt.Fprint(w, rep.BillTable().CSV())
+		fmt.Fprintln(w)
+		fmt.Fprint(w, fleet.MachineTable(res).CSV())
+	case "json":
+		var doc output
+		doc.Trace.Functions = len(tr.Functions)
+		doc.Trace.Minutes = tr.Minutes()
+		doc.Trace.Invocations = tr.Invocations()
+		doc.Report = rep
+		doc.Result = res
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	return nil
+}
+
+// loadOrSynthesize resolves the input trace.
+func loadOrSynthesize(o options, progress func(string, ...any)) (*trace.Trace, error) {
+	if o.tracePath != "" {
+		progress("loading trace %s", o.tracePath)
+		return trace.LoadCSVFile(o.tracePath)
+	}
+	shape, err := trace.ParseShape(o.shape)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Synthesize(trace.SynthConfig{
+		Tenants:            o.tenants,
+		FunctionsPerTenant: o.funcs,
+		Minutes:            o.minutes,
+		StartRate:          o.startRate,
+		StepRate:           o.stepRate,
+		TargetRate:         o.targetRate,
+		Shape:              shape,
+		Jitter:             o.jitter,
+		Seed:               o.seed,
+	})
+}
+
+// loadOrCalibrate resolves the pricing tables: a litmuscalib dump when
+// -tables is set, otherwise a quick reduced calibration (3 stress levels,
+// 6 reference functions) on the scaled platform.
+func loadOrCalibrate(o options, pcfg platform.Config, progress func(string, ...any)) (*core.Calibration, error) {
+	if o.tables != "" {
+		data, err := os.ReadFile(o.tables)
+		if err != nil {
+			return nil, err
+		}
+		return core.DecodeCalibration(data)
+	}
+	progress("no -tables given; running a quick reduced calibration…")
+	return core.Calibrate(core.CalibratorConfig{
+		Platform:   pcfg,
+		Levels:     []int{4, 12, 24},
+		References: workload.References()[:6],
+		WarmSec:    15e-3,
+	})
+}

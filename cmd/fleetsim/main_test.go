@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallOptions returns a CI-sized run: 2 machines, 2 tenants, 2 minutes on
+// a compressed clock.
+func smallOptions() options {
+	o := defaultOptions()
+	o.machines = 2
+	o.tenants = 2
+	o.minutes = 2
+	o.startRate = 2
+	o.targetRate = 4
+	o.minuteSec = 0.2
+	o.quiet = true
+	return o
+}
+
+func TestRunTable(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(&out, &errw, smallOptions()); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Per-tenant bills", "tenant-01", "tenant-02", "TOTAL", "litmus-disc", "Fleet machines", "note:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunJSONConsistent(t *testing.T) {
+	var out, errw bytes.Buffer
+	o := smallOptions()
+	o.format = "json"
+	o.policy = "least-loaded"
+	if err := run(&out, &errw, o); err != nil {
+		t.Fatal(err)
+	}
+	var doc output
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if doc.Result.Completed == 0 || doc.Result.Dropped != 0 {
+		t.Fatalf("result = %+v", doc.Result)
+	}
+	if doc.Report.Invocations != doc.Result.Completed {
+		t.Errorf("metered %d invocations, completed %d", doc.Report.Invocations, doc.Result.Completed)
+	}
+	if doc.Report.Primary != "litmus" {
+		t.Errorf("primary pricer = %q, want litmus", doc.Report.Primary)
+	}
+	// Tenant bills sum to the totals (the meter only aggregates).
+	var commercial, litmus float64
+	for _, b := range doc.Report.Tenants {
+		commercial += b.Commercial
+		litmus += b.Bills["litmus"]
+	}
+	if math.Abs(commercial-doc.Report.TotalCommercial) > 1e-9*math.Max(1, commercial) {
+		t.Errorf("tenant commercial sums to %v, total %v", commercial, doc.Report.TotalCommercial)
+	}
+	if math.Abs(litmus-doc.Report.TotalBills["litmus"]) > 1e-9*math.Max(1, litmus) {
+		t.Errorf("tenant litmus sums to %v, total %v", litmus, doc.Report.TotalBills["litmus"])
+	}
+}
+
+func TestRunWriteAndReplayTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+
+	var outA, errw bytes.Buffer
+	o := smallOptions()
+	o.writeTrace = path
+	if err := run(&outA, &errw, o); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying the exported trace reproduces the run bit-for-bit.
+	var outB bytes.Buffer
+	o.tracePath = path
+	o.writeTrace = ""
+	if err := run(&outB, &errw, o); err != nil {
+		t.Fatal(err)
+	}
+	if outA.String() != outB.String() {
+		t.Errorf("replay of the exported trace differs:\n--- synthesized\n%s\n--- replayed\n%s", outA.String(), outB.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	o := smallOptions()
+	o.policy = "nope"
+	if err := run(&out, &errw, o); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	o = smallOptions()
+	o.format = "nope"
+	if err := run(&out, &errw, o); err == nil {
+		t.Error("unknown format accepted")
+	}
+	o = smallOptions()
+	o.tracePath = filepath.Join(t.TempDir(), "missing.csv")
+	if err := run(&out, &errw, o); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

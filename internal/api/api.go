@@ -13,6 +13,9 @@
 //	                                   tenant ledger accrual
 //	POST /v2/quotes                  — batch quote, priced concurrently,
 //	                                   response order matches request order
+//	POST /v2/meter                   — stream a usage batch into the tenant
+//	                                   ledger (partial batches accrue; bad
+//	                                   records come back as per-item errors)
 //	GET  /v2/pricers                 — the named pricer registry
 //	GET  /v2/tables                  — current calibration tables
 //	POST /v2/tables                  — hot-swap calibration tables
@@ -111,6 +114,35 @@ type BatchItem struct {
 // BatchResponse is the wire format of the /v2/quotes reply.
 type BatchResponse struct {
 	Quotes []BatchItem `json:"quotes"`
+}
+
+// MeterRequest is the wire format of POST /v2/meter: a usage batch an
+// external platform streams into the tenant ledger. Every record must name
+// a tenant (metering is accrual; an un-attributed record cannot accrue).
+type MeterRequest struct {
+	Records []QuoteRequest `json:"records"`
+}
+
+// MeterItem is one metered record's outcome: either the accrued prices or
+// the error that rejected it. Item i answers record i.
+type MeterItem struct {
+	Tenant     string  `json:"tenant,omitempty"`
+	Pricer     string  `json:"pricer,omitempty"`
+	Commercial float64 `json:"commercial,omitempty"`
+	Price      float64 `json:"price,omitempty"`
+	Error      *Error  `json:"error,omitempty"`
+}
+
+// MeterResponse is the wire format of the /v2/meter reply. Partial batches
+// succeed: rejected records come back as per-item errors while the rest
+// accrue.
+type MeterResponse struct {
+	Accepted int         `json:"accepted"`
+	Rejected int         `json:"rejected"`
+	Items    []MeterItem `json:"items"`
+	// Tenants holds the post-accrual ledger summaries of every tenant the
+	// batch touched, sorted by name.
+	Tenants []TenantSummary `json:"tenants"`
 }
 
 // PricerInfo describes one registry entry (GET /v2/pricers).

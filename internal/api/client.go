@@ -107,6 +107,22 @@ func (c *Client) QuoteBatch(ctx context.Context, reqs []QuoteRequest) ([]BatchIt
 	return resp.Quotes, nil
 }
 
+// Meter streams a usage batch into the tenant ledger (POST /v2/meter).
+// Every record must name a tenant. Item i of the response answers record i;
+// rejected records come back as MeterItem.Error while the rest of the batch
+// accrues (the response counts both sides), so a non-nil call error only
+// means the batch as a whole did not reach the ledger.
+func (c *Client) Meter(ctx context.Context, records []QuoteRequest) (MeterResponse, error) {
+	var resp MeterResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/meter", MeterRequest{Records: records}, &resp); err != nil {
+		return MeterResponse{}, err
+	}
+	if len(resp.Items) != len(records) {
+		return MeterResponse{}, fmt.Errorf("api: meter answered %d of %d records", len(resp.Items), len(records))
+	}
+	return resp, nil
+}
+
 // Pricers lists the service's named pricer registry (GET /v2/pricers).
 func (c *Client) Pricers(ctx context.Context) ([]PricerInfo, error) {
 	var infos []PricerInfo

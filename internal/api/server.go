@@ -96,6 +96,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/quote", s.handleV1Quote)
 	mux.HandleFunc("/v2/quote", s.handleQuote)
 	mux.HandleFunc("/v2/quotes", s.handleQuoteBatch)
+	mux.HandleFunc("/v2/meter", s.handleMeter)
 	mux.HandleFunc("/v2/pricers", s.handlePricers)
 	mux.HandleFunc("/v2/tables", s.handleTables)
 	mux.HandleFunc("/v2/tenants/{tenant}/summary", s.handleTenantSummary)
@@ -257,25 +258,110 @@ func (s *Server) handleQuoteBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Price concurrently against one registry snapshot, so every item of
-	// the batch sees the same table generation; item i of the response
-	// answers request i.
-	pricers := s.snapshot()
 	items := make([]BatchItem, len(req.Quotes))
+	s.priceBatch(req.Quotes, func(i int, resp *QuoteResponse, apiErr *Error) {
+		items[i] = BatchItem{Quote: resp, Error: apiErr}
+	})
+	writeJSON(w, http.StatusOK, BatchResponse{Quotes: items})
+}
+
+// priceBatch prices a request slice concurrently against one registry
+// snapshot, so every item sees the same table generation, and delivers
+// result i through each(i, …). Distinct indices may be delivered
+// concurrently; each must not touch shared state beyond its own slot.
+func (s *Server) priceBatch(reqs []QuoteRequest, each func(i int, resp *QuoteResponse, apiErr *Error)) {
+	pricers := s.snapshot()
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
-	for i, q := range req.Quotes {
+	for i, q := range reqs {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, q QuoteRequest) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			resp, apiErr := s.priceOne(pricers, q)
-			items[i] = BatchItem{Quote: resp, Error: apiErr}
+			each(i, resp, apiErr)
 		}(i, q)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, BatchResponse{Quotes: items})
+}
+
+// --- /v2/meter --------------------------------------------------------------
+
+// handleMeter accrues a usage batch into the tenant ledger: the streaming
+// ingest path for external platforms (and cmd/fleetsim's remote mode).
+// Records are priced through the same priceOne path as quotes — metering
+// never changes a price — and rejected records come back as per-item errors
+// while the rest of the batch accrues.
+func (s *Server) handleMeter(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		v2Error(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req MeterRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		v2Error(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Records) > s.cfg.MaxBatch {
+		v2Error(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Records), s.cfg.MaxBatch)
+		return
+	}
+
+	// Reject tenantless records up front (they must not be priced, let
+	// alone accrued), then price the rest through the shared batch path.
+	items := make([]MeterItem, len(req.Records))
+	idxs := make([]int, 0, len(req.Records))
+	billable := make([]QuoteRequest, 0, len(req.Records))
+	for i, rec := range req.Records {
+		if rec.Tenant == "" {
+			items[i] = MeterItem{Error: &Error{
+				Status:  http.StatusBadRequest,
+				Message: "metering requires a tenant",
+			}}
+			continue
+		}
+		idxs = append(idxs, i)
+		billable = append(billable, rec)
+	}
+	s.priceBatch(billable, func(j int, resp *QuoteResponse, apiErr *Error) {
+		i := idxs[j]
+		if apiErr != nil {
+			items[i] = MeterItem{Tenant: billable[j].Tenant, Error: apiErr}
+			return
+		}
+		items[i] = MeterItem{
+			Tenant:     resp.Tenant,
+			Pricer:     resp.Pricer,
+			Commercial: resp.Commercial,
+			Price:      resp.Price,
+		}
+	})
+
+	resp := MeterResponse{Items: items}
+	touched := map[string]bool{}
+	for _, item := range items {
+		if item.Error != nil {
+			resp.Rejected++
+			continue
+		}
+		resp.Accepted++
+		touched[item.Tenant] = true
+	}
+	names := make([]string, 0, len(touched))
+	for name := range touched {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if sum, ok := s.summaryOf(name); ok {
+			resp.Tenants = append(resp.Tenants, sum)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- /v2/pricers ------------------------------------------------------------
@@ -372,12 +458,8 @@ func (s *Server) accrue(tenant string, q core.Quote) bool {
 	return true
 }
 
-func (s *Server) handleTenantSummary(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		v2Error(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	tenant := r.PathValue("tenant")
+// summaryOf reads one tenant's ledger summary under the ledger lock.
+func (s *Server) summaryOf(tenant string) (TenantSummary, bool) {
 	s.ledgerMu.Lock()
 	acct, ok := s.ledger[tenant]
 	var sum TenantSummary
@@ -390,12 +472,22 @@ func (s *Server) handleTenantSummary(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.ledgerMu.Unlock()
+	if sum.Commercial > 0 {
+		sum.Discount = 1 - sum.Billed/sum.Commercial
+	}
+	return sum, ok
+}
+
+func (s *Server) handleTenantSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		v2Error(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	tenant := r.PathValue("tenant")
+	sum, ok := s.summaryOf(tenant)
 	if !ok {
 		v2Error(w, http.StatusNotFound, "no ledger for tenant %q", tenant)
 		return
-	}
-	if sum.Commercial > 0 {
-		sum.Discount = 1 - sum.Billed/sum.Commercial
 	}
 	writeJSON(w, http.StatusOK, sum)
 }

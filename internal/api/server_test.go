@@ -684,3 +684,84 @@ func TestConcurrentQuotesAndSwaps(t *testing.T) {
 		t.Error(e)
 	}
 }
+
+func TestV2MeterAccruesPartialBatches(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body := fmt.Sprintf(`{"records": [
+		%s,
+		{"abbr": "bad", "language": "py", "memoryMB": 0, "tPrivate": 0.01, "tShared": 0, "tenant": "acme"},
+		%s,
+		%s
+	]}`,
+		congestedBody(`, "tenant": "acme"`),
+		congestedBody(`, "tenant": "acme", "pricer": "commercial"`),
+		congestedBody(``)) // no tenant: metering must reject it
+	resp, data := postJSON(t, ts.URL+"/v2/meter", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var mr MeterResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Accepted != 2 || mr.Rejected != 2 {
+		t.Fatalf("accepted %d rejected %d, want 2/2: %s", mr.Accepted, mr.Rejected, data)
+	}
+	if len(mr.Items) != 4 {
+		t.Fatalf("%d items, want 4", len(mr.Items))
+	}
+	if mr.Items[0].Error != nil || mr.Items[0].Pricer != "litmus" || mr.Items[0].Price <= 0 {
+		t.Errorf("item 0 = %+v", mr.Items[0])
+	}
+	if mr.Items[1].Error == nil || mr.Items[1].Error.Status != http.StatusBadRequest {
+		t.Errorf("item 1 = %+v", mr.Items[1])
+	}
+	if mr.Items[2].Error != nil || mr.Items[2].Pricer != "commercial" {
+		t.Errorf("item 2 = %+v", mr.Items[2])
+	}
+	if mr.Items[3].Error == nil || !strings.Contains(mr.Items[3].Error.Message, "tenant") {
+		t.Errorf("item 3 = %+v", mr.Items[3])
+	}
+
+	// The two accepted records accrued into one ledger; the summary rides
+	// along in the response and matches the summary endpoint.
+	if len(mr.Tenants) != 1 || mr.Tenants[0].Tenant != "acme" || mr.Tenants[0].Invocations != 2 {
+		t.Fatalf("touched tenants = %+v", mr.Tenants)
+	}
+	var sum TenantSummary
+	getJSON(t, ts.URL+"/v2/tenants/acme/summary", &sum)
+	if sum != mr.Tenants[0] {
+		t.Errorf("summary endpoint %+v != meter response %+v", sum, mr.Tenants[0])
+	}
+	if sum.Billed <= 0 || sum.Commercial < sum.Billed {
+		t.Errorf("ledger did not accrue sensibly: %+v", sum)
+	}
+}
+
+func TestV2MeterLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2})
+
+	resp, data := postJSON(t, ts.URL+"/v2/meter", `{"records": []}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d: %s", resp.StatusCode, data)
+	}
+	rec := congestedBody(`, "tenant": "t"`)
+	resp, data = postJSON(t, ts.URL+"/v2/meter",
+		fmt.Sprintf(`{"records": [%s, %s, %s]}`, rec, rec, rec))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status = %d: %s", resp.StatusCode, data)
+	}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v2/meter", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status = %d", getResp.StatusCode)
+	}
+}

@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// MeterConfig parameterises the streaming metering pipeline.
+type MeterConfig struct {
+	// Pricers are priced side by side for every record; a typical pair is
+	// core.Commercial and core.Litmus. The primary pricer — the first
+	// whose name is not "commercial", else the first — feeds the
+	// per-invocation discount distribution. Required non-empty; names must
+	// be unique.
+	Pricers []core.Pricer
+	// WindowMinutes is the per-tenant aggregation window in trace minutes
+	// (default 1).
+	WindowMinutes int
+	// KeepRecords retains every metered record in the report (test and
+	// JSON-export support; memory-unbounded, leave off for large runs).
+	KeepRecords bool
+	// MaxErrors caps the retained per-record pricing error messages
+	// (values ≤ 0 select the default of 8; counting is never capped).
+	MaxErrors int
+}
+
+// windowAgg accumulates one (tenant, window) cell.
+type windowAgg struct {
+	invocations int
+	commercial  float64
+	bills       map[string]float64
+}
+
+// tenantAgg accumulates one tenant's stream.
+type tenantAgg struct {
+	invocations int
+	commercial  float64
+	bills       map[string]float64
+	windows     map[int]*windowAgg
+	errors      int
+	discounts   []float64
+}
+
+// Meter is the channel-fed aggregator: it consumes MeteredRecords, prices
+// each through every configured pricer — the same call a one-by-one billing
+// loop would make, so aggregation cannot change prices — and windows the
+// results per tenant.
+type Meter struct {
+	cfg     MeterConfig
+	primary int
+
+	done    chan struct{}
+	tenants map[string]*tenantAgg
+	records []MeteredRecord
+	errMsgs []string
+	nErrs   int
+
+	once   sync.Once
+	report *Report
+}
+
+// NewMeter builds a meter from cfg.
+func NewMeter(cfg MeterConfig) (*Meter, error) {
+	if len(cfg.Pricers) == 0 {
+		return nil, fmt.Errorf("fleet: meter needs at least one pricer")
+	}
+	seen := map[string]bool{}
+	for _, p := range cfg.Pricers {
+		if seen[p.Name()] {
+			return nil, fmt.Errorf("fleet: duplicate pricer name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	if cfg.WindowMinutes <= 0 {
+		cfg.WindowMinutes = 1
+	}
+	if cfg.MaxErrors <= 0 {
+		cfg.MaxErrors = 8
+	}
+	primary := 0
+	for i, p := range cfg.Pricers {
+		if p.Name() != "commercial" {
+			primary = i
+			break
+		}
+	}
+	return &Meter{
+		cfg:     cfg,
+		primary: primary,
+		done:    make(chan struct{}),
+		tenants: make(map[string]*tenantAgg),
+	}, nil
+}
+
+// Run consumes records until in is closed. It is the meter's single
+// consumer goroutine; call it exactly once, concurrently with Fleet.Run.
+func (m *Meter) Run(in <-chan MeteredRecord) {
+	defer close(m.done)
+	for rec := range in {
+		m.observe(rec)
+	}
+}
+
+// observe prices one record through every pricer and accrues the results.
+func (m *Meter) observe(rec MeteredRecord) {
+	if m.cfg.KeepRecords {
+		m.records = append(m.records, rec)
+	}
+	t := m.tenants[rec.Tenant]
+	if t == nil {
+		t = &tenantAgg{bills: map[string]float64{}, windows: map[int]*windowAgg{}}
+		m.tenants[rec.Tenant] = t
+	}
+	widx := rec.Minute / m.cfg.WindowMinutes
+	w := t.windows[widx]
+	if w == nil {
+		w = &windowAgg{bills: map[string]float64{}}
+		t.windows[widx] = w
+	}
+	t.invocations++
+	w.invocations++
+
+	u := core.UsageFromRecord(rec.Record)
+	commercialSet := false
+	for i, p := range m.cfg.Pricers {
+		q, err := p.Quote(u)
+		if err != nil {
+			t.errors++
+			m.nErrs++
+			if len(m.errMsgs) < m.cfg.MaxErrors {
+				m.errMsgs = append(m.errMsgs, fmt.Sprintf("%s/%s via %s: %v", rec.Tenant, rec.Record.Abbr, p.Name(), err))
+			}
+			continue
+		}
+		t.bills[p.Name()] += q.Price
+		w.bills[p.Name()] += q.Price
+		if !commercialSet {
+			t.commercial += q.Commercial
+			w.commercial += q.Commercial
+			commercialSet = true
+		}
+		if i == m.primary {
+			t.discounts = append(t.discounts, q.Discount())
+		}
+	}
+}
+
+// WindowBill is one (tenant, window) aggregate.
+type WindowBill struct {
+	// Window indexes the aggregation window; StartMinute is its first
+	// trace minute.
+	Window      int     `json:"window"`
+	StartMinute int     `json:"startMinute"`
+	Invocations int     `json:"invocations"`
+	Commercial  float64 `json:"commercial"`
+	// Bills maps pricer name to the window's charged total.
+	Bills map[string]float64 `json:"bills"`
+}
+
+// TenantBill is one tenant's aggregate bill.
+type TenantBill struct {
+	Tenant      string  `json:"tenant"`
+	Invocations int     `json:"invocations"`
+	Commercial  float64 `json:"commercial"`
+	// Bills maps pricer name to the tenant's charged total.
+	Bills map[string]float64 `json:"bills"`
+	// PricingErrors counts records a pricer refused (they stay billed by
+	// the pricers that accepted them).
+	PricingErrors int          `json:"pricingErrors,omitempty"`
+	Windows       []WindowBill `json:"windows"`
+}
+
+// Discount returns the tenant's aggregate discount under the named pricer.
+func (t TenantBill) Discount(pricer string) float64 {
+	if t.Commercial <= 0 {
+		return 0
+	}
+	return 1 - t.Bills[pricer]/t.Commercial
+}
+
+// DiscountDist summarises the primary pricer's per-invocation discount
+// distribution (negative values are overcharges).
+type DiscountDist struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	P25    float64 `json:"p25"`
+	Median float64 `json:"median"`
+	P75    float64 `json:"p75"`
+	Max    float64 `json:"max"`
+}
+
+// Report is the meter's final aggregate.
+type Report struct {
+	// Pricers lists the pricer names in configuration order; Primary names
+	// the pricer behind the discount distribution.
+	Pricers []string `json:"pricers"`
+	Primary string   `json:"primary"`
+	// WindowMinutes is the aggregation window.
+	WindowMinutes int `json:"windowMinutes"`
+	// Tenants holds one bill per tenant, sorted by name.
+	Tenants []TenantBill `json:"tenants"`
+	// TotalCommercial and TotalBills aggregate across tenants.
+	TotalCommercial float64            `json:"totalCommercial"`
+	TotalBills      map[string]float64 `json:"totalBills"`
+	Invocations     int                `json:"invocations"`
+	// Discounts is the primary pricer's per-invocation discount
+	// distribution across all tenants.
+	Discounts DiscountDist `json:"discounts"`
+	// PricingErrors counts refused (record, pricer) pairs; Errors holds the
+	// first few messages.
+	PricingErrors int      `json:"pricingErrors,omitempty"`
+	Errors        []string `json:"errors,omitempty"`
+	// Records holds every metered record when MeterConfig.KeepRecords is
+	// set (omitted otherwise).
+	Records []MeteredRecord `json:"-"`
+}
+
+// Report blocks until Run has consumed the whole stream, then returns the
+// aggregate. Safe to call multiple times.
+func (m *Meter) Report() *Report {
+	<-m.done
+	m.once.Do(m.buildReport)
+	return m.report
+}
+
+func (m *Meter) buildReport() {
+	rep := &Report{
+		Primary:       m.cfg.Pricers[m.primary].Name(),
+		WindowMinutes: m.cfg.WindowMinutes,
+		TotalBills:    map[string]float64{},
+		PricingErrors: m.nErrs,
+		Errors:        m.errMsgs,
+		Records:       m.records,
+	}
+	for _, p := range m.cfg.Pricers {
+		rep.Pricers = append(rep.Pricers, p.Name())
+	}
+	names := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var discounts []float64
+	for _, name := range names {
+		t := m.tenants[name]
+		bill := TenantBill{
+			Tenant:        name,
+			Invocations:   t.invocations,
+			Commercial:    t.commercial,
+			Bills:         t.bills,
+			PricingErrors: t.errors,
+		}
+		widxs := make([]int, 0, len(t.windows))
+		for w := range t.windows {
+			widxs = append(widxs, w)
+		}
+		sort.Ints(widxs)
+		for _, w := range widxs {
+			agg := t.windows[w]
+			bill.Windows = append(bill.Windows, WindowBill{
+				Window:      w,
+				StartMinute: w * m.cfg.WindowMinutes,
+				Invocations: agg.invocations,
+				Commercial:  agg.commercial,
+				Bills:       agg.bills,
+			})
+		}
+		rep.Tenants = append(rep.Tenants, bill)
+		rep.Invocations += t.invocations
+		rep.TotalCommercial += t.commercial
+		for pricer, v := range t.bills {
+			rep.TotalBills[pricer] += v
+		}
+		discounts = append(discounts, t.discounts...)
+	}
+	if len(discounts) > 0 {
+		mn, mx := stats.MinMax(discounts)
+		rep.Discounts = DiscountDist{
+			N:      len(discounts),
+			Mean:   stats.Mean(discounts),
+			Min:    mn,
+			P25:    stats.Percentile(discounts, 25),
+			Median: stats.Percentile(discounts, 50),
+			P75:    stats.Percentile(discounts, 75),
+			Max:    mx,
+		}
+	}
+	m.report = rep
+}

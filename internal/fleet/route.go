@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// MachineState is the routing-visible snapshot of one machine, taken
+// between simulation quanta (no machine goroutine is running when a policy
+// reads it).
+type MachineState struct {
+	// ID indexes the machine in the fleet.
+	ID int
+	// Inflight is the number of tenant invocations currently running.
+	Inflight int
+	// UsedMB is the memory committed to in-flight sandboxes.
+	UsedMB int
+	// CapMB is the machine's sandbox memory capacity.
+	CapMB int
+}
+
+// Policy routes one arrival to a machine. Implementations are called from a
+// single dispatcher goroutine; they may keep unsynchronised state.
+type Policy interface {
+	// Pick returns the index of the machine the invocation lands on.
+	Pick(spec *workload.Spec, machines []MachineState) int
+	// Name identifies the policy in reports and CLI flags.
+	Name() string
+}
+
+// ParsePolicy resolves a policy name ("round-robin"/"rr", "least-loaded",
+// "binpack").
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "round-robin", "rr":
+		return &RoundRobin{}, nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "binpack", "bin-packing":
+		return BinPack{}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown policy %q (want round-robin, least-loaded or binpack)", name)
+	}
+}
+
+// RoundRobin cycles arrivals over the machines in order, ignoring load —
+// the classic front-end spray.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(spec *workload.Spec, machines []MachineState) int {
+	id := r.next % len(machines)
+	r.next++
+	return id
+}
+
+// LeastLoaded sends each arrival to the machine with the fewest in-flight
+// invocations (ties to the lowest ID), approximating a load-balancing
+// invoker with perfect load visibility.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(spec *workload.Spec, machines []MachineState) int {
+	best := 0
+	for i, m := range machines[1:] {
+		if m.Inflight < machines[best].Inflight {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// BinPack is memory-aware best-fit bin-packing: among machines whose free
+// sandbox memory fits the invocation it picks the fullest (consolidating
+// load onto few machines, the keep-alive-friendly choice); when none fits
+// it falls back to the machine with the most free memory.
+type BinPack struct{}
+
+// Name implements Policy.
+func (BinPack) Name() string { return "binpack" }
+
+// Pick implements Policy.
+func (BinPack) Pick(spec *workload.Spec, machines []MachineState) int {
+	bestFit, leastUsed := -1, 0
+	for i, m := range machines {
+		if m.UsedMB < machines[leastUsed].UsedMB {
+			leastUsed = i
+		}
+		if m.UsedMB+spec.MemoryMB > m.CapMB {
+			continue
+		}
+		if bestFit < 0 || m.UsedMB > machines[bestFit].UsedMB {
+			bestFit = i
+		}
+	}
+	if bestFit >= 0 {
+		return bestFit
+	}
+	return leastUsed
+}

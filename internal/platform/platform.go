@@ -27,9 +27,10 @@ type Config struct {
 	// BodyScale uniformly scales function bodies (experiment fast-path).
 	BodyScale float64
 	// StartupScale uniformly scales language startups (and therefore the
-	// Litmus probe window). Zero means 1. It applies to every spawn on the
-	// platform — probes, baselines and billed runs alike — which keeps
-	// probe slowdown readings comparable.
+	// Litmus probe window). Accepted values are [0,1]; zero selects the
+	// default of 1 (unscaled). It applies to every spawn on the platform —
+	// probes, baselines and billed runs alike — which keeps probe slowdown
+	// readings comparable.
 	StartupScale float64
 	// JitterFrac adds a per-invocation uniform body-length jitter in
 	// [-J, +J], modelling input variation. Zero for the paper's averaged
@@ -51,7 +52,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("platform: jitter must be in [0,1)")
 	}
 	if c.StartupScale < 0 || c.StartupScale > 1 {
-		return fmt.Errorf("platform: startup scale must be in (0,1] (or 0 for default)")
+		return fmt.Errorf("platform: startup scale must be in [0,1] (0 selects the default of 1)")
 	}
 	return nil
 }
@@ -241,11 +242,14 @@ func (p *Platform) Warm(durSec float64) {
 	}
 }
 
-// Invoke runs spec to completion on the given hardware thread, maintaining
-// churn, and returns its billed measurement. The Litmus probe is armed over
-// min(startup, 45M instructions) per the paper, and the startup/body
-// boundary is marked.
-func (p *Platform) Invoke(spec *workload.Spec, thread int, maxSec float64) (RunRecord, error) {
+// Begin spawns spec on the given hardware thread with the standard billing
+// instrumentation — the Litmus probe armed over min(startup, 45M
+// instructions) per the paper and the startup/body boundary marked — and
+// returns the running context without stepping the platform. It is the
+// non-blocking half of Invoke: fleet-level callers overlap many invocations
+// on one machine, step the platform themselves, and collect each finished
+// context with Collect.
+func (p *Platform) Begin(spec *workload.Spec, thread int) *engine.Context {
 	scaled := p.scaledSpec(spec)
 	opts := []engine.SpawnOpt{}
 	if n := scaled.StartupInstr(); n > 0 {
@@ -253,20 +257,17 @@ func (p *Platform) Invoke(spec *workload.Spec, thread int, maxSec float64) (RunR
 			engine.WithProbe(math.Min(workload.ProbeInstrCap, n)),
 			engine.WithMark(n))
 	}
-	ctx := p.m.Spawn(scaled, thread, opts...)
-	deadline := p.m.Now() + maxSec
-	for !ctx.Done() && p.m.Now() < deadline {
-		p.Step()
-	}
-	if !ctx.Done() {
-		p.m.Remove(ctx.ID)
-		return RunRecord{}, fmt.Errorf("platform: %s did not finish within %v simulated seconds", spec.Abbr, maxSec)
-	}
+	return p.m.Spawn(scaled, thread, opts...)
+}
+
+// Collect turns a finished context started with Begin into its billed
+// RunRecord and removes it from the machine.
+func (p *Platform) Collect(ctx *engine.Context) RunRecord {
 	tp, ts := ctx.Times()
 	rec := RunRecord{
-		Abbr:     spec.Abbr,
-		Language: spec.Language,
-		MemoryMB: spec.MemoryMB,
+		Abbr:     ctx.Spec.Abbr,
+		Language: ctx.Spec.Language,
+		MemoryMB: ctx.Spec.MemoryMB,
 		TPrivate: tp,
 		TShared:  ts,
 		Wall:     ctx.WallDuration(),
@@ -277,7 +278,24 @@ func (p *Platform) Invoke(spec *workload.Spec, thread int, maxSec float64) (RunR
 		rec.StartupTShared = mark.TSharedSec
 	}
 	p.m.Remove(ctx.ID)
-	return rec, nil
+	return rec
+}
+
+// Invoke runs spec to completion on the given hardware thread, maintaining
+// churn, and returns its billed measurement. The Litmus probe is armed over
+// min(startup, 45M instructions) per the paper, and the startup/body
+// boundary is marked.
+func (p *Platform) Invoke(spec *workload.Spec, thread int, maxSec float64) (RunRecord, error) {
+	ctx := p.Begin(spec, thread)
+	deadline := p.m.Now() + maxSec
+	for !ctx.Done() && p.m.Now() < deadline {
+		p.Step()
+	}
+	if !ctx.Done() {
+		p.m.Remove(ctx.ID)
+		return RunRecord{}, fmt.Errorf("platform: %s did not finish within %v simulated seconds", spec.Abbr, maxSec)
+	}
+	return p.Collect(ctx), nil
 }
 
 // ProbeStartup runs a pure Litmus test: it spawns spec (with the platform's

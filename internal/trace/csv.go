@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The CSV interchange format is one row per (tenant, function) pair with a
+// count column per minute, wide like the Azure Functions invocation traces:
+//
+//	tenant,function,m0,m1,m2,...
+//	tenant-01,aes-py,3,4,8
+//	tenant-01,fib-py,2,5,7
+//
+// Blank lines and lines starting with '#' are ignored. Fields are plain
+// (no quoting): tenant and function names must not contain commas.
+
+// csvHeaderPrefix starts every trace CSV header row.
+const csvHeaderPrefix = "tenant,function"
+
+// WriteCSV writes the trace in the interchange format. The trace must be
+// valid (equal minute counts per row).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, csvHeaderPrefix)
+	for m := 0; m < t.Minutes(); m++ {
+		fmt.Fprintf(bw, ",m%d", m)
+	}
+	fmt.Fprintln(bw)
+	for _, f := range t.Functions {
+		if strings.ContainsRune(f.Tenant, ',') || strings.ContainsRune(f.Abbr, ',') {
+			return fmt.Errorf("trace: name %s/%s contains a comma; not representable in CSV", f.Tenant, f.Abbr)
+		}
+		fmt.Fprintf(bw, "%s,%s", f.Tenant, f.Abbr)
+		for _, n := range f.PerMinute {
+			fmt.Fprintf(bw, ",%d", n)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteCSVFile writes the trace to path in the interchange format.
+func (t *Trace) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV parses a trace in the interchange format. Errors carry the
+// 1-based line number of the offending row.
+func LoadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	t := &Trace{}
+	minutes := -1
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !sawHeader {
+			if !strings.HasPrefix(text, csvHeaderPrefix) {
+				return nil, fmt.Errorf("trace: line %d: header must start with %q", line, csvHeaderPrefix)
+			}
+			minutes = strings.Count(text, ",") - 1
+			if minutes <= 0 {
+				return nil, fmt.Errorf("trace: line %d: header has no minute columns", line)
+			}
+			sawHeader = true
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != minutes+2 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want %d (tenant, function, %d minute counts)",
+				line, len(fields), minutes+2, minutes)
+		}
+		tenant, abbr := strings.TrimSpace(fields[0]), strings.TrimSpace(fields[1])
+		if tenant == "" || abbr == "" {
+			return nil, fmt.Errorf("trace: line %d: empty tenant or function name", line)
+		}
+		row := FunctionTrace{Tenant: tenant, Abbr: abbr, PerMinute: make([]int, minutes)}
+		for i, f := range fields[2:] {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: minute %d: bad count %q", line, i, f)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("trace: line %d: minute %d: negative count %d", line, i, n)
+			}
+			row.PerMinute[i] = n
+		}
+		t.Functions = append(t.Functions, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: empty input (no header)")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LoadCSVFile parses the trace CSV at path.
+func LoadCSVFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := LoadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

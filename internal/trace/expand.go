@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Arrival is one timestamped invocation produced by expanding a trace.
+type Arrival struct {
+	// TimeSec is the arrival time in simulated seconds from trace start.
+	TimeSec float64
+	// Minute is the trace minute the arrival belongs to.
+	Minute int
+	// Tenant and Abbr identify the invocation.
+	Tenant string
+	Abbr   string
+}
+
+// Mode selects how per-minute counts spread into arrival times.
+type Mode int
+
+// Arrival modes.
+const (
+	// Uniform spaces a minute's k arrivals evenly across the minute
+	// (deterministic, seed-independent).
+	Uniform Mode = iota
+	// Poisson places them as a Poisson process conditioned on the count:
+	// k i.i.d. uniform draws over the minute, sorted.
+	Poisson
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Uniform:
+		return "uniform"
+	case Poisson:
+		return "poisson"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseMode resolves an arrival-mode name ("uniform", "poisson").
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "uniform":
+		return Uniform, nil
+	case "poisson":
+		return Poisson, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown arrival mode %q (want uniform or poisson)", name)
+	}
+}
+
+// ExpandConfig parameterises Expand.
+type ExpandConfig struct {
+	// Mode is the within-minute arrival process (default Uniform).
+	Mode Mode
+	// MinuteSec maps one trace minute onto simulated seconds (default 60).
+	// Reduced-scale experiments compress minutes the same way they scale
+	// function bodies.
+	MinuteSec float64
+	// Seed drives Poisson draws; Expand is deterministic per seed.
+	Seed int64
+}
+
+// Expand turns a trace's per-minute counts into a time-sorted arrival
+// stream. Rows are processed in trace order and minutes in ascending order,
+// so the result is deterministic for a fixed config.
+func Expand(t *Trace, cfg ExpandConfig) ([]Arrival, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinuteSec == 0 {
+		cfg.MinuteSec = 60
+	}
+	if cfg.MinuteSec < 0 {
+		return nil, fmt.Errorf("trace: negative minute duration %v", cfg.MinuteSec)
+	}
+	switch cfg.Mode {
+	case Uniform, Poisson:
+	default:
+		return nil, fmt.Errorf("trace: unknown arrival mode %d", cfg.Mode)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x3ad5c1))
+	arrivals := make([]Arrival, 0, t.Invocations())
+	for _, f := range t.Functions {
+		for m, k := range f.PerMinute {
+			start := float64(m) * cfg.MinuteSec
+			for i := 0; i < k; i++ {
+				var off float64
+				switch cfg.Mode {
+				case Uniform:
+					off = (float64(i) + 0.5) * cfg.MinuteSec / float64(k)
+				case Poisson:
+					off = rng.Float64() * cfg.MinuteSec
+				}
+				arrivals = append(arrivals, Arrival{
+					TimeSec: start + off,
+					Minute:  m,
+					Tenant:  f.Tenant,
+					Abbr:    f.Abbr,
+				})
+			}
+		}
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool {
+		a, b := arrivals[i], arrivals[j]
+		if a.TimeSec != b.TimeSec {
+			return a.TimeSec < b.TimeSec
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Abbr < b.Abbr
+	})
+	return arrivals, nil
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+// Shape selects the per-minute rate envelope of a synthesized trace.
+type Shape int
+
+// Rate shapes.
+const (
+	// Steady ramps the rate from StartRate toward TargetRate by StepRate
+	// per minute and holds it there (InVitro-style start → step → target).
+	Steady Shape = iota
+	// Burst applies the Steady ramp, then multiplies every BurstEvery-th
+	// minute by BurstFactor — the bursty tail public traces exhibit.
+	Burst
+	// Diurnal modulates the Steady ramp with a sine day-cycle over
+	// DiurnalPeriod minutes.
+	Diurnal
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case Steady:
+		return "steady"
+	case Burst:
+		return "burst"
+	case Diurnal:
+		return "diurnal"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// ParseShape resolves a shape name ("steady", "burst", "diurnal").
+func ParseShape(name string) (Shape, error) {
+	switch name {
+	case "steady":
+		return Steady, nil
+	case "burst":
+		return Burst, nil
+	case "diurnal":
+		return Diurnal, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown shape %q (want steady, burst or diurnal)", name)
+	}
+}
+
+// SynthConfig drives the deterministic trace synthesizer.
+type SynthConfig struct {
+	// Tenants is the number of synthetic tenants (named tenant-01, …).
+	Tenants int
+	// FunctionsPerTenant is the catalog breadth of each tenant (default 2).
+	FunctionsPerTenant int
+	// Minutes is the trace length.
+	Minutes int
+	// StartRate is the per-function invocation rate (per minute) at minute
+	// zero; StepRate moves it toward TargetRate each minute (the sign is
+	// inferred, so ramp-downs work too). Defaults: start 2, step 1,
+	// target 6.
+	StartRate, StepRate, TargetRate float64
+	// Shape selects the rate envelope (default Steady).
+	Shape Shape
+	// BurstEvery / BurstFactor parameterise Burst (defaults 5 and 4).
+	BurstEvery  int
+	BurstFactor float64
+	// DiurnalPeriod / DiurnalAmp parameterise Diurnal (defaults Minutes
+	// and 0.5).
+	DiurnalPeriod int
+	DiurnalAmp    float64
+	// Jitter adds a uniform ±Jitter fractional wobble to each per-minute
+	// count (0 = exact envelope).
+	Jitter float64
+	// Pool is the function-abbreviation pool tenants draw from; default is
+	// the catalog's 14-function test set.
+	Pool []string
+	// Seed drives all randomness; equal configs yield equal traces.
+	Seed int64
+}
+
+func (c *SynthConfig) setDefaults() {
+	if c.FunctionsPerTenant == 0 {
+		c.FunctionsPerTenant = 2
+	}
+	if c.StartRate == 0 && c.TargetRate == 0 {
+		c.StartRate, c.StepRate, c.TargetRate = 2, 1, 6
+	}
+	if c.StepRate == 0 {
+		c.StepRate = 1
+	}
+	if c.BurstEvery == 0 {
+		c.BurstEvery = 5
+	}
+	if c.BurstFactor == 0 {
+		c.BurstFactor = 4
+	}
+	if c.DiurnalPeriod == 0 {
+		c.DiurnalPeriod = c.Minutes
+	}
+	if c.DiurnalAmp == 0 {
+		c.DiurnalAmp = 0.5
+	}
+	if len(c.Pool) == 0 {
+		for _, s := range workload.TestSet() {
+			c.Pool = append(c.Pool, s.Abbr)
+		}
+	}
+}
+
+// Validate reports configuration errors (after defaulting).
+func (c SynthConfig) Validate() error {
+	if c.Tenants <= 0 || c.Minutes <= 0 {
+		return fmt.Errorf("trace: tenants and minutes must be positive")
+	}
+	if c.FunctionsPerTenant <= 0 || c.FunctionsPerTenant > len(c.Pool) {
+		return fmt.Errorf("trace: functions per tenant must be in [1,%d] (pool size)", len(c.Pool))
+	}
+	if c.StartRate < 0 || c.TargetRate < 0 {
+		return fmt.Errorf("trace: negative invocation rate")
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("trace: jitter must be in [0,1)")
+	}
+	if c.BurstFactor <= 0 || c.BurstEvery <= 0 {
+		return fmt.Errorf("trace: burst factor and period must be positive")
+	}
+	return nil
+}
+
+// rateAt evaluates the rate envelope at minute m.
+func (c SynthConfig) rateAt(m int) float64 {
+	step := math.Abs(c.StepRate)
+	var r float64
+	if c.TargetRate >= c.StartRate {
+		r = math.Min(c.TargetRate, c.StartRate+step*float64(m))
+	} else {
+		r = math.Max(c.TargetRate, c.StartRate-step*float64(m))
+	}
+	switch c.Shape {
+	case Burst:
+		if (m+1)%c.BurstEvery == 0 {
+			r *= c.BurstFactor
+		}
+	case Diurnal:
+		r *= 1 + c.DiurnalAmp*math.Sin(2*math.Pi*float64(m)/float64(c.DiurnalPeriod))
+	}
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Synthesize builds a trace from cfg. It is fully deterministic: the same
+// configuration (including Seed) always yields the same trace. Tenant i
+// draws FunctionsPerTenant consecutive pool entries starting at offset i,
+// so neighbouring tenants overlap in functions but differ in mix.
+func Synthesize(cfg SynthConfig) (*Trace, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x1f7a9d3))
+	t := &Trace{}
+	for ti := 0; ti < cfg.Tenants; ti++ {
+		tenant := fmt.Sprintf("tenant-%02d", ti+1)
+		for fi := 0; fi < cfg.FunctionsPerTenant; fi++ {
+			abbr := cfg.Pool[(ti+fi)%len(cfg.Pool)]
+			row := FunctionTrace{Tenant: tenant, Abbr: abbr, PerMinute: make([]int, cfg.Minutes)}
+			for m := 0; m < cfg.Minutes; m++ {
+				r := cfg.rateAt(m)
+				if cfg.Jitter > 0 {
+					r *= 1 + (rng.Float64()*2-1)*cfg.Jitter
+				}
+				row.PerMinute[m] = int(math.Round(r))
+			}
+			t.Functions = append(t.Functions, row)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

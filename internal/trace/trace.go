@@ -1,0 +1,110 @@
+// Package trace models fleet-scale invocation traffic: per-function,
+// per-minute invocation counts of the kind public FaaS traces expose
+// (Azure Functions' per-minute histograms, vHive InVitro's synthesized
+// variants). A Trace is pure data — a set of (tenant, function) rows, each
+// with one invocation count per trace minute — plus:
+//
+//   - a deterministic synthesizer (Synthesize) that ramps a start rate
+//     toward a target with optional burst or diurnal shaping;
+//   - a CSV writer/loader (WriteCSV, LoadCSV) for interchanging traces with
+//     external tools, with line-numbered load errors;
+//   - an arrival-time expander (Expand) that turns the per-minute counts
+//     into timestamped invocations (uniform or Poisson within each minute),
+//     the input the fleet simulator replays.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FunctionTrace is one (tenant, function) row: how many times the tenant
+// invoked the function in each trace minute.
+type FunctionTrace struct {
+	// Tenant owns the invocations (bills accrue here).
+	Tenant string `json:"tenant"`
+	// Abbr is the function's catalog abbreviation (e.g. "aes-py").
+	Abbr string `json:"abbr"`
+	// PerMinute holds one invocation count per trace minute.
+	PerMinute []int `json:"perMinute"`
+}
+
+// Invocations returns the row's total invocation count.
+func (f FunctionTrace) Invocations() int {
+	total := 0
+	for _, n := range f.PerMinute {
+		total += n
+	}
+	return total
+}
+
+// Trace is a complete multi-tenant invocation trace.
+type Trace struct {
+	Functions []FunctionTrace `json:"functions"`
+}
+
+// Minutes returns the trace length; all rows of a valid trace agree on it.
+func (t *Trace) Minutes() int {
+	if len(t.Functions) == 0 {
+		return 0
+	}
+	return len(t.Functions[0].PerMinute)
+}
+
+// Invocations returns the trace's total invocation count.
+func (t *Trace) Invocations() int {
+	total := 0
+	for _, f := range t.Functions {
+		total += f.Invocations()
+	}
+	return total
+}
+
+// Tenants returns the sorted set of tenant names appearing in the trace.
+func (t *Trace) Tenants() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range t.Functions {
+		if !seen[f.Tenant] {
+			seen[f.Tenant] = true
+			out = append(out, f.Tenant)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate reports structural problems: an empty trace, empty tenant or
+// function names, ragged minute counts, negative counts, or duplicate
+// (tenant, function) rows.
+func (t *Trace) Validate() error {
+	if len(t.Functions) == 0 {
+		return fmt.Errorf("trace: no function rows")
+	}
+	minutes := len(t.Functions[0].PerMinute)
+	if minutes == 0 {
+		return fmt.Errorf("trace: zero trace minutes")
+	}
+	seen := make(map[[2]string]bool, len(t.Functions))
+	for i, f := range t.Functions {
+		if f.Tenant == "" || f.Abbr == "" {
+			return fmt.Errorf("trace: row %d: empty tenant or function name", i)
+		}
+		if len(f.PerMinute) != minutes {
+			return fmt.Errorf("trace: row %d (%s/%s): %d minutes, want %d",
+				i, f.Tenant, f.Abbr, len(f.PerMinute), minutes)
+		}
+		key := [2]string{f.Tenant, f.Abbr}
+		if seen[key] {
+			return fmt.Errorf("trace: duplicate row for %s/%s", f.Tenant, f.Abbr)
+		}
+		seen[key] = true
+		for m, n := range f.PerMinute {
+			if n < 0 {
+				return fmt.Errorf("trace: row %d (%s/%s): negative count %d at minute %d",
+					i, f.Tenant, f.Abbr, n, m)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func synthCfg(seed int64) SynthConfig {
+	return SynthConfig{
+		Tenants:            3,
+		FunctionsPerTenant: 2,
+		Minutes:            6,
+		StartRate:          2,
+		StepRate:           2,
+		TargetRate:         8,
+		Shape:              Burst,
+		BurstEvery:         3,
+		BurstFactor:        3,
+		Jitter:             0.2,
+		Seed:               seed,
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, err := Synthesize(synthCfg(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(synthCfg(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c, err := Synthesize(synthCfg(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces (jitter not applied?)")
+	}
+	if a.Invocations() == 0 {
+		t.Fatal("empty trace synthesized")
+	}
+	if got := len(a.Tenants()); got != 3 {
+		t.Fatalf("tenants = %d, want 3", got)
+	}
+}
+
+func TestSynthesizeRampAndBurst(t *testing.T) {
+	cfg := synthCfg(1)
+	cfg.Jitter = 0
+	cfg.Shape = Steady
+	tr, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tr.Functions[0].PerMinute
+	// start 2, step 2, target 8: expect 2,4,6,8,8,8.
+	want := []int{2, 4, 6, 8, 8, 8}
+	if !reflect.DeepEqual(row, want) {
+		t.Fatalf("steady ramp = %v, want %v", row, want)
+	}
+	cfg.Shape = Burst
+	tr, err = Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row = tr.Functions[0].PerMinute
+	// every 3rd minute ×3: 2,4,18,8,8,24.
+	want = []int{2, 4, 18, 8, 8, 24}
+	if !reflect.DeepEqual(row, want) {
+		t.Fatalf("burst ramp = %v, want %v", row, want)
+	}
+}
+
+// TestRoundTrip is the satellite's core check: synthesize → write CSV →
+// load → expand arrivals, deterministic under a fixed seed.
+func TestRoundTrip(t *testing.T) {
+	tr, err := Synthesize(synthCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("loading written CSV: %v", err)
+	}
+	if !reflect.DeepEqual(tr, loaded) {
+		t.Fatalf("round trip changed the trace:\nwrote %+v\nread  %+v", tr, loaded)
+	}
+
+	for _, mode := range []Mode{Uniform, Poisson} {
+		cfg := ExpandConfig{Mode: mode, MinuteSec: 0.5, Seed: 99}
+		a, err := Expand(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Expand(loaded, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: expansion differs between original and round-tripped trace", mode)
+		}
+		if len(a) != tr.Invocations() {
+			t.Fatalf("%v: %d arrivals, want %d", mode, len(a), tr.Invocations())
+		}
+		last := -1.0
+		for _, arr := range a {
+			if arr.TimeSec < last {
+				t.Fatalf("%v: arrivals not time-sorted", mode)
+			}
+			last = arr.TimeSec
+			lo := float64(arr.Minute) * cfg.MinuteSec
+			if arr.TimeSec < lo || arr.TimeSec > lo+cfg.MinuteSec {
+				t.Fatalf("%v: arrival at %v outside its minute %d", mode, arr.TimeSec, arr.Minute)
+			}
+		}
+	}
+}
+
+// TestLoadRejectsMalformed is a property test: random corruptions of a valid
+// CSV are rejected with an error naming the corrupted line.
+func TestLoadRejectsMalformed(t *testing.T) {
+	tr, err := Synthesize(synthCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+
+	corruptions := []struct {
+		name string
+		mut  func(row string) string
+	}{
+		{"drop-field", func(r string) string { return r[:strings.LastIndex(r, ",")] }},
+		{"extra-field", func(r string) string { return r + ",1" }},
+		{"non-numeric", func(r string) string { return r[:strings.LastIndex(r, ",")] + ",x7" }},
+		{"negative", func(r string) string { return r[:strings.LastIndex(r, ",")] + ",-2" }},
+		{"empty-tenant", func(r string) string { return r[strings.Index(r, ","):] }},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range corruptions {
+		for trial := 0; trial < 10; trial++ {
+			// Pick a random data row (lines[0] is the header).
+			i := 1 + rng.Intn(len(lines)-1)
+			mutated := append([]string(nil), lines...)
+			mutated[i] = c.mut(mutated[i])
+			_, err := LoadCSV(strings.NewReader(strings.Join(mutated, "\n")))
+			if err == nil {
+				t.Fatalf("%s: corrupted line %d accepted", c.name, i+1)
+			}
+			wantLine := "line " + strconv.Itoa(i+1)
+			if !strings.Contains(err.Error(), wantLine) {
+				t.Fatalf("%s: error %q does not name %s", c.name, err, wantLine)
+			}
+		}
+	}
+
+	// Structural corruptions without a single offending line.
+	for _, bad := range []string{
+		"",
+		"function,tenant,m0\nx,y,1",
+		"tenant,function\n",
+	} {
+		if _, err := LoadCSV(strings.NewReader(bad)); err == nil {
+			t.Fatalf("malformed input %q accepted", bad)
+		}
+	}
+
+	// Duplicate rows are rejected even when each line is well-formed.
+	dup := lines[0] + "\n" + lines[1] + "\n" + lines[1]
+	if _, err := LoadCSV(strings.NewReader(dup)); err == nil {
+		t.Fatal("duplicate (tenant, function) row accepted")
+	}
+}
+
+func TestLoadIgnoresCommentsAndBlankLines(t *testing.T) {
+	in := "# a comment\n\ntenant,function,m0,m1\n# another\nt1,f1,1,2\n\nt1,f2,0,3\n"
+	tr, err := LoadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Invocations() != 6 || tr.Minutes() != 2 || len(tr.Functions) != 2 {
+		t.Fatalf("unexpected parse: %+v", tr)
+	}
+}
+
+func TestExpandUniformIsSeedIndependent(t *testing.T) {
+	tr, err := Synthesize(synthCfg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Expand(tr, ExpandConfig{Mode: Uniform, MinuteSec: 1, Seed: 1})
+	b, _ := Expand(tr, ExpandConfig{Mode: Uniform, MinuteSec: 1, Seed: 2})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("uniform expansion depends on seed")
+	}
+}
+
+// FuzzLoadCSV asserts the loader never panics and, when it accepts input,
+// the result is a valid trace that survives a write/load round trip.
+func FuzzLoadCSV(f *testing.F) {
+	tr, err := Synthesize(synthCfg(13))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("tenant,function,m0\nt,f,1")
+	f.Add("tenant,function,m0\nt,f,-1")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := LoadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("loader accepted invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := tr.WriteCSV(&out); err != nil {
+			t.Fatalf("re-writing accepted trace: %v", err)
+		}
+		if _, err := LoadCSV(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-loading written trace: %v", err)
+		}
+	})
+}

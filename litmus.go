@@ -28,7 +28,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/platform"
+	"repro/internal/render"
+	"repro/internal/trace"
 	"repro/internal/trafficgen"
 	"repro/internal/workload"
 )
@@ -108,6 +111,29 @@ type (
 	ExperimentConfig = exp.Config
 	// ExperimentResult is an experiment's output.
 	ExperimentResult = exp.Result
+
+	// Trace is a multi-tenant per-minute invocation trace.
+	Trace = trace.Trace
+	// TraceSynthConfig drives the deterministic trace synthesizer.
+	TraceSynthConfig = trace.SynthConfig
+	// TraceExpandConfig turns per-minute counts into timestamped arrivals.
+	TraceExpandConfig = trace.ExpandConfig
+	// Arrival is one timestamped invocation of an expanded trace.
+	Arrival = trace.Arrival
+
+	// FleetConfig describes a fleet of simulated machines.
+	FleetConfig = fleet.Config
+	// Fleet is a set of concurrently-stepped machines behind a routing
+	// policy.
+	Fleet = fleet.Fleet
+	// FleetMeterConfig parameterises the streaming metering pipeline.
+	FleetMeterConfig = fleet.MeterConfig
+	// FleetReport is the meter's per-tenant billing aggregate.
+	FleetReport = fleet.Report
+	// FleetResult is a run's per-machine statistics.
+	FleetResult = fleet.Result
+	// RoutePolicy routes arrivals to machines.
+	RoutePolicy = fleet.Policy
 )
 
 // Language runtimes.
@@ -255,6 +281,33 @@ func RunPOPPA(p *Platform, spec *FunctionSpec, thread int, cfg POPPAConfig, maxS
 
 // DefaultPOPPAConfig returns the baseline's default sampling cadence.
 func DefaultPOPPAConfig() POPPAConfig { return core.DefaultPOPPAConfig() }
+
+// --- Traces and fleets -------------------------------------------------------
+
+// SynthesizeTrace builds a deterministic invocation trace.
+func SynthesizeTrace(cfg TraceSynthConfig) (*Trace, error) { return trace.Synthesize(cfg) }
+
+// LoadTraceCSV parses the trace CSV at path (line-numbered errors).
+func LoadTraceCSV(path string) (*Trace, error) { return trace.LoadCSVFile(path) }
+
+// ExpandTrace turns a trace's per-minute counts into timestamped arrivals.
+func ExpandTrace(t *Trace, cfg TraceExpandConfig) ([]Arrival, error) { return trace.Expand(t, cfg) }
+
+// NewFleet builds a fleet of simulated machines.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// ParseRoutePolicy resolves a routing-policy name ("round-robin",
+// "least-loaded", "binpack").
+func ParseRoutePolicy(name string) (RoutePolicy, error) { return fleet.ParsePolicy(name) }
+
+// SimulateFleet replays arrivals across a fleet while the streaming meter
+// prices and aggregates every completed invocation.
+func SimulateFleet(cfg FleetConfig, arrivals []Arrival, mcfg FleetMeterConfig) (*FleetReport, FleetResult, error) {
+	return fleet.Simulate(cfg, arrivals, mcfg)
+}
+
+// FleetMachineTable renders a run's per-machine occupancy and throughput.
+func FleetMachineTable(res FleetResult) *render.Table { return fleet.MachineTable(res) }
 
 // --- Experiments -------------------------------------------------------------
 
