@@ -7,6 +7,7 @@
 //	fleetsim -machines 4 -tenants 3 -minutes 5            # synthesized trace
 //	fleetsim -trace trace.csv -policy binpack             # replay a CSV trace
 //	fleetsim -machines 8 -shape burst -format json        # machine-readable
+//	fleetsim -remote http://127.0.0.1:8080                # bill via pricingd
 //
 // Without -trace a deterministic trace is synthesized (InVitro-style ramp
 // from -start-rate toward -target-rate, optional burst/diurnal shaping) and
@@ -15,9 +16,19 @@
 // startup. Trace minutes are compressed onto the simulated clock via
 // -minute-sec, the same fast-path scaling the examples apply to function
 // bodies.
+//
+// With -remote the simulator drives a live pricing service end to end: it
+// pushes its calibration tables to the service (If-Match guarded, so a
+// concurrent calibrator cannot be clobbered), streams every completed
+// invocation over the /v3 NDJSON usage API with idempotency keys (-run-id
+// makes retries replay-safe), then reads the service-side summaries of the
+// run's tenants back and prints them next to the local bills. Against a
+// fresh service the two agree exactly; the ledger is cumulative, so a
+// service that has billed these tenants before shows its running totals.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +36,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/platform"
@@ -59,6 +71,8 @@ type options struct {
 	seed          int64
 	format        string
 	quiet         bool
+	remote        string
+	runID         string
 }
 
 func defaultOptions() options {
@@ -111,6 +125,8 @@ func main() {
 	flag.Float64Var(&o.startupScale, "startup-scale", o.startupScale, "language startup scale in [0,1]")
 	flag.Int64Var(&o.seed, "seed", o.seed, "seed for synthesis, arrivals and machines")
 	flag.StringVar(&o.format, "format", o.format, "output format: table, csv or json")
+	flag.StringVar(&o.remote, "remote", o.remote, "pricing-service base URL; stream usage to it and read statements back")
+	flag.StringVar(&o.runID, "run-id", o.runID, "idempotency run ID for -remote (default: time-derived; reuse to make retries replay-safe)")
 	flag.BoolVar(&o.quiet, "q", o.quiet, "suppress progress logging")
 	flag.Parse()
 
@@ -129,6 +145,16 @@ type output struct {
 	} `json:"trace"`
 	Report *fleet.Report `json:"report"`
 	Result fleet.Result  `json:"result"`
+	Remote *remoteOutput `json:"remote,omitempty"`
+}
+
+// remoteOutput reports the -remote leg: what the service accepted and the
+// statements it serves for the run's tenants.
+type remoteOutput struct {
+	BaseURL  string                `json:"baseURL"`
+	RunID    string                `json:"runID"`
+	Delivery fleet.RemoteSinkStats `json:"delivery"`
+	Tenants  []api.TenantSummary   `json:"tenants"`
 }
 
 // run executes one fleet simulation and writes the report to w (progress to
@@ -196,6 +222,33 @@ func run(w, errw io.Writer, o options) error {
 		core.Litmus{Models: models, RateBase: 1},
 	}
 
+	// --- remote service --------------------------------------------------
+	ctx := context.Background()
+	var client *api.Client
+	var sink *fleet.RemoteSink
+	runID := o.runID
+	if o.remote != "" {
+		client = api.NewClient(o.remote)
+		if err := client.Health(ctx); err != nil {
+			return fmt.Errorf("remote %s: %w", o.remote, err)
+		}
+		// Push the local tables so both sides price through the same
+		// models; If-Match pins the swap to the version we read, so a
+		// concurrent calibrator's update is never silently overwritten.
+		_, etag, err := client.TablesWithETag(ctx)
+		if err != nil {
+			return fmt.Errorf("remote tables: %w", err)
+		}
+		if _, _, err := client.SwapTablesIfMatch(ctx, cal, etag); err != nil {
+			return fmt.Errorf("pushing tables: %w", err)
+		}
+		if runID == "" {
+			runID = fmt.Sprintf("fleetsim-%d", time.Now().UnixNano())
+		}
+		sink = fleet.NewRemoteSink(ctx, client, fleet.RemoteSinkConfig{RunID: runID})
+		progress("streaming usage to %s (run %s)", o.remote, runID)
+	}
+
 	// --- fleet + metering ----------------------------------------------
 	fcfg := fleet.Config{
 		Machines:      o.machines,
@@ -209,6 +262,9 @@ func run(w, errw io.Writer, o options) error {
 		Pricers:       pricers,
 		WindowMinutes: o.windowMinutes,
 	}
+	if sink != nil {
+		mcfg.Sink = sink
+	}
 	progress("running %d machines (%s)…", o.machines, policy.Name())
 	start := time.Now()
 	rep, res, err := fleet.Simulate(fcfg, arrivals, mcfg)
@@ -218,15 +274,37 @@ func run(w, errw io.Writer, o options) error {
 	progress("simulated %.2f seconds in %v (%d completed, %d dropped)",
 		res.SimSec, time.Since(start).Round(time.Millisecond), res.Completed, res.Dropped)
 
+	var remote *remoteOutput
+	if client != nil {
+		if rep.SinkErrors > 0 {
+			return fmt.Errorf("remote delivery failed %d times: %v", rep.SinkErrors, rep.Errors)
+		}
+		remote, err = collectRemote(ctx, client, o.remote, runID, sink, rep)
+		if err != nil {
+			return err
+		}
+		progress("remote accepted %d records (%d duplicates)", remote.Delivery.Accepted, remote.Delivery.Duplicates)
+	}
+
 	// --- output ---------------------------------------------------------
 	switch o.format {
 	case "table":
 		fmt.Fprintln(w, rep.BillTable())
 		fmt.Fprintln(w, fleet.MachineTable(res))
+		if remote != nil {
+			printRemote(w, rep, remote)
+		}
 	case "csv":
 		fmt.Fprint(w, rep.BillTable().CSV())
 		fmt.Fprintln(w)
 		fmt.Fprint(w, fleet.MachineTable(res).CSV())
+		if remote != nil {
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, "tenant,invocations,commercial,billed,discount")
+			for _, sum := range remote.Tenants {
+				fmt.Fprintf(w, "%s,%d,%g,%g,%g\n", sum.Tenant, sum.Invocations, sum.Commercial, sum.Billed, sum.Discount)
+			}
+		}
 	case "json":
 		var doc output
 		doc.Trace.Functions = len(tr.Functions)
@@ -234,11 +312,43 @@ func run(w, errw io.Writer, o options) error {
 		doc.Trace.Invocations = tr.Invocations()
 		doc.Report = rep
 		doc.Result = res
+		doc.Remote = remote
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(doc)
 	}
 	return nil
+}
+
+// collectRemote reads back the service-side summaries of exactly the
+// tenants this run billed. A long-lived service may hold other clients'
+// tenants — and, across runs, cumulative accruals for ours — so the
+// listing is scoped to the run rather than paged wholesale.
+func collectRemote(ctx context.Context, client *api.Client, baseURL, runID string, sink *fleet.RemoteSink, rep *fleet.Report) (*remoteOutput, error) {
+	out := &remoteOutput{BaseURL: baseURL, RunID: runID, Delivery: sink.Stats()}
+	for _, bill := range rep.Tenants {
+		sum, err := client.TenantSummary(ctx, bill.Tenant)
+		if err != nil {
+			return nil, fmt.Errorf("remote summary for %s: %w", bill.Tenant, err)
+		}
+		out.Tenants = append(out.Tenants, sum)
+	}
+	return out, nil
+}
+
+// printRemote renders the service-side summaries next to the local bills.
+// Against a fresh service the two agree exactly; a service that has billed
+// these tenants before shows its cumulative totals.
+func printRemote(w io.Writer, rep *fleet.Report, remote *remoteOutput) {
+	fmt.Fprintf(w, "Remote tenant summaries, cumulative (%s):\n", remote.BaseURL)
+	local := map[string]float64{}
+	for _, b := range rep.Tenants {
+		local[b.Tenant] = b.Bills[rep.Primary]
+	}
+	for _, sum := range remote.Tenants {
+		fmt.Fprintf(w, "  %-12s invocations %6d  commercial %12.2f  billed %12.2f  (discount %5.1f%%, local %s %12.2f)\n",
+			sum.Tenant, sum.Invocations, sum.Commercial, sum.Billed, 100*sum.Discount, rep.Primary, local[sum.Tenant])
+	}
 }
 
 // loadOrSynthesize resolves the input trace.

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/api"
+	"repro/internal/api/apitest"
 )
 
 // smallOptions returns a CI-sized run: 2 machines, 2 tenants, 2 minutes on
@@ -91,6 +95,72 @@ func TestRunWriteAndReplayTrace(t *testing.T) {
 	}
 	if outA.String() != outB.String() {
 		t.Errorf("replay of the exported trace differs:\n--- synthesized\n%s\n--- replayed\n%s", outA.String(), outB.String())
+	}
+}
+
+// TestRunRemote is the fleet→service smoke: the simulator drives an
+// in-process pricingd handler stack end to end — pushes its tables
+// (If-Match), streams usage over /v3, reads the statements back — and the
+// remote bills must equal the local litmus bills record for record.
+func TestRunRemote(t *testing.T) {
+	srv, err := api.New(api.Config{Calibration: apitest.Calibration()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	var out, errw bytes.Buffer
+	o := smallOptions()
+	o.format = "json"
+	o.remote = ts.URL
+	o.runID = "smoke-run"
+	if err := run(&out, &errw, o); err != nil {
+		t.Fatalf("run: %v (progress: %s)", err, errw.String())
+	}
+	var doc output
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Remote == nil {
+		t.Fatal("no remote section in output")
+	}
+	d := doc.Remote.Delivery
+	if d.Records != doc.Result.Completed || d.Accepted != d.Records || d.Rejected != 0 || d.Dropped != 0 {
+		t.Fatalf("delivery = %+v, completed %d", d, doc.Result.Completed)
+	}
+	if len(doc.Remote.Tenants) != len(doc.Report.Tenants) {
+		t.Fatalf("remote %d tenants, local %d", len(doc.Remote.Tenants), len(doc.Report.Tenants))
+	}
+	for i, sum := range doc.Remote.Tenants {
+		local := doc.Report.Tenants[i]
+		if sum.Tenant != local.Tenant || sum.Invocations != int64(local.Invocations) {
+			t.Errorf("tenant %d: remote %+v, local %s/%d", i, sum, local.Tenant, local.Invocations)
+		}
+		want := local.Bills[doc.Report.Primary]
+		if math.Abs(sum.Billed-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("%s: remote billed %v, local %s %v", sum.Tenant, sum.Billed, doc.Report.Primary, want)
+		}
+	}
+
+	// Re-running under the same run ID replays the same keys: the service
+	// must dedup every record instead of double-billing.
+	var out2, errw2 bytes.Buffer
+	if err := run(&out2, &errw2, o); err != nil {
+		t.Fatalf("replay run: %v (progress: %s)", err, errw2.String())
+	}
+	var doc2 output
+	if err := json.Unmarshal(out2.Bytes(), &doc2); err != nil {
+		t.Fatal(err)
+	}
+	d2 := doc2.Remote.Delivery
+	if d2.Duplicates != d2.Records || d2.Accepted != 0 {
+		t.Fatalf("replay delivery = %+v, want all duplicates", d2)
+	}
+	for i, sum := range doc2.Remote.Tenants {
+		if sum != doc.Remote.Tenants[i] {
+			t.Errorf("replay changed remote statement: %+v != %+v", sum, doc.Remote.Tenants[i])
+		}
 	}
 }
 

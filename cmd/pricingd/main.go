@@ -4,15 +4,21 @@
 // It loads calibration tables (produced by cmd/litmuscalib) or calibrates a
 // simulated machine at startup, then serves:
 //
-//	GET  /healthz                     — liveness
+//	GET  /healthz                     — liveness + ledger saturation counters
 //	GET  /v1/tables                   — the calibration tables (legacy)
 //	POST /v1/quote                    — price one invocation (legacy)
 //	POST /v2/quote                    — price one invocation (named pricer,
 //	                                    optional tenant ledger accrual)
 //	POST /v2/quotes                   — batch quoting
+//	POST /v2/meter                    — usage batch into the tenant ledger
 //	GET  /v2/pricers                  — the named pricer registry
 //	GET|POST /v2/tables               — read / hot-swap the tables
 //	GET  /v2/tenants/{tenant}/summary — per-tenant billing ledger
+//	POST /v3/usage                    — streaming NDJSON usage ingest with
+//	                                    idempotent retries
+//	GET  /v3/tenants                  — paginated, sorted tenant listing
+//	GET  /v3/tenants/{tenant}/statement — windowed per-tenant bill
+//	GET|PUT /v3/tables                — versioned tables (ETag / If-Match)
 //
 // A quote request carries exactly what a real agent would read from perf:
 // the billed T_private/T_shared, the sandbox memory size, and the Litmus
@@ -41,13 +47,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		tables   = flag.String("tables", "", "calibration tables JSON (from litmuscalib); empty = calibrate now")
-		scale    = flag.Float64("scale", 0.25, "body scale for startup calibration when -tables is empty")
-		seed     = flag.Int64("seed", 7, "seed for startup calibration")
-		rateBase = flag.Float64("rate-base", 1, "flat per-MB-second rate (the paper normalises to 1)")
-		maxBody  = flag.Int64("max-body", api.DefaultMaxBodyBytes, "request body size limit in bytes")
-		shareK   = flag.Int("share-per-core", 0, "co-runners per core for litmus-method1 pricing (0 = disabled; >1 measures the temporal-sharing curve at startup)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		tables     = flag.String("tables", "", "calibration tables JSON (from litmuscalib); empty = calibrate now")
+		scale      = flag.Float64("scale", 0.25, "body scale for startup calibration when -tables is empty")
+		seed       = flag.Int64("seed", 7, "seed for startup calibration")
+		rateBase   = flag.Float64("rate-base", 1, "flat per-MB-second rate (the paper normalises to 1)")
+		maxBody    = flag.Int64("max-body", api.DefaultMaxBodyBytes, "request body (and /v3/usage line) size limit in bytes")
+		maxTenants = flag.Int("max-tenants", api.DefaultMaxTenants, "tenant ledger cap (drops beyond it are counted on /healthz)")
+		windowMin  = flag.Int("window-min", 1, "statement window width in trace minutes")
+		shareK     = flag.Int("share-per-core", 0, "co-runners per core for litmus-method1 pricing (0 = disabled; >1 measures the temporal-sharing curve at startup)")
 	)
 	flag.Parse()
 
@@ -56,9 +64,11 @@ func main() {
 		log.Fatalf("pricingd: %v", err)
 	}
 	cfg := api.Config{
-		Calibration:  cal,
-		RateBase:     *rateBase,
-		MaxBodyBytes: *maxBody,
+		Calibration:   cal,
+		RateBase:      *rateBase,
+		MaxBodyBytes:  *maxBody,
+		MaxTenants:    *maxTenants,
+		WindowMinutes: *windowMin,
 	}
 	if *shareK > 1 {
 		sharing, err := measureSharing(*scale, *seed)

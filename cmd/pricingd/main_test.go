@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/api"
@@ -58,6 +59,35 @@ func TestServerWiring(t *testing.T) {
 		"tPrivate": 0.08, "tShared": 0.02,
 		"probe": {"tPrivate": 0.0195, "tShared": 0.0076, "machineL3Misses": 1.2e7}
 	}`
+	// The /v3 resources are wired: a streamed record lands in a statement.
+	nd := `{"tenant":"acme","language":"py","memoryMB":512,"tPrivate":0.08,"tShared":0.02,
+		"probe":{"tPrivate":0.0195,"tShared":0.0076,"machineL3Misses":1.2e7}}`
+	resp, err = http.Post(ts.URL+"/v3/usage", "application/x-ndjson",
+		bytes.NewReader([]byte(strings.ReplaceAll(nd, "\n", " ")+"\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed api.UsageStreamResponse
+	if err := json.NewDecoder(resp.Body).Decode(&streamed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if streamed.Accepted != 1 {
+		t.Fatalf("stream = %+v", streamed)
+	}
+	resp, err = http.Get(ts.URL + "/v3/tenants/acme/statement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stmt api.StatementResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stmt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stmt.Invocations != 1 || stmt.Billed <= 0 {
+		t.Errorf("statement = %+v", stmt)
+	}
+
 	for _, path := range []string{"/v1/quote", "/v2/quote"} {
 		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
 		if err != nil {

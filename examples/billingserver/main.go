@@ -2,7 +2,10 @@
 // reusable service layer. It calibrates a machine, serves the versioned
 // pricing API on a local port, then plays a tenant agent: it measures a
 // function on a congested machine and bills it through the typed client —
-// a single /v2 quote, a batch, and the tenant's ledger summary.
+// a single /v2 quote, a batch, and the tenant's ledger summary — before
+// switching to the resource-oriented /v3 surface: it streams usage records
+// as NDJSON under an idempotency key, proves a replay cannot double-bill,
+// and reads the tenant's windowed statement back.
 //
 //	go run ./examples/billingserver
 package main
@@ -104,4 +107,46 @@ func main() {
 	fmt.Printf("  commercial:  %10.2f MB·s\n", sum.Commercial)
 	fmt.Printf("  billed:      %10.2f MB·s (aggregate discount %.1f%%)\n",
 		sum.Billed, 100*sum.Discount)
+
+	// The /v3 surface: stream usage as NDJSON, windowed by trace minute,
+	// under an idempotency key.
+	var records []litmus.UsageRecord
+	for minute, abbr := range []string{"aes-py", "fib-py", "thum-py"} {
+		rec, err := p.Invoke(litmus.FunctionsByAbbr()[abbr], 0, 600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		records = append(records, litmus.UsageRecord{
+			QuoteRequest: litmus.QuoteRequest{Usage: litmus.UsageFromRecord(rec), Tenant: tenant},
+			Minute:       minute,
+		})
+	}
+	streamed, err := client.StreamUsage(ctx, "billing-demo", records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPOST /v3/usage (NDJSON stream of %d):\n", len(records))
+	fmt.Printf("  accepted: %d, duplicates: %d, rejected: %d\n",
+		streamed.Accepted, streamed.Duplicates, streamed.Rejected)
+
+	// A retry under the same key is a no-op — the service dedups it.
+	replayed, err := client.StreamUsage(ctx, "billing-demo", records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  replay under the same key: accepted %d, duplicates %d (no double-billing)\n",
+		replayed.Accepted, replayed.Duplicates)
+
+	// The windowed statement: commercial vs charged, minute by minute.
+	stmt, err := client.Statement(ctx, tenant, 0, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET /v3/tenants/%s/statement:\n", tenant)
+	for _, line := range stmt.Lines {
+		fmt.Printf("  minute %2d: %2d invocations, commercial %10.2f → billed %10.2f MB·s\n",
+			line.StartMinute, line.Invocations, line.Commercial, line.Billed)
+	}
+	fmt.Printf("  TOTAL:     %2d invocations, commercial %10.2f → billed %10.2f (discount %.1f%%)\n",
+		stmt.Invocations, stmt.Commercial, stmt.Billed, 100*stmt.Discount)
 }

@@ -1,11 +1,11 @@
 // Package api is the versioned HTTP surface of the Litmus pricing service:
 // a reusable Server that prices invocations through core.Pricer — the exact
-// code the in-process simulation path uses — and a typed Client for tenant
-// agents.
+// code the in-process simulation path uses — bills them through the
+// internal/ledger subsystem, and a typed Client for tenant agents.
 //
 // Versioned endpoints:
 //
-//	GET  /healthz                    — liveness
+//	GET  /healthz                    — liveness + ledger saturation counters
 //	POST /v1/quote                   — legacy single quote (wire-compatible
 //	                                   with the original pricingd)
 //	GET  /v1/tables                  — legacy calibration dump
@@ -13,7 +13,7 @@
 //	                                   tenant ledger accrual
 //	POST /v2/quotes                  — batch quote, priced concurrently,
 //	                                   response order matches request order
-//	POST /v2/meter                   — stream a usage batch into the tenant
+//	POST /v2/meter                   — buffered usage batch into the tenant
 //	                                   ledger (partial batches accrue; bad
 //	                                   records come back as per-item errors)
 //	GET  /v2/pricers                 — the named pricer registry
@@ -21,8 +21,29 @@
 //	POST /v2/tables                  — hot-swap calibration tables
 //	GET  /v2/tenants/{tenant}/summary — per-tenant billing ledger
 //
-// v2 errors are structured: {"error":{"status":400,"message":"…"}}. The v1
-// endpoints keep the legacy flat {"error":"…"} shape.
+// The /v3 surface is resource-oriented: usage is a stream you append to,
+// tenants are a paginated collection, a statement is a windowed read of a
+// tenant's bill, and the calibration tables are a versioned resource:
+//
+//	POST /v3/usage                    — streaming NDJSON ingest: one usage
+//	                                    record per line, decoded in constant
+//	                                    memory, per-line errors, idempotent
+//	                                    retries via idempotency keys
+//	GET  /v3/tenants                  — sorted tenant listing with cursor
+//	                                    pagination (?cursor=&limit=)
+//	GET  /v3/tenants/{tenant}/statement — windowed bill (?from=&to= trace
+//	                                    minutes), commercial-vs-charged per
+//	                                    window with one line per pricer
+//	GET  /v3/tables                   — tables + ETag (If-None-Match → 304)
+//	PUT  /v3/tables                   — swap tables; If-Match makes
+//	                                    concurrent swaps lost-update-safe
+//	                                    (mismatch → 412)
+//
+// All three versions bill through the same ledger: a record metered via
+// /v2/meter and the same record streamed via /v3/usage produce identical
+// statements. v2/v3 errors are structured:
+// {"error":{"status":400,"message":"…"}}. The v1 endpoints keep the legacy
+// flat {"error":"…"} shape.
 package api
 
 import (
@@ -33,12 +54,25 @@ import (
 
 // Limits applied when Config leaves them zero.
 const (
-	// DefaultMaxBodyBytes bounds request bodies (http.MaxBytesReader).
+	// DefaultMaxBodyBytes bounds request bodies (http.MaxBytesReader) and,
+	// on /v3/usage, each NDJSON line.
 	DefaultMaxBodyBytes = 1 << 20
 	// DefaultMaxBatch bounds the number of quotes in one /v2/quotes call.
 	DefaultMaxBatch = 1024
 	// DefaultMaxTenants bounds the billing ledger's tenant count.
 	DefaultMaxTenants = 100_000
+	// DefaultMaxStreamLines bounds the physical lines in one /v3/usage
+	// stream — deliberately far beyond DefaultMaxBatch; the decode loop is
+	// constant-memory either way, and the bound keeps a client from
+	// pinning the handler with an endless stream.
+	DefaultMaxStreamLines = 1_000_000
+	// DefaultMaxStreamErrors caps the per-line errors echoed back from one
+	// /v3/usage stream (rejections are always counted, never capped).
+	DefaultMaxStreamErrors = 64
+	// DefaultTenantPageLimit is the /v3/tenants page size when the request
+	// names none; MaxTenantPageLimit caps it.
+	DefaultTenantPageLimit = 100
+	MaxTenantPageLimit     = 1000
 )
 
 // Error is the structured v2 error payload; it doubles as the error value
@@ -162,7 +196,7 @@ type TablesStatus struct {
 }
 
 // TenantSummary is a tenant's aggregate billing ledger
-// (GET /v2/tenants/{tenant}/summary).
+// (GET /v2/tenants/{tenant}/summary, the elements of GET /v3/tenants).
 type TenantSummary struct {
 	Tenant string `json:"tenant"`
 	// Invocations counts the quotes accrued to the ledger.
@@ -172,4 +206,106 @@ type TenantSummary struct {
 	Commercial float64 `json:"commercial"`
 	Billed     float64 `json:"billed"`
 	Discount   float64 `json:"discount"`
+}
+
+// HealthResponse is the /healthz body: liveness plus the ledger's
+// saturation counters, so operators see accruals dropped at the tenant cap
+// instead of losing them silently.
+type HealthResponse struct {
+	OK bool `json:"ok"`
+	// Tenants is the current ledger account count; MaxTenants its cap.
+	Tenants    int `json:"tenants"`
+	MaxTenants int `json:"maxTenants"`
+	// Accrued / DroppedAccruals / DuplicateAccruals are cumulative accrual
+	// outcome counters since startup.
+	Accrued           uint64 `json:"accrued"`
+	DroppedAccruals   uint64 `json:"droppedAccruals"`
+	DuplicateAccruals uint64 `json:"duplicateAccruals"`
+	// IdempotencyKeys is the retained dedup-key count; KeysEvicted counts
+	// keys aged out (an evicted key can double-bill on replay).
+	IdempotencyKeys int    `json:"idempotencyKeys"`
+	KeysEvicted     uint64 `json:"keysEvicted"`
+	// TablesETag is the current calibration-table version (see /v3/tables).
+	TablesETag string `json:"tablesETag"`
+}
+
+// UsageRecord is one NDJSON line of POST /v3/usage: a billable usage record
+// with windowing and retry-safety metadata on top of the /v2 quote shape.
+type UsageRecord struct {
+	QuoteRequest
+	// Minute is the trace minute the usage belongs to; it selects the
+	// statement window the accrual lands in.
+	Minute int `json:"minute,omitempty"`
+	// Key, when set, makes the record idempotent: re-streaming it with the
+	// same key is reported as a duplicate and not billed again. Lines
+	// without a key inherit one derived from the request's Idempotency-Key
+	// header and the line number.
+	Key string `json:"key,omitempty"`
+}
+
+// LineError is one rejected NDJSON line (1-based line number).
+type LineError struct {
+	Line  int   `json:"line"`
+	Error Error `json:"error"`
+}
+
+// UsageStreamResponse is the POST /v3/usage reply. The stream is processed
+// line by line: every line is accounted for in exactly one of Accepted,
+// Duplicates, Rejected or Dropped.
+type UsageStreamResponse struct {
+	// Lines counts the non-blank lines read.
+	Lines int `json:"lines"`
+	// Accepted lines billed; Duplicates were already billed under their
+	// idempotency key (safe retries); Rejected failed validation or
+	// pricing; Dropped hit the ledger's tenant cap.
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+	Rejected   int `json:"rejected"`
+	Dropped    int `json:"dropped"`
+	// Errors echoes the first rejected/dropped lines (capped; counts are
+	// not).
+	Errors []LineError `json:"errors,omitempty"`
+	// StreamError is set when reading stopped early (oversized line, line
+	// cap, transport error); everything before it still accrued.
+	StreamError string `json:"streamError,omitempty"`
+	// Tenants holds the post-accrual summaries of every tenant the stream
+	// touched, sorted by name.
+	Tenants []TenantSummary `json:"tenants"`
+}
+
+// TenantPage is one GET /v3/tenants page: summaries sorted by tenant name.
+// NextCursor, when non-empty, fetches the next page via ?cursor=.
+type TenantPage struct {
+	Tenants    []TenantSummary `json:"tenants"`
+	NextCursor string          `json:"nextCursor,omitempty"`
+}
+
+// StatementLine is one statement window: the bill for trace minutes
+// [StartMinute, StartMinute+WindowMinutes).
+type StatementLine struct {
+	Window      int   `json:"window"`
+	StartMinute int   `json:"startMinute"`
+	Invocations int64 `json:"invocations"`
+	// Commercial is the window's undiscounted total; Billed what was
+	// charged; Bills breaks Billed down by pricer (the
+	// commercial-vs-litmus lines of the bill).
+	Commercial float64            `json:"commercial"`
+	Billed     float64            `json:"billed"`
+	Bills      map[string]float64 `json:"bills"`
+}
+
+// StatementResponse is a tenant's windowed bill
+// (GET /v3/tenants/{tenant}/statement). Totals cover the included windows
+// only.
+type StatementResponse struct {
+	Tenant        string `json:"tenant"`
+	WindowMinutes int    `json:"windowMinutes"`
+	// FromMinute / ToMinute echo the requested range; -1 means open-ended.
+	FromMinute  int             `json:"fromMinute"`
+	ToMinute    int             `json:"toMinute"`
+	Invocations int64           `json:"invocations"`
+	Commercial  float64         `json:"commercial"`
+	Billed      float64         `json:"billed"`
+	Discount    float64         `json:"discount"`
+	Lines       []StatementLine `json:"lines"`
 }

@@ -1,0 +1,78 @@
+package api
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/api/apitest"
+)
+
+// benchServer builds a server on the synthetic fixture for the ingest
+// hot-path benchmarks (no network: requests go straight to ServeHTTP).
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	srv, err := New(Config{Calibration: apitest.Calibration()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// benchRecord renders one congested usage body for tenant t.
+func benchRecord(tenant string, mem int) string {
+	return fmt.Sprintf(`{"tenant":%q,"language":"py","memoryMB":%d,"tPrivate":0.08,"tShared":0.02,"probe":{"tPrivate":%g,"tShared":%g,"machineL3Misses":1.2e7}}`,
+		tenant, mem, apitest.SoloTPrivate*1.3, apitest.SoloTShared*1.9)
+}
+
+// BenchmarkQuoteBatch measures the concurrent /v2/quotes pricing path at a
+// fixed batch size.
+func BenchmarkQuoteBatch(b *testing.B) {
+	srv := benchServer(b)
+	const batch = 64
+	var items []string
+	for i := 0; i < batch; i++ {
+		items = append(items, benchRecord(fmt.Sprintf("t%d", i%8), 128+64*(i%8)))
+	}
+	body := []byte(`{"quotes":[` + strings.Join(items, ",") + `]}`)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v2/quotes", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "quotes/s")
+}
+
+// BenchmarkUsageStream measures the /v3/usage NDJSON ingest loop — decode,
+// price, accrue — at a stream size far beyond the /v2 batch cap.
+func BenchmarkUsageStream(b *testing.B) {
+	srv := benchServer(b)
+	const lines = 512
+	var sb strings.Builder
+	for i := 0; i < lines; i++ {
+		sb.WriteString(benchRecord(fmt.Sprintf("t%d", i%8), 128+64*(i%8)))
+		sb.WriteByte('\n')
+	}
+	body := []byte(sb.String())
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v3/usage", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(float64(lines*b.N)/b.Elapsed().Seconds(), "records/s")
+}

@@ -31,19 +31,35 @@ func NewClient(baseURL string) *Client {
 // as *Error values.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
+	var contentType string
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("api: encoding request: %w", err)
 		}
 		body = bytes.NewReader(data)
+		contentType = "application/json"
 	}
+	_, err := c.doRaw(ctx, method, path, nil, contentType, body, out)
+	return err
+}
+
+// doRaw is the header-aware round trip behind do: it sends body verbatim
+// with the given headers, decodes a 2xx response into out (when non-nil),
+// surfaces structured service errors as *Error values, and returns the
+// response headers (ETag and friends) on success and on *Error failures.
+func (c *Client) doRaw(ctx context.Context, method, path string, headers map[string]string, contentType string, body io.Reader, out any) (http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	for k, v := range headers {
+		if v != "" {
+			req.Header.Set(k, v)
+		}
 	}
 	hc := c.HTTPClient
 	if hc == nil {
@@ -51,7 +67,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
@@ -61,24 +77,24 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			if envelope.Err.Status == 0 {
 				envelope.Err.Status = resp.StatusCode
 			}
-			return &envelope.Err
+			return resp.Header, &envelope.Err
 		}
 		// Legacy flat {"error":"…"} shape (v1) or non-JSON bodies.
 		var flat struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &flat) == nil && flat.Error != "" {
-			return &Error{Status: resp.StatusCode, Message: flat.Error}
+			return resp.Header, &Error{Status: resp.StatusCode, Message: flat.Error}
 		}
-		return &Error{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		return resp.Header, &Error{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 	}
 	if out == nil {
-		return nil
+		return resp.Header, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("api: decoding response: %w", err)
+		return resp.Header, fmt.Errorf("api: decoding response: %w", err)
 	}
-	return nil
+	return resp.Header, nil
 }
 
 // Health checks the service's liveness endpoint.
@@ -152,4 +168,107 @@ func (c *Client) TenantSummary(ctx context.Context, tenant string) (TenantSummar
 	var sum TenantSummary
 	err := c.do(ctx, http.MethodGet, "/v2/tenants/"+url.PathEscape(tenant)+"/summary", nil, &sum)
 	return sum, err
+}
+
+// --- /v3 ---------------------------------------------------------------------
+
+// StreamUsage appends records to the usage stream (POST /v3/usage) as
+// NDJSON. A non-empty key is sent as the Idempotency-Key header: lines
+// without their own key inherit a derived one, so retrying the exact same
+// call with the same key cannot double-bill (the retry comes back counted
+// under Duplicates). Per-line failures are reported in the response, not as
+// a call error.
+func (c *Client) StreamUsage(ctx context.Context, key string, records []UsageRecord) (UsageStreamResponse, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // Encode terminates each value with '\n': NDJSON
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			return UsageStreamResponse{}, fmt.Errorf("api: encoding usage record: %w", err)
+		}
+	}
+	var resp UsageStreamResponse
+	_, err := c.doRaw(ctx, http.MethodPost, "/v3/usage",
+		map[string]string{"Idempotency-Key": key}, "application/x-ndjson", &buf, &resp)
+	if err != nil {
+		return UsageStreamResponse{}, err
+	}
+	if resp.Lines != len(records) {
+		return resp, fmt.Errorf("api: stream answered %d of %d records", resp.Lines, len(records))
+	}
+	return resp, nil
+}
+
+// Tenants fetches one page of the sorted tenant listing (GET /v3/tenants).
+// Pass the previous page's NextCursor (empty for the first page); limit 0
+// selects the service default.
+func (c *Client) Tenants(ctx context.Context, cursor string, limit int) (TenantPage, error) {
+	q := url.Values{}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	path := "/v3/tenants"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page TenantPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// Statement fetches a tenant's windowed bill over trace minutes
+// [fromMinute, toMinute] (GET /v3/tenants/{tenant}/statement); toMinute < 0
+// means open-ended.
+func (c *Client) Statement(ctx context.Context, tenant string, fromMinute, toMinute int) (StatementResponse, error) {
+	q := url.Values{}
+	if fromMinute > 0 {
+		q.Set("from", fmt.Sprint(fromMinute))
+	}
+	if toMinute >= 0 {
+		q.Set("to", fmt.Sprint(toMinute))
+	}
+	path := "/v3/tenants/" + url.PathEscape(tenant) + "/statement"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var st StatementResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// TablesWithETag fetches the active calibration tables and their version
+// tag (GET /v3/tables). Feed the tag to SwapTablesIfMatch for a
+// lost-update-safe read-modify-write.
+func (c *Client) TablesWithETag(ctx context.Context) (*core.Calibration, string, error) {
+	var cal core.Calibration
+	hdr, err := c.doRaw(ctx, http.MethodGet, "/v3/tables", nil, "", nil, &cal)
+	if err != nil {
+		return nil, "", err
+	}
+	return &cal, hdr.Get("ETag"), nil
+}
+
+// SwapTablesIfMatch hot-swaps the calibration tables (PUT /v3/tables) only
+// when ifMatch still names the active table version; "" or "*" swaps
+// unconditionally. On a version conflict the returned *Error has status
+// 412 and the second return value carries the current version, so the
+// caller can re-read and retry. On success it returns the new version tag.
+func (c *Client) SwapTablesIfMatch(ctx context.Context, cal *core.Calibration, ifMatch string) (TablesStatus, string, error) {
+	data, err := json.Marshal(cal)
+	if err != nil {
+		return TablesStatus{}, "", fmt.Errorf("api: encoding tables: %w", err)
+	}
+	var status TablesStatus
+	hdr, err := c.doRaw(ctx, http.MethodPut, "/v3/tables",
+		map[string]string{"If-Match": ifMatch}, "application/json", bytes.NewReader(data), &status)
+	etag := ""
+	if hdr != nil {
+		etag = hdr.Get("ETag")
+	}
+	if err != nil {
+		return TablesStatus{}, etag, err
+	}
+	return status, etag, nil
 }

@@ -3,9 +3,11 @@ package api
 import (
 	"context"
 	"errors"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/api/apitest"
@@ -191,6 +193,207 @@ func TestClientMeterPartialBatch(t *testing.T) {
 	}
 	if sum.Invocations != 1 {
 		t.Errorf("acme accrued %d invocations, want 1", sum.Invocations)
+	}
+}
+
+func TestClientStreamUsageAndStatement(t *testing.T) {
+	c, _ := newClientPair(t)
+	ctx := context.Background()
+
+	records := []UsageRecord{
+		{QuoteRequest: QuoteRequest{Usage: usageAt("a", 128, 1.3, 1.9, 1.2e7), Tenant: "acme"}, Minute: 0},
+		{QuoteRequest: QuoteRequest{Usage: usageAt("b", 256, 1.3, 1.9, 1.2e7), Tenant: "acme"}, Minute: 1},
+		{QuoteRequest: QuoteRequest{Usage: usageAt("c", 512, 1.3, 1.9, 1.2e7), Tenant: "zeta"}, Minute: 0},
+	}
+	resp, err := c.StreamUsage(ctx, "run-1", records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 3 || resp.Lines != 3 {
+		t.Fatalf("stream = %+v", resp)
+	}
+
+	// Retrying the identical call under the same key is a no-op.
+	again, err := c.StreamUsage(ctx, "run-1", records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Accepted != 0 || again.Duplicates != 3 {
+		t.Fatalf("retry = %+v", again)
+	}
+
+	page, err := c.Tenants(ctx, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Tenants) != 1 || page.Tenants[0].Tenant != "acme" || page.NextCursor == "" {
+		t.Fatalf("page 1 = %+v", page)
+	}
+	page2, err := c.Tenants(ctx, page.NextCursor, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Tenants) != 1 || page2.Tenants[0].Tenant != "zeta" || page2.NextCursor != "" {
+		t.Fatalf("page 2 = %+v", page2)
+	}
+
+	st, err := c.Statement(ctx, "acme", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Invocations != 2 || len(st.Lines) != 2 {
+		t.Fatalf("statement = %+v", st)
+	}
+	ranged, err := c.Statement(ctx, "acme", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranged.Invocations != 1 || len(ranged.Lines) != 1 || ranged.Lines[0].StartMinute != 1 {
+		t.Fatalf("ranged statement = %+v", ranged)
+	}
+	var apiErr *Error
+	if _, err := c.Statement(ctx, "ghost", 0, -1); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Errorf("unknown tenant statement err = %v", err)
+	}
+}
+
+func TestClientSwapTablesIfMatch(t *testing.T) {
+	c, _ := newClientPair(t)
+	ctx := context.Background()
+
+	cal, etag, err := c.TablesWithETag(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag == "" || cal.Machine != "fixed" {
+		t.Fatalf("tables = %q, etag %q", cal.Machine, etag)
+	}
+	cal.Machine = "v3-swapped"
+	status, etag2, err := c.SwapTablesIfMatch(ctx, cal, etag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Machine != "v3-swapped" || etag2 == "" || etag2 == etag {
+		t.Fatalf("swap = %+v, etag %q → %q", status, etag, etag2)
+	}
+
+	// The stale version now loses; the 412 carries the current version so
+	// the caller can re-read and retry.
+	cal.Machine = "loser"
+	_, current, err := c.SwapTablesIfMatch(ctx, cal, etag)
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusPreconditionFailed {
+		t.Fatalf("stale swap err = %v", err)
+	}
+	if current != etag2 {
+		t.Errorf("conflict reported version %q, want %q", current, etag2)
+	}
+	if active, _, err := c.TablesWithETag(ctx); err != nil || active.Machine != "v3-swapped" {
+		t.Errorf("stale swap took effect: %v, %v", active.Machine, err)
+	}
+}
+
+// --- failure modes -----------------------------------------------------------
+
+func TestClientNonJSONErrorBody(t *testing.T) {
+	for name, handler := range map[string]http.HandlerFunc{
+		"plain text": func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "upstream exploded", http.StatusBadGateway)
+		},
+		"html": func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/html")
+			w.WriteHeader(http.StatusBadGateway)
+			io.WriteString(w, "<html><body>502</body></html>")
+		},
+		"empty": func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusBadGateway)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(handler)
+			t.Cleanup(ts.Close)
+			c := NewClient(ts.URL)
+			_, err := c.Quote(context.Background(), QuoteRequest{Usage: usageAt("a", 128, 1.3, 1.9, 1.2e7)})
+			var apiErr *Error
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("err = %v, want *api.Error", err)
+			}
+			if apiErr.Status != http.StatusBadGateway {
+				t.Errorf("status = %d", apiErr.Status)
+			}
+			// The raw body (trimmed) becomes the message; it must never be
+			// mistaken for a JSON envelope.
+			if name == "plain text" && apiErr.Message != "upstream exploded" {
+				t.Errorf("message = %q", apiErr.Message)
+			}
+		})
+	}
+}
+
+func TestClientContextCanceledMidStream(t *testing.T) {
+	// The handler commits a 200 and half a body, then stalls until the
+	// client goes away: cancellation must abort the decode, not hang.
+	stalled := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"lines":`)
+		w.(http.Flusher).Flush()
+		close(stalled)
+		<-r.Context().Done()
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-stalled
+		cancel()
+	}()
+	_, err := c.StreamUsage(ctx, "", []UsageRecord{
+		{QuoteRequest: QuoteRequest{Usage: usageAt("a", 128, 1.3, 1.9, 1.2e7), Tenant: "t"}},
+	})
+	if err == nil {
+		t.Fatal("canceled stream succeeded")
+	}
+	if !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("err = %v, want context cancellation", err)
+	}
+}
+
+func TestClientServerClosedConnection(t *testing.T) {
+	// Closed before any response: a transport error, not a hang.
+	abrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Close()
+	}))
+	t.Cleanup(abrupt.Close)
+	if _, err := NewClient(abrupt.URL).Pricers(context.Background()); err == nil {
+		t.Error("closed connection produced a result")
+	}
+
+	// Closed mid-body after a committed 200: the truncated JSON must fail
+	// decoding instead of yielding a zero-value response.
+	truncated := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, rw, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rw.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 100\r\n\r\n{\"accepted\": 1, \"it")
+		rw.Flush()
+		conn.Close()
+	}))
+	t.Cleanup(truncated.Close)
+	_, err := NewClient(truncated.URL).Meter(context.Background(), []QuoteRequest{
+		{Usage: usageAt("a", 128, 1.3, 1.9, 1.2e7), Tenant: "t"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "decoding response") {
+		t.Errorf("truncated body err = %v, want decode failure", err)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/ledger"
 )
 
 // Config parameterises a pricing server.
@@ -31,32 +32,34 @@ type Config struct {
 	MaxBatch int
 	// MaxTenants bounds the billing ledger; 0 means DefaultMaxTenants.
 	// Quotes naming a new tenant beyond the cap are rejected rather than
-	// silently left unbilled.
+	// silently left unbilled, and drops are counted on /healthz.
 	MaxTenants int
+	// WindowMinutes is the statement window width in trace minutes; 0 means
+	// 1 (ledger.DefaultWindowMinutes).
+	WindowMinutes int
+	// MaxStreamLines bounds the physical lines read from one /v3/usage
+	// stream; 0 means DefaultMaxStreamLines.
+	MaxStreamLines int
 }
 
 // Server is the reusable pricing service. It is an http.Handler; calibration
-// tables can be hot-swapped while quotes are in flight.
+// tables can be hot-swapped while quotes are in flight, and all billing
+// state lives in the ledger subsystem.
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
-	// mu guards the swap-able pricing state below.
-	mu      sync.RWMutex
-	cal     *core.Calibration
-	models  *core.Models
-	pricers map[string]core.Pricer
+	// mu guards the swap-able pricing state below. tablesGen increments on
+	// every swap; it backs the /v3/tables ETag.
+	mu        sync.RWMutex
+	cal       *core.Calibration
+	models    *core.Models
+	pricers   map[string]core.Pricer
+	tablesGen uint64
 
-	// ledgerMu guards the per-tenant billing ledger.
-	ledgerMu sync.Mutex
-	ledger   map[string]*tenantAccount
-}
-
-// tenantAccount accumulates one tenant's bills.
-type tenantAccount struct {
-	invocations int64
-	commercial  float64
-	billed      float64
+	// ledger is the billing subsystem every API version accrues into; it is
+	// concurrency-safe on its own.
+	ledger *ledger.Ledger
 }
 
 // New builds a server from cfg, fitting models from the calibration.
@@ -79,15 +82,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxTenants <= 0 {
 		cfg.MaxTenants = DefaultMaxTenants
 	}
+	if cfg.MaxStreamLines <= 0 {
+		cfg.MaxStreamLines = DefaultMaxStreamLines
+	}
 	models, err := core.FitModels(cfg.Calibration)
 	if err != nil {
 		return nil, err
 	}
+	led, err := ledger.New(ledger.Config{
+		MaxTenants:    cfg.MaxTenants,
+		WindowMinutes: cfg.WindowMinutes,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:    cfg,
-		cal:    cfg.Calibration,
-		models: models,
-		ledger: make(map[string]*tenantAccount),
+		cfg:       cfg,
+		cal:       cfg.Calibration,
+		models:    models,
+		tablesGen: 1,
+		ledger:    led,
 	}
 	s.pricers = s.buildPricers(models)
 	mux := http.NewServeMux()
@@ -100,6 +114,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v2/pricers", s.handlePricers)
 	mux.HandleFunc("/v2/tables", s.handleTables)
 	mux.HandleFunc("/v2/tenants/{tenant}/summary", s.handleTenantSummary)
+	mux.HandleFunc("/v3/usage", s.handleUsageStream)
+	mux.HandleFunc("/v3/tenants", s.handleTenantList)
+	mux.HandleFunc("/v3/tenants/{tenant}/statement", s.handleStatement)
+	mux.HandleFunc("/v3/tables", s.handleTablesV3)
 	s.mux = mux
 	return s, nil
 }
@@ -162,7 +180,18 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	st := s.ledger.Stats()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:                true,
+		Tenants:           st.Tenants,
+		MaxTenants:        st.MaxTenants,
+		Accrued:           st.Accrued,
+		DroppedAccruals:   st.Dropped,
+		DuplicateAccruals: st.Duplicates,
+		IdempotencyKeys:   st.KeysTracked,
+		KeysEvicted:       st.KeysEvicted,
+		TablesETag:        s.tablesETag(),
+	})
 }
 
 // --- /v2/quote and /v2/quotes ----------------------------------------------
@@ -177,9 +206,9 @@ func (s *Server) snapshot() map[string]core.Pricer {
 	return s.pricers
 }
 
-// priceOne prices one request through the given registry snapshot. It
-// returns a structured error instead of writing, so the batch handler can
-// embed failures inline.
+// priceOne prices one request through the given registry snapshot — pure
+// pricing, no accrual. It returns a structured error instead of writing, so
+// the batch and stream handlers can embed failures inline.
 func (s *Server) priceOne(pricers map[string]core.Pricer, req QuoteRequest) (*QuoteResponse, *Error) {
 	if err := req.Usage.Validate(); err != nil {
 		return nil, &Error{Status: http.StatusBadRequest, Message: err.Error()}
@@ -195,13 +224,6 @@ func (s *Server) priceOne(pricers map[string]core.Pricer, req QuoteRequest) (*Qu
 	q, err := pricer.Quote(req.Usage)
 	if err != nil {
 		return nil, &Error{Status: http.StatusBadRequest, Message: err.Error()}
-	}
-
-	if req.Tenant != "" {
-		if !s.accrue(req.Tenant, q) {
-			return nil, &Error{Status: http.StatusServiceUnavailable,
-				Message: fmt.Sprintf("tenant ledger full (%d tenants); quote not billed", s.cfg.MaxTenants)}
-		}
 	}
 	return &QuoteResponse{
 		Abbr:       q.Abbr,
@@ -223,6 +245,38 @@ func (s *Server) priceOne(pricers map[string]core.Pricer, req QuoteRequest) (*Qu
 	}, nil
 }
 
+// priceAndAccrue prices one request and, when it names a tenant, bills it
+// through the ledger at the given trace minute under the given idempotency
+// key (empty disables dedup). Every API version bills through this path, so
+// v1, v2 and v3 cannot diverge. A ledger drop (tenant cap) comes back as a
+// 503 error; a duplicate comes back priced with outcome ledger.Duplicate
+// and nothing billed.
+func (s *Server) priceAndAccrue(pricers map[string]core.Pricer, req QuoteRequest, minute int, key string) (*QuoteResponse, ledger.Outcome, *Error) {
+	resp, apiErr := s.priceOne(pricers, req)
+	if apiErr != nil {
+		return nil, ledger.Dropped, apiErr
+	}
+	if req.Tenant == "" {
+		return resp, ledger.Accrued, nil
+	}
+	outcome, err := s.ledger.Accrue(ledger.Entry{
+		Tenant:     req.Tenant,
+		Pricer:     resp.Pricer,
+		Minute:     minute,
+		Commercial: resp.Commercial,
+		Price:      resp.Price,
+		Key:        key,
+	})
+	if err != nil {
+		return nil, ledger.Dropped, &Error{Status: http.StatusBadRequest, Message: err.Error()}
+	}
+	if outcome == ledger.Dropped {
+		return nil, ledger.Dropped, &Error{Status: http.StatusServiceUnavailable,
+			Message: fmt.Sprintf("tenant ledger full (%d tenants); quote not billed", s.cfg.MaxTenants)}
+	}
+	return resp, outcome, nil
+}
+
 func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		v2Error(w, http.StatusMethodNotAllowed, "POST only")
@@ -232,7 +286,7 @@ func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, apiErr := s.priceOne(s.snapshot(), req)
+	resp, _, apiErr := s.priceAndAccrue(s.snapshot(), req, 0, "")
 	if apiErr != nil {
 		writeJSON(w, apiErr.Status, errorEnvelope{Err: *apiErr})
 		return
@@ -266,9 +320,10 @@ func (s *Server) handleQuoteBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // priceBatch prices a request slice concurrently against one registry
-// snapshot, so every item sees the same table generation, and delivers
-// result i through each(i, …). Distinct indices may be delivered
-// concurrently; each must not touch shared state beyond its own slot.
+// snapshot, so every item sees the same table generation, accrues
+// tenant-carrying items through the ledger, and delivers result i through
+// each(i, …). Distinct indices may be delivered concurrently; each must not
+// touch shared state beyond its own slot.
 func (s *Server) priceBatch(reqs []QuoteRequest, each func(i int, resp *QuoteResponse, apiErr *Error)) {
 	pricers := s.snapshot()
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -279,7 +334,7 @@ func (s *Server) priceBatch(reqs []QuoteRequest, each func(i int, resp *QuoteRes
 		go func(i int, q QuoteRequest) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			resp, apiErr := s.priceOne(pricers, q)
+			resp, _, apiErr := s.priceAndAccrue(pricers, q, 0, "")
 			each(i, resp, apiErr)
 		}(i, q)
 	}
@@ -397,7 +452,54 @@ func (s *Server) handlePricers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
-// --- /v2/tables -------------------------------------------------------------
+// --- /v2/tables and the table version ---------------------------------------
+
+// etagLocked renders the table version as a strong ETag; callers hold mu.
+func (s *Server) etagLocked() string { return fmt.Sprintf("%q", fmt.Sprintf("tables-%d", s.tablesGen)) }
+
+// tablesETag returns the current table-version ETag.
+func (s *Server) tablesETag() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.etagLocked()
+}
+
+// swapTables installs a validated calibration and its fitted models when
+// ifMatch is empty, "*", or names the current table version. The compare
+// and the swap happen under one critical section, so two concurrent swaps
+// that both read the same version cannot both win (no lost updates). It
+// returns the resulting ETag and whether the swap happened.
+func (s *Server) swapTables(cal *core.Calibration, models *core.Models, ifMatch string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ifMatch != "" && ifMatch != "*" && ifMatch != s.etagLocked() {
+		return s.etagLocked(), false
+	}
+	s.cal = cal
+	s.models = models
+	s.pricers = s.buildPricers(models)
+	s.tablesGen++
+	return s.etagLocked(), true
+}
+
+// decodeTables decodes and validates a calibration body, fitting its
+// models; it writes the error response itself on failure.
+func (s *Server) decodeTables(w http.ResponseWriter, r *http.Request) (*core.Calibration, *core.Models, bool) {
+	var cal core.Calibration
+	if !s.decodeBody(w, r, &cal) {
+		return nil, nil, false
+	}
+	if err := cal.Validate(); err != nil {
+		v2Error(w, http.StatusBadRequest, "invalid tables: %v", err)
+		return nil, nil, false
+	}
+	models, err := core.FitModels(&cal)
+	if err != nil {
+		v2Error(w, http.StatusBadRequest, "fitting models: %v", err)
+		return nil, nil, false
+	}
+	return &cal, models, true
+}
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
@@ -407,24 +509,12 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		s.mu.RUnlock()
 		writeJSON(w, http.StatusOK, cal)
 	case http.MethodPost:
-		var cal core.Calibration
-		if !s.decodeBody(w, r, &cal) {
+		cal, models, ok := s.decodeTables(w, r)
+		if !ok {
 			return
 		}
-		if err := cal.Validate(); err != nil {
-			v2Error(w, http.StatusBadRequest, "invalid tables: %v", err)
-			return
-		}
-		models, err := core.FitModels(&cal)
-		if err != nil {
-			v2Error(w, http.StatusBadRequest, "fitting models: %v", err)
-			return
-		}
-		s.mu.Lock()
-		s.cal = &cal
-		s.models = models
-		s.pricers = s.buildPricers(models)
-		s.mu.Unlock()
+		// v2 swaps are unconditional (last write wins); /v3 adds If-Match.
+		s.swapTables(cal, models, "")
 		writeJSON(w, http.StatusOK, TablesStatus{
 			Machine:      cal.Machine,
 			SharePerCore: cal.SharePerCore,
@@ -438,44 +528,24 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 
 // --- /v2/tenants/{tenant}/summary -------------------------------------------
 
-// accrue adds one quote to a tenant's ledger. It reports false — without
-// billing — when the ledger is at its tenant cap and the tenant is new,
-// bounding memory against clients that cycle arbitrary tenant IDs.
-func (s *Server) accrue(tenant string, q core.Quote) bool {
-	s.ledgerMu.Lock()
-	defer s.ledgerMu.Unlock()
-	acct := s.ledger[tenant]
-	if acct == nil {
-		if len(s.ledger) >= s.cfg.MaxTenants {
-			return false
-		}
-		acct = &tenantAccount{}
-		s.ledger[tenant] = acct
+// wireSummary converts a ledger summary to the wire shape.
+func wireSummary(sum ledger.Summary) TenantSummary {
+	return TenantSummary{
+		Tenant:      sum.Tenant,
+		Invocations: sum.Invocations,
+		Commercial:  sum.Commercial,
+		Billed:      sum.Billed,
+		Discount:    sum.Discount,
 	}
-	acct.invocations++
-	acct.commercial += q.Commercial
-	acct.billed += q.Price
-	return true
 }
 
-// summaryOf reads one tenant's ledger summary under the ledger lock.
+// summaryOf reads one tenant's ledger summary.
 func (s *Server) summaryOf(tenant string) (TenantSummary, bool) {
-	s.ledgerMu.Lock()
-	acct, ok := s.ledger[tenant]
-	var sum TenantSummary
-	if ok {
-		sum = TenantSummary{
-			Tenant:      tenant,
-			Invocations: acct.invocations,
-			Commercial:  acct.commercial,
-			Billed:      acct.billed,
-		}
+	sum, ok := s.ledger.Summary(tenant)
+	if !ok {
+		return TenantSummary{}, false
 	}
-	s.ledgerMu.Unlock()
-	if sum.Commercial > 0 {
-		sum.Discount = 1 - sum.Billed/sum.Commercial
-	}
-	return sum, ok
+	return wireSummary(sum), true
 }
 
 func (s *Server) handleTenantSummary(w http.ResponseWriter, r *http.Request) {

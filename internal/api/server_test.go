@@ -72,12 +72,32 @@ func getJSON(t *testing.T, url string, out any) *http.Response {
 
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var ok map[string]any
-	if resp := getJSON(t, ts.URL+"/healthz", &ok); resp.StatusCode != http.StatusOK {
+	var h HealthResponse
+	if resp := getJSON(t, ts.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
 		t.Errorf("status = %d", resp.StatusCode)
 	}
-	if ok["ok"] != true {
-		t.Errorf("healthz body = %v", ok)
+	if !h.OK || h.MaxTenants != DefaultMaxTenants || h.TablesETag == "" {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+// TestHealthzReportsLedgerSaturation proves drops at the tenant cap are
+// counted and visible instead of vanishing (the /v2/quote 503 used to be
+// the only trace).
+func TestHealthzReportsLedgerSaturation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTenants: 1})
+	postJSON(t, ts.URL+"/v2/quote", congestedBody(`, "tenant": "a"`))
+	// One more tenant over the cap, twice: two dropped accruals.
+	postJSON(t, ts.URL+"/v2/quote", congestedBody(`, "tenant": "b"`))
+	postJSON(t, ts.URL+"/v2/quote", congestedBody(`, "tenant": "b"`))
+
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Tenants != 1 || h.MaxTenants != 1 {
+		t.Errorf("tenants/cap = %d/%d, want 1/1", h.Tenants, h.MaxTenants)
+	}
+	if h.Accrued != 1 || h.DroppedAccruals != 2 {
+		t.Errorf("accrued %d dropped %d, want 1/2", h.Accrued, h.DroppedAccruals)
 	}
 }
 

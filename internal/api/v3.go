@@ -1,0 +1,259 @@
+package api
+
+// The /v3 surface is resource-oriented: usage is an append-only stream,
+// tenants are a paginated collection, statements are windowed reads of the
+// ledger, and the calibration tables are a versioned resource guarded by
+// ETag/If-Match. All accrual goes through the same
+// Server.priceAndAccrue → ledger path as /v1 and /v2, so the API versions
+// cannot bill differently.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/ledger"
+)
+
+// --- POST /v3/usage ----------------------------------------------------------
+
+// handleUsageStream ingests usage as streaming NDJSON: one UsageRecord per
+// line, decoded in constant memory — the line buffer is the only per-stream
+// allocation that scales with input size, so streams can run far beyond the
+// /v2 batch cap. Bad lines are rejected individually while the rest of the
+// stream accrues, and lines carrying (or inheriting) an idempotency key can
+// be retried without double-billing.
+func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		v2Error(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	// One registry snapshot for the whole stream: every line prices against
+	// the same table generation even if tables are swapped mid-stream.
+	pricers := s.snapshot()
+	streamKey := r.Header.Get("Idempotency-Key")
+
+	var resp UsageStreamResponse
+	touched := map[string]bool{}
+	recordErr := func(line int, e Error) {
+		if len(resp.Errors) < DefaultMaxStreamErrors {
+			resp.Errors = append(resp.Errors, LineError{Line: line, Error: e})
+		}
+	}
+	reject := func(line int, format string, args ...any) {
+		resp.Rejected++
+		recordErr(line, Error{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)})
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	// The scanner's limit is max(cap(buf), limit): keep the initial buffer
+	// at or below the configured line cap so small caps actually bind.
+	initial := 64 << 10
+	if int(s.cfg.MaxBodyBytes) < initial {
+		initial = int(s.cfg.MaxBodyBytes)
+	}
+	sc.Buffer(make([]byte, 0, initial), int(s.cfg.MaxBodyBytes))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		// The cap counts physical lines, blank or not, so a stream of bare
+		// newlines cannot hold the handler in an unbounded read loop.
+		if lineNo > s.cfg.MaxStreamLines {
+			resp.StreamError = fmt.Sprintf("stream exceeds %d lines", s.cfg.MaxStreamLines)
+			break
+		}
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		resp.Lines++
+		var rec UsageRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			reject(lineNo, "malformed JSON: %v", err)
+			continue
+		}
+		if rec.Tenant == "" {
+			reject(lineNo, "usage record requires a tenant")
+			continue
+		}
+		if rec.Minute < 0 {
+			reject(lineNo, "negative minute %d", rec.Minute)
+			continue
+		}
+		key := rec.Key
+		if key == "" && streamKey != "" {
+			// Derive per-line keys from the stream key, so replaying the
+			// whole stream under the same Idempotency-Key is a no-op.
+			key = fmt.Sprintf("%s#%d", streamKey, lineNo)
+		}
+		_, outcome, apiErr := s.priceAndAccrue(pricers, rec.QuoteRequest, rec.Minute, key)
+		if apiErr != nil {
+			if apiErr.Status == http.StatusServiceUnavailable {
+				resp.Dropped++
+				recordErr(lineNo, *apiErr)
+			} else {
+				resp.Rejected++
+				recordErr(lineNo, *apiErr)
+			}
+			continue
+		}
+		if outcome == ledger.Duplicate {
+			resp.Duplicates++
+		} else {
+			resp.Accepted++
+		}
+		touched[rec.Tenant] = true
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			resp.StreamError = fmt.Sprintf("line %d exceeds %d bytes", lineNo+1, s.cfg.MaxBodyBytes)
+		} else {
+			resp.StreamError = fmt.Sprintf("reading stream: %v", err)
+		}
+	}
+
+	names := make([]string, 0, len(touched))
+	for name := range touched {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if sum, ok := s.summaryOf(name); ok {
+			resp.Tenants = append(resp.Tenants, sum)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- GET /v3/tenants ---------------------------------------------------------
+
+func (s *Server) handleTenantList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		v2Error(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	limit := DefaultTenantPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			v2Error(w, http.StatusBadRequest, "limit must be a positive integer, got %q", v)
+			return
+		}
+		limit = min(n, MaxTenantPageLimit)
+	}
+	sums, next := s.ledger.Tenants(q.Get("cursor"), limit)
+	page := TenantPage{NextCursor: next, Tenants: make([]TenantSummary, 0, len(sums))}
+	for _, sum := range sums {
+		page.Tenants = append(page.Tenants, wireSummary(sum))
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// --- GET /v3/tenants/{tenant}/statement --------------------------------------
+
+func (s *Server) handleStatement(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		v2Error(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	tenant := r.PathValue("tenant")
+	q := r.URL.Query()
+	from, to := 0, -1
+	if v := q.Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			v2Error(w, http.StatusBadRequest, "from must be a non-negative trace minute, got %q", v)
+			return
+		}
+		from = n
+	}
+	if v := q.Get("to"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			v2Error(w, http.StatusBadRequest, "to must be a non-negative trace minute, got %q", v)
+			return
+		}
+		to = n
+	}
+	if to >= 0 && to < from {
+		v2Error(w, http.StatusBadRequest, "empty minute range [%d, %d]", from, to)
+		return
+	}
+	st, ok := s.ledger.Statement(tenant, from, to)
+	if !ok {
+		v2Error(w, http.StatusNotFound, "no ledger for tenant %q", tenant)
+		return
+	}
+	resp := StatementResponse{
+		Tenant:        st.Tenant,
+		WindowMinutes: st.WindowMinutes,
+		FromMinute:    st.FromMinute,
+		ToMinute:      st.ToMinute,
+		Invocations:   st.Invocations,
+		Commercial:    st.Commercial,
+		Billed:        st.Billed,
+		Discount:      st.Discount,
+		Lines:         make([]StatementLine, 0, len(st.Lines)),
+	}
+	for _, line := range st.Lines {
+		resp.Lines = append(resp.Lines, StatementLine{
+			Window:      line.Window,
+			StartMinute: line.StartMinute,
+			Invocations: line.Invocations,
+			Commercial:  line.Commercial,
+			Billed:      line.Billed,
+			Bills:       line.Bills,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v3/tables --------------------------------------------------------------
+
+// handleTablesV3 serves the calibration tables as a versioned resource.
+// Every response carries the version as a strong ETag; PUT with If-Match
+// only swaps when the caller's version is still current, so two agents
+// doing read-modify-write calibration updates cannot silently overwrite
+// each other (the loser gets 412 and re-reads).
+func (s *Server) handleTablesV3(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.RLock()
+		cal := s.cal
+		etag := s.etagLocked()
+		s.mu.RUnlock()
+		w.Header().Set("ETag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		writeJSON(w, http.StatusOK, cal)
+	case http.MethodPut, http.MethodPost:
+		cal, models, ok := s.decodeTables(w, r)
+		if !ok {
+			return
+		}
+		ifMatch := r.Header.Get("If-Match")
+		etag, swapped := s.swapTables(cal, models, ifMatch)
+		w.Header().Set("ETag", etag)
+		if !swapped {
+			v2Error(w, http.StatusPreconditionFailed,
+				"table version mismatch: If-Match %s but current version is %s", ifMatch, etag)
+			return
+		}
+		writeJSON(w, http.StatusOK, TablesStatus{
+			Machine:      cal.Machine,
+			SharePerCore: cal.SharePerCore,
+			Generators:   len(cal.Generators),
+			Languages:    len(cal.SoloStartups),
+		})
+	default:
+		v2Error(w, http.StatusMethodNotAllowed, "GET or PUT only")
+	}
+}

@@ -26,6 +26,11 @@ type MeterConfig struct {
 	// MaxErrors caps the retained per-record pricing error messages
 	// (values ≤ 0 select the default of 8; counting is never capped).
 	MaxErrors int
+	// Sink, when set, receives every metered record after local aggregation
+	// — the hook that forwards the fleet's stream to an external billing
+	// service (see RemoteSink). Sink errors never stop the meter; they are
+	// counted and surface in the report.
+	Sink Sink
 }
 
 // windowAgg accumulates one (tenant, window) cell.
@@ -53,11 +58,12 @@ type Meter struct {
 	cfg     MeterConfig
 	primary int
 
-	done    chan struct{}
-	tenants map[string]*tenantAgg
-	records []MeteredRecord
-	errMsgs []string
-	nErrs   int
+	done     chan struct{}
+	tenants  map[string]*tenantAgg
+	records  []MeteredRecord
+	errMsgs  []string
+	nErrs    int
+	sinkErrs int
 
 	once   sync.Once
 	report *Report
@@ -96,12 +102,26 @@ func NewMeter(cfg MeterConfig) (*Meter, error) {
 	}, nil
 }
 
-// Run consumes records until in is closed. It is the meter's single
-// consumer goroutine; call it exactly once, concurrently with Fleet.Run.
+// Run consumes records until in is closed, then flushes the sink (when
+// configured). It is the meter's single consumer goroutine; call it exactly
+// once, concurrently with Fleet.Run.
 func (m *Meter) Run(in <-chan MeteredRecord) {
 	defer close(m.done)
 	for rec := range in {
 		m.observe(rec)
+	}
+	if m.cfg.Sink != nil {
+		if err := m.cfg.Sink.Flush(); err != nil {
+			m.sinkErr(fmt.Errorf("flush: %w", err))
+		}
+	}
+}
+
+// sinkErr counts one sink failure (retaining the first few messages).
+func (m *Meter) sinkErr(err error) {
+	m.sinkErrs++
+	if len(m.errMsgs) < m.cfg.MaxErrors {
+		m.errMsgs = append(m.errMsgs, fmt.Sprintf("sink: %v", err))
 	}
 }
 
@@ -109,6 +129,11 @@ func (m *Meter) Run(in <-chan MeteredRecord) {
 func (m *Meter) observe(rec MeteredRecord) {
 	if m.cfg.KeepRecords {
 		m.records = append(m.records, rec)
+	}
+	if m.cfg.Sink != nil {
+		if err := m.cfg.Sink.Observe(rec); err != nil {
+			m.sinkErr(err)
+		}
 	}
 	t := m.tenants[rec.Tenant]
 	if t == nil {
@@ -211,9 +236,11 @@ type Report struct {
 	// Discounts is the primary pricer's per-invocation discount
 	// distribution across all tenants.
 	Discounts DiscountDist `json:"discounts"`
-	// PricingErrors counts refused (record, pricer) pairs; Errors holds the
-	// first few messages.
+	// PricingErrors counts refused (record, pricer) pairs; SinkErrors counts
+	// failed sink deliveries (including the final flush); Errors holds the
+	// first few messages of either kind.
 	PricingErrors int      `json:"pricingErrors,omitempty"`
+	SinkErrors    int      `json:"sinkErrors,omitempty"`
 	Errors        []string `json:"errors,omitempty"`
 	// Records holds every metered record when MeterConfig.KeepRecords is
 	// set (omitted otherwise).
@@ -234,6 +261,7 @@ func (m *Meter) buildReport() {
 		WindowMinutes: m.cfg.WindowMinutes,
 		TotalBills:    map[string]float64{},
 		PricingErrors: m.nErrs,
+		SinkErrors:    m.sinkErrs,
 		Errors:        m.errMsgs,
 		Records:       m.records,
 	}

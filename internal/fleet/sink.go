@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/core"
+)
+
+// Sink receives the fleet's metered-record stream alongside the Meter's
+// local aggregation. Implementations are called from the meter's single
+// consumer goroutine: Observe once per record in stream order, Flush once
+// after the stream closes. An Observe error marks that record undelivered;
+// the meter counts it and keeps going.
+type Sink interface {
+	Observe(rec MeteredRecord) error
+	Flush() error
+}
+
+// RemoteSinkConfig parameterises a RemoteSink.
+type RemoteSinkConfig struct {
+	// Pricer names the service-side registry entry to bill with; empty
+	// selects the service default (litmus).
+	Pricer string
+	// RunID, when non-empty, stamps every record with the idempotency key
+	// "RunID#seq", so a retried or replayed stream cannot double-bill.
+	// Distinct runs must use distinct IDs, or the service will treat the
+	// second run's records as duplicates of the first.
+	RunID string
+	// BatchSize is the number of records per StreamUsage call (default
+	// DefaultSinkBatch).
+	BatchSize int
+}
+
+// DefaultSinkBatch is the records-per-call batch size of RemoteSink.
+const DefaultSinkBatch = 256
+
+// RemoteSink forwards metered records to a live pricing service over the
+// /v3 NDJSON usage stream: the fleet→service half of running the simulator
+// against a real pricingd. Records are batched to amortise round trips;
+// Flush sends the tail and reports lines the service refused.
+type RemoteSink struct {
+	ctx    context.Context
+	client *api.Client
+	cfg    RemoteSinkConfig
+
+	buf  []api.UsageRecord
+	seq  int
+	sent RemoteSinkStats
+}
+
+// RemoteSinkStats aggregates the service's per-line outcomes across every
+// batch a RemoteSink sent.
+type RemoteSinkStats struct {
+	// Records counts the records handed to Observe; Accepted, Duplicates,
+	// Rejected and Dropped echo the service's accounting for them.
+	Records    int `json:"records"`
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+	Rejected   int `json:"rejected"`
+	Dropped    int `json:"dropped"`
+}
+
+// NewRemoteSink builds a sink that streams to the service behind client.
+func NewRemoteSink(ctx context.Context, client *api.Client, cfg RemoteSinkConfig) *RemoteSink {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultSinkBatch
+	}
+	return &RemoteSink{ctx: ctx, client: client, cfg: cfg}
+}
+
+// Observe buffers one record, flushing a full batch to the service.
+func (s *RemoteSink) Observe(rec MeteredRecord) error {
+	s.seq++
+	s.sent.Records++
+	key := ""
+	if s.cfg.RunID != "" {
+		key = fmt.Sprintf("%s#%d", s.cfg.RunID, s.seq)
+	}
+	s.buf = append(s.buf, api.UsageRecord{
+		QuoteRequest: api.QuoteRequest{
+			Usage:  core.UsageFromRecord(rec.Record),
+			Tenant: rec.Tenant,
+			Pricer: s.cfg.Pricer,
+		},
+		Minute: rec.Minute,
+		Key:    key,
+	})
+	if len(s.buf) >= s.cfg.BatchSize {
+		return s.send()
+	}
+	return nil
+}
+
+// send streams the buffered batch and folds the service's accounting into
+// the stats. Transport failures are returned (the batch is dropped, not
+// retried — retries are the caller's policy, made safe by RunID keys).
+func (s *RemoteSink) send() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	batch := s.buf
+	s.buf = s.buf[:0]
+	resp, err := s.client.StreamUsage(s.ctx, "", batch)
+	s.sent.Accepted += resp.Accepted
+	s.sent.Duplicates += resp.Duplicates
+	s.sent.Rejected += resp.Rejected
+	s.sent.Dropped += resp.Dropped
+	if err != nil {
+		return fmt.Errorf("streaming %d records: %w", len(batch), err)
+	}
+	return nil
+}
+
+// Flush sends the buffered tail. Beyond transport failures, it reports
+// lines the service refused over the sink's lifetime, so a fleet run whose
+// records did not all bill ends loudly.
+func (s *RemoteSink) Flush() error {
+	if err := s.send(); err != nil {
+		return err
+	}
+	if s.sent.Rejected > 0 || s.sent.Dropped > 0 {
+		return fmt.Errorf("service refused %d of %d records (%d rejected, %d ledger-dropped)",
+			s.sent.Rejected+s.sent.Dropped, s.sent.Records, s.sent.Rejected, s.sent.Dropped)
+	}
+	return nil
+}
+
+// Stats returns the sink's cumulative delivery accounting.
+func (s *RemoteSink) Stats() RemoteSinkStats { return s.sent }

@@ -1,0 +1,395 @@
+// Package ledger is the billing subsystem behind the pricing service: a
+// standalone, concurrency-safe accrual store that turns a stream of priced
+// usage entries into per-tenant, time-windowed statements.
+//
+// It owns exactly the state that used to live request-scoped inside the HTTP
+// handlers — and makes the policies around it explicit:
+//
+//   - accrual is idempotent under retry: entries carrying an idempotency key
+//     are deduplicated, so replaying a stream cannot double-bill;
+//   - the tenant cap is observable, not silent: accruals dropped because the
+//     ledger is full are counted and surfaced through Stats;
+//   - iteration is deterministic: tenant listings are sorted by name and
+//     paginate with a stable cursor, statement lines are sorted by window.
+//
+// The ledger never prices anything. Callers quote through core.Pricer and
+// accrue the result, so aggregation cannot change a price.
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Defaults applied when Config leaves the fields zero.
+const (
+	// DefaultMaxTenants bounds the number of tenant accounts.
+	DefaultMaxTenants = 100_000
+	// DefaultMaxKeys bounds the idempotency keys retained for dedup; the
+	// oldest keys are evicted FIFO beyond it (evictions are counted).
+	DefaultMaxKeys = 1 << 20
+	// DefaultWindowMinutes is the statement aggregation window width.
+	DefaultWindowMinutes = 1
+)
+
+// Config parameterises a ledger.
+type Config struct {
+	// MaxTenants caps the tenant accounts; accruals naming a new tenant
+	// beyond the cap are dropped (counted, reported via Stats). 0 selects
+	// DefaultMaxTenants.
+	MaxTenants int
+	// WindowMinutes is the statement window width in trace minutes. 0
+	// selects DefaultWindowMinutes.
+	WindowMinutes int
+	// MaxKeys caps the retained idempotency keys. 0 selects DefaultMaxKeys.
+	MaxKeys int
+}
+
+// Entry is one priced accrual: the amounts a pricer quoted for one
+// invocation, plus the attribution the ledger aggregates by.
+type Entry struct {
+	// Tenant owns the accrual (required).
+	Tenant string
+	// Pricer names the registry entry that produced the price; statements
+	// keep one billed line per pricer.
+	Pricer string
+	// Minute is the trace minute the usage belongs to; it selects the
+	// statement window.
+	Minute int
+	// Commercial is the undiscounted price, Price the charged amount.
+	Commercial float64
+	Price      float64
+	// Key, when non-empty, makes the accrual idempotent: a later entry
+	// from the same tenant with the same key is reported Duplicate and not
+	// billed again. Keys are scoped per tenant — one tenant's keys can
+	// never suppress another tenant's billing.
+	Key string
+}
+
+// Outcome reports what Accrue did with an entry.
+type Outcome int
+
+const (
+	// Accrued: the entry was billed to the tenant's account.
+	Accrued Outcome = iota
+	// Duplicate: the entry's idempotency key was already billed; nothing
+	// changed.
+	Duplicate
+	// Dropped: the ledger is at its tenant cap and the entry named a new
+	// tenant; nothing was billed (the drop is counted).
+	Dropped
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Accrued:
+		return "accrued"
+	case Duplicate:
+		return "duplicate"
+	case Dropped:
+		return "dropped"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// window accumulates one statement window of one account.
+type window struct {
+	invocations int64
+	commercial  float64
+	billed      float64
+	bills       map[string]float64
+}
+
+// account accumulates one tenant.
+type account struct {
+	invocations int64
+	commercial  float64
+	billed      float64
+	windows     map[int]*window
+}
+
+// Ledger is the concurrency-safe billing store. The zero value is not
+// usable; construct with New.
+type Ledger struct {
+	cfg Config
+
+	mu       sync.Mutex
+	accounts map[string]*account
+	names    []string // account names, kept sorted for O(log n) pagination
+	keys     map[string]struct{}
+	keyq     []string // FIFO eviction order of keys
+
+	accrued     uint64
+	duplicates  uint64
+	dropped     uint64
+	keysEvicted uint64
+}
+
+// New builds a ledger from cfg.
+func New(cfg Config) (*Ledger, error) {
+	if cfg.MaxTenants < 0 || cfg.WindowMinutes < 0 || cfg.MaxKeys < 0 {
+		return nil, fmt.Errorf("ledger: negative limits in config %+v", cfg)
+	}
+	if cfg.MaxTenants == 0 {
+		cfg.MaxTenants = DefaultMaxTenants
+	}
+	if cfg.WindowMinutes == 0 {
+		cfg.WindowMinutes = DefaultWindowMinutes
+	}
+	if cfg.MaxKeys == 0 {
+		cfg.MaxKeys = DefaultMaxKeys
+	}
+	return &Ledger{
+		cfg:      cfg,
+		accounts: make(map[string]*account),
+		keys:     make(map[string]struct{}),
+	}, nil
+}
+
+// WindowMinutes returns the statement window width.
+func (l *Ledger) WindowMinutes() int { return l.cfg.WindowMinutes }
+
+// Accrue bills one entry. It returns Duplicate when the entry's idempotency
+// key was seen before (nothing billed), Dropped when the tenant cap blocks a
+// new account (nothing billed, drop counted), and an error only for entries
+// no ledger could bill.
+func (l *Ledger) Accrue(e Entry) (Outcome, error) {
+	if e.Tenant == "" {
+		return Dropped, fmt.Errorf("ledger: accrual requires a tenant")
+	}
+	if e.Commercial < 0 || e.Price < 0 {
+		return Dropped, fmt.Errorf("ledger: negative amounts (commercial %v, price %v)", e.Commercial, e.Price)
+	}
+	if e.Minute < 0 {
+		return Dropped, fmt.Errorf("ledger: negative minute %d", e.Minute)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// Dedup keys live in a per-tenant namespace: tenant B reusing (or
+	// guessing) tenant A's key must still bill.
+	key := ""
+	if e.Key != "" {
+		key = e.Tenant + "\x00" + e.Key
+		if _, seen := l.keys[key]; seen {
+			l.duplicates++
+			return Duplicate, nil
+		}
+	}
+	acct := l.accounts[e.Tenant]
+	if acct == nil {
+		if len(l.accounts) >= l.cfg.MaxTenants {
+			l.dropped++
+			return Dropped, nil
+		}
+		acct = &account{windows: make(map[int]*window)}
+		l.accounts[e.Tenant] = acct
+		i := sort.SearchStrings(l.names, e.Tenant)
+		l.names = append(l.names, "")
+		copy(l.names[i+1:], l.names[i:])
+		l.names[i] = e.Tenant
+	}
+	// Record the key only once the entry actually bills, so a retry after a
+	// drop is not mistaken for a duplicate.
+	if key != "" {
+		l.keys[key] = struct{}{}
+		l.keyq = append(l.keyq, key)
+		for len(l.keyq) > l.cfg.MaxKeys {
+			delete(l.keys, l.keyq[0])
+			l.keyq = l.keyq[1:]
+			l.keysEvicted++
+		}
+	}
+	widx := e.Minute / l.cfg.WindowMinutes
+	w := acct.windows[widx]
+	if w == nil {
+		w = &window{bills: make(map[string]float64)}
+		acct.windows[widx] = w
+	}
+	acct.invocations++
+	acct.commercial += e.Commercial
+	acct.billed += e.Price
+	w.invocations++
+	w.commercial += e.Commercial
+	w.billed += e.Price
+	w.bills[e.Pricer] += e.Price
+	l.accrued++
+	return Accrued, nil
+}
+
+// Summary is a tenant's aggregate bill.
+type Summary struct {
+	Tenant      string
+	Invocations int64
+	Commercial  float64
+	Billed      float64
+	Discount    float64
+}
+
+func summarize(tenant string, a *account) Summary {
+	s := Summary{
+		Tenant:      tenant,
+		Invocations: a.invocations,
+		Commercial:  a.commercial,
+		Billed:      a.billed,
+	}
+	if s.Commercial > 0 {
+		s.Discount = 1 - s.Billed/s.Commercial
+	}
+	return s
+}
+
+// Summary returns one tenant's aggregate bill.
+func (l *Ledger) Summary(tenant string) (Summary, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.accounts[tenant]
+	if !ok {
+		return Summary{}, false
+	}
+	return summarize(tenant, a), true
+}
+
+// Line is one statement window: the invocations billed in
+// [StartMinute, StartMinute+WindowMinutes) with commercial-vs-charged
+// totals and one billed line per pricer.
+type Line struct {
+	Window      int
+	StartMinute int
+	Invocations int64
+	Commercial  float64
+	Billed      float64
+	Bills       map[string]float64
+}
+
+// Statement is a tenant's windowed bill over a minute range.
+type Statement struct {
+	Tenant        string
+	WindowMinutes int
+	// FromMinute / ToMinute echo the requested range; ToMinute < 0 means
+	// open-ended.
+	FromMinute int
+	ToMinute   int
+	// Totals aggregate the included windows only.
+	Invocations int64
+	Commercial  float64
+	Billed      float64
+	Discount    float64
+	// Lines holds the included windows sorted by window index.
+	Lines []Line
+}
+
+// Statement returns the tenant's bill over trace minutes
+// [fromMinute, toMinute]; toMinute < 0 means open-ended. Windows are
+// included when they overlap the range; lines come back sorted by window.
+func (l *Ledger) Statement(tenant string, fromMinute, toMinute int) (Statement, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.accounts[tenant]
+	if !ok {
+		return Statement{}, false
+	}
+	st := Statement{
+		Tenant:        tenant,
+		WindowMinutes: l.cfg.WindowMinutes,
+		FromMinute:    fromMinute,
+		ToMinute:      toMinute,
+	}
+	widxs := make([]int, 0, len(a.windows))
+	for widx := range a.windows {
+		start := widx * l.cfg.WindowMinutes
+		end := start + l.cfg.WindowMinutes - 1
+		if end < fromMinute || (toMinute >= 0 && start > toMinute) {
+			continue
+		}
+		widxs = append(widxs, widx)
+	}
+	sort.Ints(widxs)
+	for _, widx := range widxs {
+		w := a.windows[widx]
+		bills := make(map[string]float64, len(w.bills))
+		for pricer, v := range w.bills {
+			bills[pricer] = v
+		}
+		st.Lines = append(st.Lines, Line{
+			Window:      widx,
+			StartMinute: widx * l.cfg.WindowMinutes,
+			Invocations: w.invocations,
+			Commercial:  w.commercial,
+			Billed:      w.billed,
+			Bills:       bills,
+		})
+		st.Invocations += w.invocations
+		st.Commercial += w.commercial
+		st.Billed += w.billed
+	}
+	if st.Commercial > 0 {
+		st.Discount = 1 - st.Billed/st.Commercial
+	}
+	return st, true
+}
+
+// Tenants returns up to limit tenant summaries sorted by name, starting
+// strictly after cursor (empty cursor starts at the beginning). The second
+// result is the cursor for the next page, empty when the listing is done.
+func (l *Ledger) Tenants(cursor string, limit int) ([]Summary, string) {
+	if limit <= 0 {
+		return nil, ""
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// The name index is kept sorted on insert, so a page is a binary
+	// search plus a window — no per-page sort under the lock. Tenant names
+	// are never empty, so "" (no cursor) starts before all of them.
+	start := sort.SearchStrings(l.names, cursor)
+	if start < len(l.names) && l.names[start] == cursor {
+		start++
+	}
+	end := start + limit
+	next := ""
+	if end < len(l.names) {
+		next = l.names[end-1]
+	} else {
+		end = len(l.names)
+	}
+	sums := make([]Summary, 0, end-start)
+	for _, name := range l.names[start:end] {
+		sums = append(sums, summarize(name, l.accounts[name]))
+	}
+	return sums, next
+}
+
+// Stats is the ledger's observability snapshot: saturation against the
+// tenant cap plus the cumulative accrual counters — nothing the ledger does
+// (dropping at the cap, deduplicating retries, evicting old keys) is silent.
+type Stats struct {
+	// Tenants is the current account count; MaxTenants the cap.
+	Tenants    int
+	MaxTenants int
+	// Accrued / Duplicates / Dropped count Accrue outcomes since creation.
+	Accrued    uint64
+	Duplicates uint64
+	Dropped    uint64
+	// KeysTracked is the retained idempotency-key count; KeysEvicted counts
+	// keys aged out FIFO past MaxKeys (an evicted key can double-bill on
+	// replay — watch this counter).
+	KeysTracked int
+	KeysEvicted uint64
+}
+
+// Stats returns the current counters.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Tenants:     len(l.accounts),
+		MaxTenants:  l.cfg.MaxTenants,
+		Accrued:     l.accrued,
+		Duplicates:  l.duplicates,
+		Dropped:     l.dropped,
+		KeysTracked: len(l.keys),
+		KeysEvicted: l.keysEvicted,
+	}
+}

@@ -24,6 +24,8 @@
 package litmus
 
 import (
+	"context"
+
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -97,13 +99,21 @@ type (
 	PricingServer = api.Server
 	// PricingServerConfig parameterises a pricing server.
 	PricingServerConfig = api.Config
-	// PricingClient is the typed client for the /v2 pricing API.
+	// PricingClient is the typed client for the /v2 and /v3 pricing APIs.
 	PricingClient = api.Client
 	// QuoteRequest / QuoteResponse are the /v2 quote wire formats.
 	QuoteRequest  = api.QuoteRequest
 	QuoteResponse = api.QuoteResponse
 	// TenantSummary is a tenant's aggregate billing ledger.
 	TenantSummary = api.TenantSummary
+	// UsageRecord is one NDJSON line of the /v3 usage stream.
+	UsageRecord = api.UsageRecord
+	// UsageStreamResult is the /v3/usage ingest accounting.
+	UsageStreamResult = api.UsageStreamResponse
+	// TenantPage is one page of the sorted /v3 tenant listing.
+	TenantPage = api.TenantPage
+	// TenantStatement is a tenant's windowed /v3 bill.
+	TenantStatement = api.StatementResponse
 
 	// Experiment regenerates one paper artifact.
 	Experiment = exp.Experiment
@@ -128,6 +138,12 @@ type (
 	Fleet = fleet.Fleet
 	// FleetMeterConfig parameterises the streaming metering pipeline.
 	FleetMeterConfig = fleet.MeterConfig
+	// FleetSink consumes the fleet's metered-record stream.
+	FleetSink = fleet.Sink
+	// RemoteSink streams fleet records to a live pricing service;
+	// RemoteSinkConfig parameterises it.
+	RemoteSink       = fleet.RemoteSink
+	RemoteSinkConfig = fleet.RemoteSinkConfig
 	// FleetReport is the meter's per-tenant billing aggregate.
 	FleetReport = fleet.Report
 	// FleetResult is a run's per-machine statistics.
@@ -295,6 +311,12 @@ func ExpandTrace(t *Trace, cfg TraceExpandConfig) ([]Arrival, error) { return tr
 
 // NewFleet builds a fleet of simulated machines.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// NewRemoteSink builds a meter sink that streams fleet records to the
+// pricing service behind client over the /v3 usage API.
+func NewRemoteSink(ctx context.Context, client *PricingClient, cfg RemoteSinkConfig) *RemoteSink {
+	return fleet.NewRemoteSink(ctx, client, cfg)
+}
 
 // ParseRoutePolicy resolves a routing-policy name ("round-robin",
 // "least-loaded", "binpack").
