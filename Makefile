@@ -1,0 +1,27 @@
+# Developer entry points; CI runs the same steps (see .github/workflows/ci.yml).
+
+.PHONY: build test race bench bench-baseline fmt vet
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -shuffle=on ./...
+
+# One-pass sanity run of every benchmark.
+bench:
+	go test -run '^$$' -bench . -benchtime=1x ./...
+
+# Record the ledger/ingest perf baseline as BENCH_ledger.json (see
+# scripts/bench-ledger.sh; BENCHTIME overrides the default 1000x).
+bench-baseline:
+	./scripts/bench-ledger.sh BENCH_ledger.json
+
+fmt:
+	gofmt -l .
+
+vet:
+	go vet ./...

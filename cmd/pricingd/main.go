@@ -55,6 +55,7 @@ func main() {
 		maxBody    = flag.Int64("max-body", api.DefaultMaxBodyBytes, "request body (and /v3/usage line) size limit in bytes")
 		maxTenants = flag.Int("max-tenants", api.DefaultMaxTenants, "tenant ledger cap (drops beyond it are counted on /healthz)")
 		windowMin  = flag.Int("window-min", 1, "statement window width in trace minutes")
+		shards     = flag.Int("shards", api.DefaultShards, "ledger shard count: tenants are hash-partitioned over this many lock stripes for parallel ingest (never changes a bill)")
 		shareK     = flag.Int("share-per-core", 0, "co-runners per core for litmus-method1 pricing (0 = disabled; >1 measures the temporal-sharing curve at startup)")
 	)
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 		MaxBodyBytes:  *maxBody,
 		MaxTenants:    *maxTenants,
 		WindowMinutes: *windowMin,
+		Shards:        *shards,
 	}
 	if *shareK > 1 {
 		sharing, err := measureSharing(*scale, *seed)
@@ -82,8 +84,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("pricingd: %v", err)
 	}
-	log.Printf("pricingd: serving on %s (tables: %d generators, share %d)",
-		*addr, len(cal.Generators), cal.SharePerCore)
+	log.Printf("pricingd: serving on %s (tables: %d generators, share %d, ledger shards %d)",
+		*addr, len(cal.Generators), cal.SharePerCore, *shards)
 	s := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

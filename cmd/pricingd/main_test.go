@@ -38,7 +38,8 @@ func TestLoadOrCalibrateFromFile(t *testing.T) {
 // TestServerWiring smoke-tests the daemon's handler stack end to end: the
 // loaded tables drive both the legacy /v1 path and the /v2 path.
 func TestServerWiring(t *testing.T) {
-	srv, err := api.New(api.Config{Calibration: apitest.Calibration()})
+	// Shards is what the -shards flag threads through; healthz echoes it.
+	srv, err := api.New(api.Config{Calibration: apitest.Calibration(), Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,9 +50,16 @@ func TestServerWiring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var h api.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+	if h.Shards != 4 || len(h.ShardHealth) != 4 {
+		t.Errorf("healthz shards = %d (%d reported), want 4", h.Shards, len(h.ShardHealth))
 	}
 
 	body := `{

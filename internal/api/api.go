@@ -50,6 +50,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/ledger"
 )
 
 // Limits applied when Config leaves them zero.
@@ -61,6 +62,10 @@ const (
 	DefaultMaxBatch = 1024
 	// DefaultMaxTenants bounds the billing ledger's tenant count.
 	DefaultMaxTenants = 100_000
+	// DefaultShards is the ledger's lock-stripe count: tenants are
+	// hash-partitioned over this many independently locked shards so
+	// concurrent ingest paths accrue in parallel.
+	DefaultShards = ledger.DefaultShards
 	// DefaultMaxStreamLines bounds the physical lines in one /v3/usage
 	// stream — deliberately far beyond DefaultMaxBatch; the decode loop is
 	// constant-memory either way, and the bound keeps a client from
@@ -225,8 +230,21 @@ type HealthResponse struct {
 	// keys aged out (an evicted key can double-bill on replay).
 	IdempotencyKeys int    `json:"idempotencyKeys"`
 	KeysEvicted     uint64 `json:"keysEvicted"`
+	// Shards is the ledger's lock-stripe count; ShardHealth reports each
+	// stripe's occupancy, so hot-tenant skew saturating one shard is
+	// visible even while the aggregate counters look healthy.
+	Shards      int           `json:"shards"`
+	ShardHealth []ShardHealth `json:"shardHealth"`
 	// TablesETag is the current calibration-table version (see /v3/tables).
 	TablesETag string `json:"tablesETag"`
+}
+
+// ShardHealth is one ledger shard's occupancy on /healthz.
+type ShardHealth struct {
+	// Tenants is the shard's account count; Keys its retained
+	// idempotency-key count.
+	Tenants int `json:"tenants"`
+	Keys    int `json:"keys"`
 }
 
 // UsageRecord is one NDJSON line of POST /v3/usage: a billable usage record

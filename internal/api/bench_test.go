@@ -76,3 +76,39 @@ func BenchmarkUsageStream(b *testing.B) {
 	}
 	b.ReportMetric(float64(lines*b.N)/b.Elapsed().Seconds(), "records/s")
 }
+
+// BenchmarkUsageStreamSharded measures the parallel /v3/usage pipeline —
+// worker-pool decode/price, sharded accrual — across ledger shard counts,
+// with enough distinct tenants to spread the stripes. On a multi-core
+// runner throughput should scale with shards until cores run out; the
+// 1-shard case serializes every accrual behind one mutex.
+func BenchmarkUsageStreamSharded(b *testing.B) {
+	const lines = 2048
+	const tenants = 64
+	var sb strings.Builder
+	for i := 0; i < lines; i++ {
+		sb.WriteString(benchRecord(fmt.Sprintf("t%02d", i%tenants), 128+64*(i%8)))
+		sb.WriteByte('\n')
+	}
+	body := []byte(sb.String())
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv, err := New(Config{Calibration: apitest.Calibration(), Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(body)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v3/usage", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.ReportMetric(float64(lines*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}

@@ -37,6 +37,10 @@ type Config struct {
 	// WindowMinutes is the statement window width in trace minutes; 0 means
 	// 1 (ledger.DefaultWindowMinutes).
 	WindowMinutes int
+	// Shards is the ledger's lock-stripe count; parallel ingest paths
+	// accrue concurrently across shards. The shard count never changes a
+	// bill (see internal/ledger). 0 means DefaultShards.
+	Shards int
 	// MaxStreamLines bounds the physical lines read from one /v3/usage
 	// stream; 0 means DefaultMaxStreamLines.
 	MaxStreamLines int
@@ -85,6 +89,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxStreamLines <= 0 {
 		cfg.MaxStreamLines = DefaultMaxStreamLines
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
 	models, err := core.FitModels(cfg.Calibration)
 	if err != nil {
 		return nil, err
@@ -92,6 +99,7 @@ func New(cfg Config) (*Server, error) {
 	led, err := ledger.New(ledger.Config{
 		MaxTenants:    cfg.MaxTenants,
 		WindowMinutes: cfg.WindowMinutes,
+		Shards:        cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -181,6 +189,10 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.ledger.Stats()
+	shards := make([]ShardHealth, len(st.Shards))
+	for i, ss := range st.Shards {
+		shards[i] = ShardHealth{Tenants: ss.Tenants, Keys: ss.KeysTracked}
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		OK:                true,
 		Tenants:           st.Tenants,
@@ -190,6 +202,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		DuplicateAccruals: st.Duplicates,
 		IdempotencyKeys:   st.KeysTracked,
 		KeysEvicted:       st.KeysEvicted,
+		Shards:            len(st.Shards),
+		ShardHealth:       shards,
 		TablesETag:        s.tablesETag(),
 	})
 }
@@ -259,8 +273,20 @@ func (s *Server) priceAndAccrue(pricers map[string]core.Pricer, req QuoteRequest
 	if req.Tenant == "" {
 		return resp, ledger.Accrued, nil
 	}
+	outcome, apiErr := s.accrue(resp, req.Tenant, minute, key)
+	if apiErr != nil {
+		return nil, ledger.Dropped, apiErr
+	}
+	return resp, outcome, nil
+}
+
+// accrue bills one priced quote to a tenant's ledger. It is the only place
+// that builds a ledger entry from a quote, so every ingest path — /v1 and
+// /v2 quotes, /v2 meter batches, the /v3 stream collector — bills
+// identically. A drop at the tenant cap comes back as a 503.
+func (s *Server) accrue(resp *QuoteResponse, tenant string, minute int, key string) (ledger.Outcome, *Error) {
 	outcome, err := s.ledger.Accrue(ledger.Entry{
-		Tenant:     req.Tenant,
+		Tenant:     tenant,
 		Pricer:     resp.Pricer,
 		Minute:     minute,
 		Commercial: resp.Commercial,
@@ -268,13 +294,13 @@ func (s *Server) priceAndAccrue(pricers map[string]core.Pricer, req QuoteRequest
 		Key:        key,
 	})
 	if err != nil {
-		return nil, ledger.Dropped, &Error{Status: http.StatusBadRequest, Message: err.Error()}
+		return ledger.Dropped, &Error{Status: http.StatusBadRequest, Message: err.Error()}
 	}
 	if outcome == ledger.Dropped {
-		return nil, ledger.Dropped, &Error{Status: http.StatusServiceUnavailable,
+		return ledger.Dropped, &Error{Status: http.StatusServiceUnavailable,
 			Message: fmt.Sprintf("tenant ledger full (%d tenants); quote not billed", s.cfg.MaxTenants)}
 	}
-	return resp, outcome, nil
+	return outcome, nil
 }
 
 func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {

@@ -79,6 +79,30 @@ func TestHealthz(t *testing.T) {
 	if !h.OK || h.MaxTenants != DefaultMaxTenants || h.TablesETag == "" {
 		t.Errorf("healthz = %+v", h)
 	}
+	if h.Shards != DefaultShards || len(h.ShardHealth) != DefaultShards {
+		t.Errorf("shards = %d (%d reported), want %d", h.Shards, len(h.ShardHealth), DefaultShards)
+	}
+}
+
+// TestHealthzPerShardSaturation proves the per-shard breakdown tracks where
+// tenants actually land, and that a configured shard count is honoured.
+func TestHealthzPerShardSaturation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 4})
+	for i := 0; i < 32; i++ {
+		postJSON(t, ts.URL+"/v2/quote", congestedBody(fmt.Sprintf(`, "tenant": "t%02d"`, i)))
+	}
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Shards != 4 || len(h.ShardHealth) != 4 {
+		t.Fatalf("shards = %d (%d reported), want 4", h.Shards, len(h.ShardHealth))
+	}
+	sum := 0
+	for _, sh := range h.ShardHealth {
+		sum += sh.Tenants
+	}
+	if sum != h.Tenants || sum != 32 {
+		t.Errorf("per-shard tenants sum %d, total %d, want 32", sum, h.Tenants)
+	}
 }
 
 // TestHealthzReportsLedgerSaturation proves drops at the tenant cap are

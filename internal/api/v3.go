@@ -14,20 +14,69 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 
+	"repro/internal/core"
 	"repro/internal/ledger"
 )
 
 // --- POST /v3/usage ----------------------------------------------------------
 
+// maxIngestWorkers bounds the per-stream pricing worker pool; past this,
+// decode/price parallelism stops paying for the goroutine bookkeeping.
+const maxIngestWorkers = 16
+
+// linePool recycles per-line copies of the scanner's buffer across streams,
+// so steady-state ingest allocates no line buffers at all.
+var linePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// ingestJob is one non-blank NDJSON line handed to the pricing workers.
+type ingestJob struct {
+	// seq is the 0-based order of the line among non-blank lines; the
+	// collector reorders results by it, so the response is identical to a
+	// sequential pass. line is the 1-based physical line number (blank
+	// lines included) reported in per-line errors.
+	seq  int
+	line int
+	buf  *[]byte
+}
+
+// ingestResult is one priced (or rejected) line on its way to the
+// collector. When err is nil, quote carries the price the collector will
+// accrue under (tenant, minute, key).
+type ingestResult struct {
+	seq    int
+	line   int
+	tenant string
+	minute int
+	key    string
+	quote  *QuoteResponse
+	err    *Error
+}
+
 // handleUsageStream ingests usage as streaming NDJSON: one UsageRecord per
-// line, decoded in constant memory — the line buffer is the only per-stream
-// allocation that scales with input size, so streams can run far beyond the
-// /v2 batch cap. Bad lines are rejected individually while the rest of the
+// line, decoded in constant memory, so streams can run far beyond the /v2
+// batch cap. Bad lines are rejected individually while the rest of the
 // stream accrues, and lines carrying (or inheriting) an idempotency key can
 // be retried without double-billing.
+//
+// The hot path is a three-stage pipeline: the handler goroutine scans lines
+// and copies each into a pooled buffer, a worker pool decodes and prices
+// them concurrently, and a collector reorders results back into line order
+// and accrues them one by one. Pricing is pure (no shared state), so it
+// parallelizes freely; accrual stays sequential in line order, which keeps
+// the stream's semantics exactly those of a sequential pass — in
+// particular, when two lines in one stream carry the same idempotency key,
+// the first line always bills and the later one is always the Duplicate,
+// whatever the worker interleaving. Concurrent streams still accrue in
+// parallel against the sharded ledger. Memory stays constant: the reorder
+// buffer is bounded by the channel capacities, not the stream.
 func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		v2Error(w, http.StatusMethodNotAllowed, "POST only")
@@ -38,17 +87,66 @@ func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 	pricers := s.snapshot()
 	streamKey := r.Header.Get("Idempotency-Key")
 
+	workers := min(runtime.GOMAXPROCS(0), maxIngestWorkers)
+	jobs := make(chan ingestJob, workers*4)
+	results := make(chan ingestResult, workers*4)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- s.priceLine(pricers, streamKey, j)
+			}
+		}()
+	}
+
+	// The collector owns resp until its goroutine finishes: it applies
+	// results strictly in seq order and performs the accruals itself, so
+	// counters, billing and the capped error list behave exactly as a
+	// sequential pass would.
 	var resp UsageStreamResponse
 	touched := map[string]bool{}
-	recordErr := func(line int, e Error) {
-		if len(resp.Errors) < DefaultMaxStreamErrors {
-			resp.Errors = append(resp.Errors, LineError{Line: line, Error: e})
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		next := 0
+		pending := map[int]ingestResult{}
+		for res := range results {
+			pending[res.seq] = res
+			for {
+				ordered, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				resp.Lines++
+				apiErr := ordered.err
+				outcome := ledger.Accrued
+				if apiErr == nil {
+					outcome, apiErr = s.accrue(ordered.quote, ordered.tenant, ordered.minute, ordered.key)
+				}
+				if apiErr != nil {
+					if apiErr.Status == http.StatusServiceUnavailable {
+						resp.Dropped++
+					} else {
+						resp.Rejected++
+					}
+					if len(resp.Errors) < DefaultMaxStreamErrors {
+						resp.Errors = append(resp.Errors, LineError{Line: ordered.line, Error: *apiErr})
+					}
+					continue
+				}
+				if outcome == ledger.Duplicate {
+					resp.Duplicates++
+				} else {
+					resp.Accepted++
+				}
+				touched[ordered.tenant] = true
+			}
 		}
-	}
-	reject := func(line int, format string, args ...any) {
-		resp.Rejected++
-		recordErr(line, Error{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)})
-	}
+	}()
 
 	sc := bufio.NewScanner(r.Body)
 	// The scanner's limit is max(cap(buf), limit): keep the initial buffer
@@ -58,64 +156,39 @@ func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 		initial = int(s.cfg.MaxBodyBytes)
 	}
 	sc.Buffer(make([]byte, 0, initial), int(s.cfg.MaxBodyBytes))
-	lineNo := 0
+	lineNo, seq := 0, 0
+	streamErr := ""
 	for sc.Scan() {
 		lineNo++
 		// The cap counts physical lines, blank or not, so a stream of bare
 		// newlines cannot hold the handler in an unbounded read loop.
 		if lineNo > s.cfg.MaxStreamLines {
-			resp.StreamError = fmt.Sprintf("stream exceeds %d lines", s.cfg.MaxStreamLines)
+			streamErr = fmt.Sprintf("stream exceeds %d lines", s.cfg.MaxStreamLines)
 			break
 		}
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
 			continue
 		}
-		resp.Lines++
-		var rec UsageRecord
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			reject(lineNo, "malformed JSON: %v", err)
-			continue
-		}
-		if rec.Tenant == "" {
-			reject(lineNo, "usage record requires a tenant")
-			continue
-		}
-		if rec.Minute < 0 {
-			reject(lineNo, "negative minute %d", rec.Minute)
-			continue
-		}
-		key := rec.Key
-		if key == "" && streamKey != "" {
-			// Derive per-line keys from the stream key, so replaying the
-			// whole stream under the same Idempotency-Key is a no-op.
-			key = fmt.Sprintf("%s#%d", streamKey, lineNo)
-		}
-		_, outcome, apiErr := s.priceAndAccrue(pricers, rec.QuoteRequest, rec.Minute, key)
-		if apiErr != nil {
-			if apiErr.Status == http.StatusServiceUnavailable {
-				resp.Dropped++
-				recordErr(lineNo, *apiErr)
-			} else {
-				resp.Rejected++
-				recordErr(lineNo, *apiErr)
-			}
-			continue
-		}
-		if outcome == ledger.Duplicate {
-			resp.Duplicates++
-		} else {
-			resp.Accepted++
-		}
-		touched[rec.Tenant] = true
+		// The scanner reuses its buffer across lines; copy into a pooled
+		// one the worker releases after decoding.
+		buf := linePool.Get().(*[]byte)
+		*buf = append((*buf)[:0], raw...)
+		jobs <- ingestJob{seq: seq, line: lineNo, buf: buf}
+		seq++
 	}
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
-			resp.StreamError = fmt.Sprintf("line %d exceeds %d bytes", lineNo+1, s.cfg.MaxBodyBytes)
+			streamErr = fmt.Sprintf("line %d exceeds %d bytes", lineNo+1, s.cfg.MaxBodyBytes)
 		} else {
-			resp.StreamError = fmt.Sprintf("reading stream: %v", err)
+			streamErr = fmt.Sprintf("reading stream: %v", err)
 		}
 	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	<-collectorDone
+	resp.StreamError = streamErr
 
 	names := make([]string, 0, len(touched))
 	for name := range touched {
@@ -128,6 +201,44 @@ func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// priceLine decodes, validates and prices one NDJSON line — no accrual;
+// the collector bills priced lines in stream order. It returns the pooled
+// buffer when done. Runs on the ingest worker pool.
+func (s *Server) priceLine(pricers map[string]core.Pricer, streamKey string, j ingestJob) ingestResult {
+	defer linePool.Put(j.buf)
+	res := ingestResult{seq: j.seq, line: j.line}
+	reject := func(format string, args ...any) ingestResult {
+		res.err = &Error{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)}
+		return res
+	}
+	var rec UsageRecord
+	if err := json.Unmarshal(*j.buf, &rec); err != nil {
+		return reject("malformed JSON: %v", err)
+	}
+	if rec.Tenant == "" {
+		return reject("usage record requires a tenant")
+	}
+	if rec.Minute < 0 {
+		return reject("negative minute %d", rec.Minute)
+	}
+	key := rec.Key
+	if key == "" && streamKey != "" {
+		// Derive per-line keys from the stream key, so replaying the
+		// whole stream under the same Idempotency-Key is a no-op.
+		key = fmt.Sprintf("%s#%d", streamKey, j.line)
+	}
+	quote, apiErr := s.priceOne(pricers, rec.QuoteRequest)
+	if apiErr != nil {
+		res.err = apiErr
+		return res
+	}
+	res.tenant = rec.Tenant
+	res.minute = rec.Minute
+	res.key = key
+	res.quote = quote
+	return res
 }
 
 // --- GET /v3/tenants ---------------------------------------------------------

@@ -158,6 +158,23 @@ func TestV3UsageStreamIdempotency(t *testing.T) {
 		t.Fatalf("tenants = %+v", out.Tenants)
 	}
 
+	// Same-key lines with different payloads: the first line always wins,
+	// whatever the decode workers' interleaving — accrual happens in line
+	// order in the collector, so billing is deterministic.
+	for i := 0; i < 20; i++ {
+		_, ts2 := newTestServer(t, Config{})
+		conflict := ndLine("det", 128, 0, "kk") + "\n" + ndLine("det", 1024, 0, "kk") + "\n"
+		out := postStream(t, ts2.URL, "", conflict)
+		if out.Accepted != 1 || out.Duplicates != 1 {
+			t.Fatalf("conflicting keys = %+v", out)
+		}
+		first := postStream(t, ts2.URL, "", ndLine("ref", 128, 0, "")+"\n")
+		if out.Tenants[0].Billed != first.Tenants[0].Billed {
+			t.Fatalf("same-key conflict billed the later line: %v != %v (run %d)",
+				out.Tenants[0].Billed, first.Tenants[0].Billed, i)
+		}
+	}
+
 	// Header-derived keys: replaying the whole stream under the same
 	// Idempotency-Key is a no-op, a different key bills again.
 	stream := ndLine("zeta", 128, 0, "") + "\n" + ndLine("zeta", 256, 1, "") + "\n"

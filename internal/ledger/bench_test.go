@@ -1,0 +1,110 @@
+package ledger
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// benchTenants is a fixed tenant universe large enough to spread across
+// every shard configuration under test.
+func benchTenants(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return names
+}
+
+// BenchmarkAccrueParallel measures accrual throughput from GOMAXPROCS
+// writers across shard counts. With one shard every writer serializes on a
+// single mutex; striping should scale throughput near-linearly with cores
+// until the stripes outnumber them.
+func BenchmarkAccrueParallel(b *testing.B) {
+	tenants := benchTenants(1024)
+	for _, shards := range []int{1, 2, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			l, err := New(Config{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Offset each writer so they walk disjoint tenant cycles
+				// instead of convoying on the same shard.
+				i := int(worker.Add(1)) * 7919
+				for pb.Next() {
+					l.Accrue(Entry{
+						Tenant:     tenants[i%len(tenants)],
+						Pricer:     "litmus",
+						Minute:     i % 64,
+						Commercial: 2,
+						Price:      1,
+					})
+					i++
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accruals/s")
+		})
+	}
+}
+
+// BenchmarkAccrueKeyed adds the idempotency-key path (map insert + FIFO) to
+// the parallel accrual hot loop.
+func BenchmarkAccrueKeyed(b *testing.B) {
+	tenants := benchTenants(1024)
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			l, err := New(Config{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				i := int(w) * 7919
+				for pb.Next() {
+					l.Accrue(Entry{
+						Tenant:     tenants[i%len(tenants)],
+						Pricer:     "litmus",
+						Minute:     i % 64,
+						Commercial: 2,
+						Price:      1,
+						Key:        fmt.Sprintf("w%d-%d", w, i),
+					})
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTenantsPage measures the cross-shard ordered page merge against
+// a populated ledger, with the accrual path idle.
+func BenchmarkTenantsPage(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			l, err := New(Config{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, t := range benchTenants(10_000) {
+				l.Accrue(Entry{Tenant: t, Pricer: "litmus", Commercial: 2, Price: 1})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			cursor := ""
+			for i := 0; i < b.N; i++ {
+				var page []Summary
+				page, cursor = l.Tenants(cursor, 100)
+				if len(page) == 0 {
+					cursor = ""
+				}
+			}
+		})
+	}
+}

@@ -12,14 +12,27 @@
 //   - iteration is deterministic: tenant listings are sorted by name and
 //     paginate with a stable cursor, statement lines are sorted by window.
 //
+// The store is lock-striped: tenants are partitioned by name hash across
+// Config.Shards independently locked shards, each owning its accounts and
+// idempotency-key FIFO, so concurrent writers on different tenants never
+// contend. Sharding is a pure throughput optimisation — the shard count can
+// never change a bill. Per-tenant state lives wholly inside one shard, the
+// tenant cap is enforced by an exact global atomic, and cross-shard reads
+// (Tenants, Stats) merge per-shard sorted snapshots, so an N-shard ledger
+// and a 1-shard ledger fed the same entries produce identical statements,
+// summaries, listings and dedup outcomes (the differential harness in
+// ledgertest proves this). The one per-shard policy is key eviction: each
+// shard FIFO-evicts beyond its MaxKeys/Shards slice of the key budget, so
+// eviction order under memory pressure — and only eviction order — depends
+// on the shard count.
+//
 // The ledger never prices anything. Callers quote through core.Pricer and
 // accrue the result, so aggregation cannot change a price.
 package ledger
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // Defaults applied when Config leaves the fields zero.
@@ -31,19 +44,31 @@ const (
 	DefaultMaxKeys = 1 << 20
 	// DefaultWindowMinutes is the statement aggregation window width.
 	DefaultWindowMinutes = 1
+	// DefaultShards is the lock-stripe count. Sixteen stripes keep writer
+	// contention negligible well past typical core counts while the
+	// per-shard memory overhead stays trivial.
+	DefaultShards = 16
 )
 
 // Config parameterises a ledger.
 type Config struct {
 	// MaxTenants caps the tenant accounts; accruals naming a new tenant
-	// beyond the cap are dropped (counted, reported via Stats). 0 selects
+	// beyond the cap are dropped (counted, reported via Stats). The cap is
+	// global and exact regardless of the shard count. 0 selects
 	// DefaultMaxTenants.
 	MaxTenants int
 	// WindowMinutes is the statement window width in trace minutes. 0
 	// selects DefaultWindowMinutes.
 	WindowMinutes int
-	// MaxKeys caps the retained idempotency keys. 0 selects DefaultMaxKeys.
+	// MaxKeys budgets the retained idempotency keys across all shards:
+	// each shard FIFO-evicts beyond its ceil(MaxKeys/Shards) slice, so the
+	// retained total can overshoot MaxKeys by at most Shards-1 keys (every
+	// shard keeps at least one, so dedup works on every shard even for
+	// tiny budgets). 0 selects DefaultMaxKeys.
 	MaxKeys int
+	// Shards is the lock-stripe count tenants are hash-partitioned over.
+	// 0 selects DefaultShards; 1 yields a fully serialized ledger.
+	Shards int
 }
 
 // Entry is one priced accrual: the amounts a pricer quoted for one
@@ -110,26 +135,27 @@ type account struct {
 	windows     map[int]*window
 }
 
-// Ledger is the concurrency-safe billing store. The zero value is not
-// usable; construct with New.
+// Ledger is the concurrency-safe, lock-striped billing store. The zero
+// value is not usable; construct with New.
 type Ledger struct {
-	cfg Config
+	cfg    Config
+	shards []*shard
 
-	mu       sync.Mutex
-	accounts map[string]*account
-	names    []string // account names, kept sorted for O(log n) pagination
-	keys     map[string]struct{}
-	keyq     []string // FIFO eviction order of keys
+	// tenants is the exact global account count backing the tenant cap:
+	// admission is add-then-check, so concurrent shards can never admit
+	// past MaxTenants.
+	tenants atomic.Int64
 
-	accrued     uint64
-	duplicates  uint64
-	dropped     uint64
-	keysEvicted uint64
+	// Outcome counters are atomics so shards never contend on them.
+	accrued     atomic.Uint64
+	duplicates  atomic.Uint64
+	dropped     atomic.Uint64
+	keysEvicted atomic.Uint64
 }
 
 // New builds a ledger from cfg.
 func New(cfg Config) (*Ledger, error) {
-	if cfg.MaxTenants < 0 || cfg.WindowMinutes < 0 || cfg.MaxKeys < 0 {
+	if cfg.MaxTenants < 0 || cfg.WindowMinutes < 0 || cfg.MaxKeys < 0 || cfg.Shards < 0 {
 		return nil, fmt.Errorf("ledger: negative limits in config %+v", cfg)
 	}
 	if cfg.MaxTenants == 0 {
@@ -141,20 +167,40 @@ func New(cfg Config) (*Ledger, error) {
 	if cfg.MaxKeys == 0 {
 		cfg.MaxKeys = DefaultMaxKeys
 	}
-	return &Ledger{
-		cfg:      cfg,
-		accounts: make(map[string]*account),
-		keys:     make(map[string]struct{}),
-	}, nil
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	perShardKeys := max(1, (cfg.MaxKeys+cfg.Shards-1)/cfg.Shards)
+	shards := make([]*shard, cfg.Shards)
+	for i := range shards {
+		shards[i] = newShard(perShardKeys)
+	}
+	return &Ledger{cfg: cfg, shards: shards}, nil
 }
 
 // WindowMinutes returns the statement window width.
 func (l *Ledger) WindowMinutes() int { return l.cfg.WindowMinutes }
 
+// Shards returns the lock-stripe count.
+func (l *Ledger) Shards() int { return len(l.shards) }
+
+// shardFor picks the shard owning a tenant: FNV-1a over the name, written
+// out inline so the hot path allocates nothing.
+func (l *Ledger) shardFor(tenant string) *shard {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint32(tenant[i])
+		h *= prime32
+	}
+	return l.shards[h%uint32(len(l.shards))]
+}
+
 // Accrue bills one entry. It returns Duplicate when the entry's idempotency
 // key was seen before (nothing billed), Dropped when the tenant cap blocks a
 // new account (nothing billed, drop counted), and an error only for entries
-// no ledger could bill.
+// no ledger could bill. Only the owning shard is locked, so accruals for
+// tenants on different shards proceed in parallel.
 func (l *Ledger) Accrue(e Entry) (Outcome, error) {
 	if e.Tenant == "" {
 		return Dropped, fmt.Errorf("ledger: accrual requires a tenant")
@@ -165,41 +211,46 @@ func (l *Ledger) Accrue(e Entry) (Outcome, error) {
 	if e.Minute < 0 {
 		return Dropped, fmt.Errorf("ledger: negative minute %d", e.Minute)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	sh := l.shardFor(e.Tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
 	// Dedup keys live in a per-tenant namespace: tenant B reusing (or
-	// guessing) tenant A's key must still bill.
+	// guessing) tenant A's key must still bill. The tenant prefix also pins
+	// a key to the tenant's shard, so a key check never crosses shards.
 	key := ""
 	if e.Key != "" {
 		key = e.Tenant + "\x00" + e.Key
-		if _, seen := l.keys[key]; seen {
-			l.duplicates++
+		if _, seen := sh.keys[key]; seen {
+			l.duplicates.Add(1)
 			return Duplicate, nil
 		}
 	}
-	acct := l.accounts[e.Tenant]
+	acct := sh.accounts[e.Tenant]
 	if acct == nil {
-		if len(l.accounts) >= l.cfg.MaxTenants {
-			l.dropped++
+		// The cap check is add-then-check on the global atomic: two shards
+		// racing for the last slot cannot both win, so the cap is exact —
+		// a sharded ledger admits exactly the tenants a serialized one
+		// would. The same tenant cannot race itself: its creation is
+		// serialized by its shard's lock.
+		if n := l.tenants.Add(1); n > int64(l.cfg.MaxTenants) {
+			l.tenants.Add(-1)
+			l.dropped.Add(1)
 			return Dropped, nil
 		}
 		acct = &account{windows: make(map[int]*window)}
-		l.accounts[e.Tenant] = acct
-		i := sort.SearchStrings(l.names, e.Tenant)
-		l.names = append(l.names, "")
-		copy(l.names[i+1:], l.names[i:])
-		l.names[i] = e.Tenant
+		sh.accounts[e.Tenant] = acct
+		sh.insertName(e.Tenant)
 	}
 	// Record the key only once the entry actually bills, so a retry after a
 	// drop is not mistaken for a duplicate.
 	if key != "" {
-		l.keys[key] = struct{}{}
-		l.keyq = append(l.keyq, key)
-		for len(l.keyq) > l.cfg.MaxKeys {
-			delete(l.keys, l.keyq[0])
-			l.keyq = l.keyq[1:]
-			l.keysEvicted++
+		sh.keys[key] = struct{}{}
+		sh.keyq = append(sh.keyq, key)
+		for len(sh.keyq) > sh.maxKeys {
+			delete(sh.keys, sh.keyq[0])
+			sh.keyq = sh.keyq[1:]
+			l.keysEvicted.Add(1)
 		}
 	}
 	widx := e.Minute / l.cfg.WindowMinutes
@@ -215,7 +266,7 @@ func (l *Ledger) Accrue(e Entry) (Outcome, error) {
 	w.commercial += e.Commercial
 	w.billed += e.Price
 	w.bills[e.Pricer] += e.Price
-	l.accrued++
+	l.accrued.Add(1)
 	return Accrued, nil
 }
 
@@ -243,13 +294,7 @@ func summarize(tenant string, a *account) Summary {
 
 // Summary returns one tenant's aggregate bill.
 func (l *Ledger) Summary(tenant string) (Summary, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	a, ok := l.accounts[tenant]
-	if !ok {
-		return Summary{}, false
-	}
-	return summarize(tenant, a), true
+	return l.shardFor(tenant).summary(tenant)
 }
 
 // Line is one statement window: the invocations billed in
@@ -285,80 +330,66 @@ type Statement struct {
 // [fromMinute, toMinute]; toMinute < 0 means open-ended. Windows are
 // included when they overlap the range; lines come back sorted by window.
 func (l *Ledger) Statement(tenant string, fromMinute, toMinute int) (Statement, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	a, ok := l.accounts[tenant]
-	if !ok {
-		return Statement{}, false
-	}
-	st := Statement{
-		Tenant:        tenant,
-		WindowMinutes: l.cfg.WindowMinutes,
-		FromMinute:    fromMinute,
-		ToMinute:      toMinute,
-	}
-	widxs := make([]int, 0, len(a.windows))
-	for widx := range a.windows {
-		start := widx * l.cfg.WindowMinutes
-		end := start + l.cfg.WindowMinutes - 1
-		if end < fromMinute || (toMinute >= 0 && start > toMinute) {
-			continue
-		}
-		widxs = append(widxs, widx)
-	}
-	sort.Ints(widxs)
-	for _, widx := range widxs {
-		w := a.windows[widx]
-		bills := make(map[string]float64, len(w.bills))
-		for pricer, v := range w.bills {
-			bills[pricer] = v
-		}
-		st.Lines = append(st.Lines, Line{
-			Window:      widx,
-			StartMinute: widx * l.cfg.WindowMinutes,
-			Invocations: w.invocations,
-			Commercial:  w.commercial,
-			Billed:      w.billed,
-			Bills:       bills,
-		})
-		st.Invocations += w.invocations
-		st.Commercial += w.commercial
-		st.Billed += w.billed
-	}
-	if st.Commercial > 0 {
-		st.Discount = 1 - st.Billed/st.Commercial
-	}
-	return st, true
+	return l.shardFor(tenant).statement(tenant, fromMinute, toMinute, l.cfg.WindowMinutes)
 }
 
 // Tenants returns up to limit tenant summaries sorted by name, starting
 // strictly after cursor (empty cursor starts at the beginning). The second
 // result is the cursor for the next page, empty when the listing is done.
+//
+// The page is an ordered merge over per-shard sorted snapshots: each shard
+// is locked once to copy out at most limit candidates past the cursor, then
+// the merge runs lock-free. Every tenant present before the call appears in
+// exactly one shard's snapshot, so a full cursor walk lists each of them
+// exactly once, in order, even while accruals land concurrently.
 func (l *Ledger) Tenants(cursor string, limit int) ([]Summary, string) {
 	if limit <= 0 {
 		return nil, ""
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	// The name index is kept sorted on insert, so a page is a binary
-	// search plus a window — no per-page sort under the lock. Tenant names
-	// are never empty, so "" (no cursor) starts before all of them.
-	start := sort.SearchStrings(l.names, cursor)
-	if start < len(l.names) && l.names[start] == cursor {
-		start++
+	parts := make([][]Summary, 0, len(l.shards))
+	total, more := 0, false
+	for _, sh := range l.shards {
+		part, shMore := sh.pageAfter(cursor, limit)
+		more = more || shMore
+		total += len(part)
+		if len(part) > 0 {
+			parts = append(parts, part)
+		}
 	}
-	end := start + limit
+	page := make([]Summary, 0, min(limit, total))
+	idx := make([]int, len(parts))
+	for len(page) < limit {
+		best := -1
+		for i, p := range parts {
+			if idx[i] >= len(p) {
+				continue
+			}
+			if best < 0 || p[idx[i]].Tenant < parts[best][idx[best]].Tenant {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		page = append(page, parts[best][idx[best]])
+		idx[best]++
+	}
+	// More tenants follow the page when the merge had leftovers, or any
+	// shard was truncated — a truncated shard's remainder sorts after its
+	// contribution, all of which landed on this page.
 	next := ""
-	if end < len(l.names) {
-		next = l.names[end-1]
-	} else {
-		end = len(l.names)
+	if (total > limit || more) && len(page) > 0 {
+		next = page[len(page)-1].Tenant
 	}
-	sums := make([]Summary, 0, end-start)
-	for _, name := range l.names[start:end] {
-		sums = append(sums, summarize(name, l.accounts[name]))
-	}
-	return sums, next
+	return page, next
+}
+
+// ShardStats is one shard's occupancy snapshot.
+type ShardStats struct {
+	// Tenants is the shard's account count; KeysTracked its retained
+	// idempotency keys.
+	Tenants     int
+	KeysTracked int
 }
 
 // Stats is the ledger's observability snapshot: saturation against the
@@ -373,23 +404,34 @@ type Stats struct {
 	Duplicates uint64
 	Dropped    uint64
 	// KeysTracked is the retained idempotency-key count; KeysEvicted counts
-	// keys aged out FIFO past MaxKeys (an evicted key can double-bill on
-	// replay — watch this counter).
+	// keys aged out FIFO past each shard's slice of MaxKeys (an evicted key
+	// can double-bill on replay — watch this counter).
 	KeysTracked int
 	KeysEvicted uint64
+	// Shards holds each lock stripe's occupancy, so hot-tenant skew is
+	// visible per shard.
+	Shards []ShardStats
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters. Shards are snapshotted one at a time,
+// so the totals are exact when the ledger is quiescent and approximate (per
+// shard consistent) under concurrent writes.
 func (l *Ledger) Stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return Stats{
-		Tenants:     len(l.accounts),
+	st := Stats{
 		MaxTenants:  l.cfg.MaxTenants,
-		Accrued:     l.accrued,
-		Duplicates:  l.duplicates,
-		Dropped:     l.dropped,
-		KeysTracked: len(l.keys),
-		KeysEvicted: l.keysEvicted,
+		Accrued:     l.accrued.Load(),
+		Duplicates:  l.duplicates.Load(),
+		Dropped:     l.dropped.Load(),
+		KeysEvicted: l.keysEvicted.Load(),
+		Shards:      make([]ShardStats, len(l.shards)),
 	}
+	for i, sh := range l.shards {
+		sh.mu.Lock()
+		ss := ShardStats{Tenants: len(sh.accounts), KeysTracked: len(sh.keys)}
+		sh.mu.Unlock()
+		st.Shards[i] = ss
+		st.Tenants += ss.Tenants
+		st.KeysTracked += ss.KeysTracked
+	}
+	return st
 }

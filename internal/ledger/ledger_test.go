@@ -60,6 +60,9 @@ func TestAccrueValidation(t *testing.T) {
 	if _, err := New(Config{MaxTenants: -1}); err == nil {
 		t.Error("negative config accepted")
 	}
+	if _, err := New(Config{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
 }
 
 func TestIdempotencyDedup(t *testing.T) {
@@ -109,7 +112,9 @@ func TestIdempotencyKeysScopedPerTenant(t *testing.T) {
 }
 
 func TestKeyEvictionFIFO(t *testing.T) {
-	l := mustNew(t, Config{MaxKeys: 2})
+	// One shard pins the whole key budget to one FIFO; with more shards the
+	// budget splits (see TestKeyBudgetSplitsAcrossShards).
+	l := mustNew(t, Config{MaxKeys: 2, Shards: 1})
 	for i := 0; i < 3; i++ {
 		accrue(t, l, Entry{Tenant: "t", Price: 1, Key: fmt.Sprintf("k%d", i)})
 	}
@@ -277,4 +282,142 @@ func TestConcurrentAccrual(t *testing.T) {
 	if math.Abs(total-float64(wantAccrued)) > 1e-9 {
 		t.Errorf("billed total = %v, want %v", total, float64(wantAccrued))
 	}
+}
+
+func TestShardStatsSumToTotals(t *testing.T) {
+	l := mustNew(t, Config{Shards: 8})
+	if l.Shards() != 8 {
+		t.Fatalf("Shards() = %d", l.Shards())
+	}
+	for i := 0; i < 100; i++ {
+		accrue(t, l, Entry{Tenant: fmt.Sprintf("t%03d", i), Price: 1, Key: "k"})
+	}
+	st := l.Stats()
+	if len(st.Shards) != 8 {
+		t.Fatalf("stats shards = %d", len(st.Shards))
+	}
+	var tenants, keys int
+	spread := 0
+	for _, ss := range st.Shards {
+		tenants += ss.Tenants
+		keys += ss.KeysTracked
+		if ss.Tenants > 0 {
+			spread++
+		}
+	}
+	if tenants != st.Tenants || tenants != 100 || keys != st.KeysTracked || keys != 100 {
+		t.Errorf("per-shard sums = %d tenants / %d keys, stats = %+v", tenants, keys, st)
+	}
+	// 100 hashed tenants landing on one stripe would mean the hash is broken.
+	if spread < 2 {
+		t.Errorf("all tenants hashed to %d shard(s)", spread)
+	}
+}
+
+func TestKeyBudgetSplitsAcrossShards(t *testing.T) {
+	// MaxKeys is a global budget: with 4 shards each stripe retains at most
+	// ceil(8/4) = 2 keys, so a single tenant (one shard) evicts past 2.
+	l := mustNew(t, Config{MaxKeys: 8, Shards: 4})
+	for i := 0; i < 3; i++ {
+		accrue(t, l, Entry{Tenant: "t", Price: 1, Key: fmt.Sprintf("k%d", i)})
+	}
+	st := l.Stats()
+	if st.KeysTracked != 2 || st.KeysEvicted != 1 {
+		t.Errorf("stats = %+v, want 2 tracked / 1 evicted", st)
+	}
+}
+
+func TestTenantCapExactUnderConcurrentShards(t *testing.T) {
+	// Hammer a tiny global cap from many goroutines spread across shards:
+	// the add-then-check admission must never overshoot, and every accrual
+	// beyond the cap must be counted as a drop.
+	const maxT = 10
+	l := mustNew(t, Config{MaxTenants: maxT, Shards: 16})
+	const workers = 8
+	const perWorker = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l.Accrue(Entry{Tenant: fmt.Sprintf("w%d-t%d", w, i), Price: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Tenants != maxT {
+		t.Errorf("tenants = %d, want exactly %d", st.Tenants, maxT)
+	}
+	if st.Accrued != maxT || st.Dropped != workers*perWorker-maxT {
+		t.Errorf("accrued %d / dropped %d, want %d / %d", st.Accrued, st.Dropped, maxT, workers*perWorker-maxT)
+	}
+}
+
+// TestTenantsPaginationUnderConcurrentAccrue walks the cursor pagination
+// while writers keep inserting new tenants across shards. Every walk must
+// come back sorted with no duplicates, and every tenant that existed before
+// the walk started must appear exactly once — the per-shard snapshot merge
+// may additionally surface tenants inserted mid-walk, but can never skip or
+// repeat one.
+func TestTenantsPaginationUnderConcurrentAccrue(t *testing.T) {
+	l := mustNew(t, Config{Shards: 8})
+	const pre = 150
+	for i := 0; i < pre; i++ {
+		accrue(t, l, Entry{Tenant: fmt.Sprintf("pre-%04d", i), Price: 1})
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Interleave brand-new names with accruals to existing ones
+				// so walks race both inserts and account mutation.
+				l.Accrue(Entry{Tenant: fmt.Sprintf("new-%d-%06d", w, i), Price: 1})
+				l.Accrue(Entry{Tenant: fmt.Sprintf("pre-%04d", i%pre), Price: 1})
+			}
+		}(w)
+	}
+
+	for walk := 0; walk < 30; walk++ {
+		seen := make(map[string]bool)
+		var prev string
+		cursor := ""
+		for {
+			page, next := l.Tenants(cursor, 7)
+			if next != "" && len(page) == 0 {
+				t.Fatalf("walk %d: empty page with cursor %q", walk, next)
+			}
+			for _, s := range page {
+				if s.Tenant <= prev {
+					t.Fatalf("walk %d: unsorted page: %q after %q", walk, s.Tenant, prev)
+				}
+				if seen[s.Tenant] {
+					t.Fatalf("walk %d: tenant %q repeated", walk, s.Tenant)
+				}
+				seen[s.Tenant] = true
+				prev = s.Tenant
+			}
+			if next == "" {
+				break
+			}
+			cursor = next
+		}
+		for i := 0; i < pre; i++ {
+			if name := fmt.Sprintf("pre-%04d", i); !seen[name] {
+				t.Fatalf("walk %d: pre-existing tenant %q skipped", walk, name)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

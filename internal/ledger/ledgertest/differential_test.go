@@ -1,0 +1,130 @@
+package ledgertest
+
+import (
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+// shardCounts are the configurations every differential case compares
+// against the 1-shard baseline.
+var shardCounts = []int{2, 8, 64}
+
+func mustNew(t *testing.T, cfg ledger.Config) *ledger.Ledger {
+	t.Helper()
+	l, err := ledger.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestShardEquivalenceSequential drives one fixed interleaving into a
+// 1-shard and an N-shard ledger: every Accrue outcome and every observable
+// must match bit for bit, for arbitrary float amounts — same entries, same
+// order, so even non-associative float sums line up exactly.
+func TestShardEquivalenceSequential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		stream := Generate(seed, GenConfig{Workers: 4, PerWorker: 300, Tenants: 37, Minutes: 48})
+		base := mustNew(t, ledger.Config{Shards: 1})
+		baseOut := stream.DriveSequential(base)
+		for _, shards := range shardCounts {
+			l := mustNew(t, ledger.Config{Shards: shards})
+			out := stream.DriveSequential(l)
+			for i := range out {
+				if out[i] != baseOut[i] {
+					t.Fatalf("seed %d shards %d: outcome %d = %v, 1-shard = %v",
+						seed, shards, i, out[i], baseOut[i])
+				}
+			}
+			if err := Diff(base, l); err != nil {
+				t.Errorf("seed %d shards %d: %v", seed, shards, err)
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceSequentialAtTenantCap repeats the sequential drive
+// with a tenant cap smaller than the tenant universe: drops are
+// order-determined, so the sharded ledger must admit — and reject — exactly
+// the tenants the serialized one does.
+func TestShardEquivalenceSequentialAtTenantCap(t *testing.T) {
+	stream := Generate(11, GenConfig{Workers: 4, PerWorker: 250, Tenants: 40, KeyEvery: 2})
+	base := mustNew(t, ledger.Config{Shards: 1, MaxTenants: 25})
+	baseOut := stream.DriveSequential(base)
+	dropped := 0
+	for _, out := range baseOut {
+		if out == ledger.Dropped {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("cap case exercised no drops; shrink MaxTenants or grow Tenants")
+	}
+	for _, shards := range shardCounts {
+		l := mustNew(t, ledger.Config{Shards: shards, MaxTenants: 25})
+		out := stream.DriveSequential(l)
+		for i := range out {
+			if out[i] != baseOut[i] {
+				t.Fatalf("shards %d: outcome %d = %v, 1-shard = %v", shards, i, out[i], baseOut[i])
+			}
+		}
+		if err := Diff(base, l); err != nil {
+			t.Errorf("shards %d: %v", shards, err)
+		}
+	}
+}
+
+// TestShardEquivalenceConcurrent drives per-worker substreams from
+// concurrent goroutines, so the interleaving differs between ledgers and
+// across runs. Exact (dyadic) amounts make sums order-independent, and
+// keyed entries carry amounts determined by their key, so whichever writer
+// wins a key race bills the same value: statements, summaries, pagination
+// and the dedup counters must still match to the last bit.
+func TestShardEquivalenceConcurrent(t *testing.T) {
+	for _, seed := range []int64{3, 99} {
+		stream := Generate(seed, GenConfig{
+			Workers: 8, PerWorker: 400, Tenants: 37, Minutes: 48, Exact: true,
+		})
+		base := mustNew(t, ledger.Config{Shards: 1})
+		stream.DriveConcurrent(base)
+		for _, shards := range shardCounts {
+			l := mustNew(t, ledger.Config{Shards: shards})
+			stream.DriveConcurrent(l)
+			if err := Diff(base, l); err != nil {
+				t.Errorf("seed %d shards %d: %v", seed, shards, err)
+			}
+		}
+	}
+}
+
+// TestGenerateIsDeterministic guards the harness itself: the same seed must
+// reproduce the same stream, and keyed entries must be identical wherever
+// their key appears.
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(5, GenConfig{Exact: true})
+	b := Generate(5, GenConfig{Exact: true})
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	byKey := map[string]ledger.Entry{}
+	for w := range a.Workers {
+		for i := range a.Workers[w] {
+			ea, eb := a.Workers[w][i], b.Workers[w][i]
+			if ea != eb {
+				t.Fatalf("worker %d entry %d differs: %+v vs %+v", w, i, ea, eb)
+			}
+			if ea.Key == "" {
+				continue
+			}
+			id := ea.Tenant + "\x00" + ea.Key
+			if prev, seen := byKey[id]; seen && prev != ea {
+				t.Fatalf("key %q carries two different entries: %+v vs %+v", id, prev, ea)
+			}
+			byKey[id] = ea
+		}
+	}
+	if len(byKey) == 0 {
+		t.Fatal("stream carried no keyed entries")
+	}
+}

@@ -1,0 +1,120 @@
+package ledger
+
+import (
+	"sort"
+	"sync"
+)
+
+// shard is one lock stripe of the ledger. It owns every tenant whose name
+// hashes to it: their accounts, their idempotency keys, and the FIFO
+// eviction queue bounding those keys. Nothing in a shard is ever touched by
+// another shard, so shards never contend — the only cross-shard state is
+// the ledger's atomic counters.
+type shard struct {
+	mu sync.Mutex
+	// maxKeys is this shard's ceil(MaxKeys/Shards) slice of the key
+	// budget; see Config.MaxKeys for the bounded overshoot this implies.
+	maxKeys  int
+	accounts map[string]*account
+	names    []string // account names, kept sorted for O(log n) pagination
+	keys     map[string]struct{}
+	keyq     []string // FIFO eviction order of keys
+}
+
+func newShard(maxKeys int) *shard {
+	return &shard{
+		maxKeys:  maxKeys,
+		accounts: make(map[string]*account),
+		keys:     make(map[string]struct{}),
+	}
+}
+
+// insertName keeps the shard's name index sorted on insert; callers hold mu.
+func (sh *shard) insertName(tenant string) {
+	i := sort.SearchStrings(sh.names, tenant)
+	sh.names = append(sh.names, "")
+	copy(sh.names[i+1:], sh.names[i:])
+	sh.names[i] = tenant
+}
+
+// pageAfter snapshots up to limit summaries strictly after cursor, in name
+// order, under the shard lock. The second result reports whether the shard
+// holds further names beyond the returned slice — a page merged from these
+// snapshots needs at most limit candidates from each shard, so the copy is
+// bounded by the page size, not the shard size.
+func (sh *shard) pageAfter(cursor string, limit int) ([]Summary, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	start := sort.SearchStrings(sh.names, cursor)
+	if start < len(sh.names) && sh.names[start] == cursor {
+		start++
+	}
+	end := min(start+limit, len(sh.names))
+	if start >= end {
+		return nil, false
+	}
+	sums := make([]Summary, 0, end-start)
+	for _, name := range sh.names[start:end] {
+		sums = append(sums, summarize(name, sh.accounts[name]))
+	}
+	return sums, end < len(sh.names)
+}
+
+// summary reads one tenant's aggregate under the shard lock.
+func (sh *shard) summary(tenant string) (Summary, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	a, ok := sh.accounts[tenant]
+	if !ok {
+		return Summary{}, false
+	}
+	return summarize(tenant, a), true
+}
+
+// statement builds one tenant's windowed bill under the shard lock.
+func (sh *shard) statement(tenant string, fromMinute, toMinute, windowMinutes int) (Statement, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	a, ok := sh.accounts[tenant]
+	if !ok {
+		return Statement{}, false
+	}
+	st := Statement{
+		Tenant:        tenant,
+		WindowMinutes: windowMinutes,
+		FromMinute:    fromMinute,
+		ToMinute:      toMinute,
+	}
+	widxs := make([]int, 0, len(a.windows))
+	for widx := range a.windows {
+		start := widx * windowMinutes
+		end := start + windowMinutes - 1
+		if end < fromMinute || (toMinute >= 0 && start > toMinute) {
+			continue
+		}
+		widxs = append(widxs, widx)
+	}
+	sort.Ints(widxs)
+	for _, widx := range widxs {
+		w := a.windows[widx]
+		bills := make(map[string]float64, len(w.bills))
+		for pricer, v := range w.bills {
+			bills[pricer] = v
+		}
+		st.Lines = append(st.Lines, Line{
+			Window:      widx,
+			StartMinute: widx * windowMinutes,
+			Invocations: w.invocations,
+			Commercial:  w.commercial,
+			Billed:      w.billed,
+			Bills:       bills,
+		})
+		st.Invocations += w.invocations
+		st.Commercial += w.commercial
+		st.Billed += w.billed
+	}
+	if st.Commercial > 0 {
+		st.Discount = 1 - st.Billed/st.Commercial
+	}
+	return st, true
+}
