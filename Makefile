@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-baseline fmt vet
+.PHONY: build test race bench bench-baseline bench-wal cover recovery-smoke fmt vet
 
 build:
 	go build ./...
@@ -19,6 +19,29 @@ bench:
 # scripts/bench-ledger.sh; BENCHTIME overrides the default 1000x).
 bench-baseline:
 	./scripts/bench-ledger.sh BENCH_ledger.json
+
+# Record the durable-ledger baseline as BENCH_wal.json: WAL append
+# throughput per fsync mode, recovery replay rate, snapshot cost (see
+# scripts/bench-wal.sh; BENCHTIME overrides the default 200x).
+bench-wal:
+	./scripts/bench-wal.sh BENCH_wal.json
+
+# Coverage gate for the billing subsystem: every test in internal/ledger/...
+# (unit, durability, crash harness) counts toward internal/ledger coverage,
+# which must stay >= $(COVER_MIN)%. The profile lands in cover_ledger.out
+# (CI uploads it as an artifact).
+COVER_MIN := 80
+cover:
+	go test -covermode=atomic -coverpkg=./internal/ledger -coverprofile=cover_ledger.out ./internal/ledger/...
+	@total=$$(go tool cover -func=cover_ledger.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/ledger coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min=$(COVER_MIN) 'BEGIN { exit (t+0 >= min) ? 0 : 1 }' || \
+	{ echo "coverage $$total% is below $(COVER_MIN)%"; exit 1; }
+
+# Process-level crash-recovery smoke: SIGKILL a durable pricingd mid-run and
+# prove the restarted daemon serves identical statements.
+recovery-smoke:
+	./scripts/recovery-smoke.sh
 
 fmt:
 	gofmt -l .

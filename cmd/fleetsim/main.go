@@ -73,6 +73,7 @@ type options struct {
 	quiet         bool
 	remote        string
 	runID         string
+	retries       int
 }
 
 func defaultOptions() options {
@@ -97,6 +98,7 @@ func defaultOptions() options {
 		startupScale:  0.2,
 		seed:          7,
 		format:        "table",
+		retries:       5,
 	}
 }
 
@@ -127,6 +129,7 @@ func main() {
 	flag.StringVar(&o.format, "format", o.format, "output format: table, csv or json")
 	flag.StringVar(&o.remote, "remote", o.remote, "pricing-service base URL; stream usage to it and read statements back")
 	flag.StringVar(&o.runID, "run-id", o.runID, "idempotency run ID for -remote (default: time-derived; reuse to make retries replay-safe)")
+	flag.IntVar(&o.retries, "retries", o.retries, "re-sends per failed -remote batch: with run-ID keys the run survives a mid-stream service restart without double-billing")
 	flag.BoolVar(&o.quiet, "q", o.quiet, "suppress progress logging")
 	flag.Parse()
 
@@ -245,8 +248,8 @@ func run(w, errw io.Writer, o options) error {
 		if runID == "" {
 			runID = fmt.Sprintf("fleetsim-%d", time.Now().UnixNano())
 		}
-		sink = fleet.NewRemoteSink(ctx, client, fleet.RemoteSinkConfig{RunID: runID})
-		progress("streaming usage to %s (run %s)", o.remote, runID)
+		sink = fleet.NewRemoteSink(ctx, client, fleet.RemoteSinkConfig{RunID: runID, Retries: o.retries})
+		progress("streaming usage to %s (run %s, %d retries)", o.remote, runID, o.retries)
 	}
 
 	// --- fleet + metering ----------------------------------------------

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/api"
@@ -180,5 +183,120 @@ func TestRunBadFlags(t *testing.T) {
 	o.tracePath = filepath.Join(t.TempDir(), "missing.csv")
 	if err := run(&out, &errw, o); err == nil {
 		t.Error("missing trace file accepted")
+	}
+}
+
+// restartingService wraps a durable api.Server and simulates a SIGKILL
+// restart on the killAfter-th /v3/usage batch: the batch accrues (and, with
+// fsync=always, reaches the WAL), then the handler is replaced by a fresh
+// server recovered from the same data directory and the client gets a 502 —
+// exactly a connection that died after the server committed but before the
+// ack arrived. The pushed calibration tables are replayed into the new
+// server, the way a restarted pricingd reloads its -tables file.
+type restartingService struct {
+	t         *testing.T
+	dataDir   string
+	killAfter int
+
+	mu         sync.Mutex
+	srv        *api.Server
+	tablesBody []byte
+	usageCalls int
+	restarted  bool
+}
+
+func durableAPIConfig(dataDir string) api.Config {
+	return api.Config{Calibration: apitest.Calibration(), DataDir: dataDir, Fsync: "always", Shards: 4, SnapshotEvery: -1}
+}
+
+func (rs *restartingService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if r.Method == http.MethodPut && r.URL.Path == "/v3/tables" {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			rs.t.Error(err)
+		}
+		rs.tablesBody = body
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	if r.Method == http.MethodPost && r.URL.Path == "/v3/usage" {
+		rs.usageCalls++
+		if rs.usageCalls == rs.killAfter && !rs.restarted {
+			rs.restarted = true
+			rec := httptest.NewRecorder()
+			rs.srv.ServeHTTP(rec, r) // the doomed batch commits…
+			srv2, err := api.New(durableAPIConfig(rs.dataDir))
+			if err != nil {
+				rs.t.Errorf("restart: %v", err)
+				return
+			}
+			if d := srv2.Durability(); !d.Recovery.Recovered {
+				rs.t.Errorf("restarted server recovered nothing: %+v", d.Recovery)
+			}
+			rs.srv = srv2 // …the old process is gone without a Close…
+			if len(rs.tablesBody) > 0 {
+				put := httptest.NewRequest(http.MethodPut, "/v3/tables", bytes.NewReader(rs.tablesBody))
+				rs.srv.ServeHTTP(httptest.NewRecorder(), put)
+			}
+			// …and the ack never reaches the client.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadGateway)
+			io.WriteString(w, `{"error":{"status":502,"message":"pricing service restarting"}}`)
+			return
+		}
+	}
+	rs.srv.ServeHTTP(w, r)
+}
+
+// TestRunRemoteSurvivesRestart kills the pricing service in the middle of a
+// fleetsim -remote stream: the sink must retry the lost batch, the
+// recovered WAL-backed ledger must dedup the lines that had already billed,
+// and the final remote statements must still equal the local bills exactly.
+func TestRunRemoteSurvivesRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	srv, err := api.New(durableAPIConfig(dataDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &restartingService{t: t, dataDir: dataDir, killAfter: 1, srv: srv}
+	ts := httptest.NewServer(rs)
+	t.Cleanup(ts.Close)
+
+	var out, errw bytes.Buffer
+	o := smallOptions()
+	o.format = "json"
+	o.remote = ts.URL
+	o.runID = "restart-run"
+	o.retries = 3
+	if err := run(&out, &errw, o); err != nil {
+		t.Fatalf("run: %v (progress: %s)", err, errw.String())
+	}
+	var doc output
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !rs.restarted {
+		t.Fatalf("service never restarted (%d usage calls); lower killAfter", rs.usageCalls)
+	}
+	d := doc.Remote.Delivery
+	if d.Retried == 0 {
+		t.Fatalf("delivery = %+v, expected at least one retried batch", d)
+	}
+	if d.Accepted+d.Duplicates != d.Records || d.Rejected != 0 || d.Dropped != 0 {
+		t.Fatalf("delivery = %+v: every record must bill exactly once", d)
+	}
+	if d.Duplicates == 0 {
+		t.Fatalf("delivery = %+v: the doomed batch should replay as duplicates", d)
+	}
+	for i, sum := range doc.Remote.Tenants {
+		local := doc.Report.Tenants[i]
+		if sum.Tenant != local.Tenant || sum.Invocations != int64(local.Invocations) {
+			t.Errorf("tenant %d: remote %+v, local %s/%d", i, sum, local.Tenant, local.Invocations)
+		}
+		want := local.Bills[doc.Report.Primary]
+		if math.Abs(sum.Billed-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("%s: remote billed %v across the restart, local %s %v", sum.Tenant, sum.Billed, doc.Report.Primary, want)
+		}
 	}
 }

@@ -2,7 +2,11 @@
 // internal/api service layer.
 //
 // It loads calibration tables (produced by cmd/litmuscalib) or calibrates a
-// simulated machine at startup, then serves:
+// simulated machine at startup. With -data-dir the billing ledger is
+// durable — accruals are write-ahead-logged (-fsync always|interval|never)
+// and snapshot-compacted (-snapshot-every), and a restarted daemon recovers
+// the exact pre-crash statements; SIGTERM drains and flushes before exit.
+// It serves:
 //
 //	GET  /healthz                     — liveness + ledger saturation counters
 //	GET  /v1/tables                   — the calibration tables (legacy)
@@ -32,10 +36,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
@@ -57,6 +65,9 @@ func main() {
 		windowMin  = flag.Int("window-min", 1, "statement window width in trace minutes")
 		shards     = flag.Int("shards", api.DefaultShards, "ledger shard count: tenants are hash-partitioned over this many lock stripes for parallel ingest (never changes a bill)")
 		shareK     = flag.Int("share-per-core", 0, "co-runners per core for litmus-method1 pricing (0 = disabled; >1 measures the temporal-sharing curve at startup)")
+		dataDir    = flag.String("data-dir", "", "ledger data directory: WAL + snapshots for crash-safe billing (empty = volatile, bills die with the process)")
+		fsync      = flag.String("fsync", "always", "WAL sync policy with -data-dir: always (acknowledged accruals survive a crash), interval or never")
+		snapEvery  = flag.Int("snapshot-every", 0, "accruals between compacting ledger snapshots with -data-dir (0 = default, negative = disabled)")
 	)
 	flag.Parse()
 
@@ -71,6 +82,9 @@ func main() {
 		MaxTenants:    *maxTenants,
 		WindowMinutes: *windowMin,
 		Shards:        *shards,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
+		SnapshotEvery: *snapEvery,
 	}
 	if *shareK > 1 {
 		sharing, err := measureSharing(*scale, *seed)
@@ -84,6 +98,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("pricingd: %v", err)
 	}
+	if d := srv.Durability(); d.Enabled {
+		log.Printf("pricingd: durable ledger at %s (fsync %s): recovered snapshot gen %d + %d WAL records (%d torn bytes truncated)",
+			d.Dir, d.Fsync, d.Recovery.SnapshotGen, d.Recovery.RecordsReplayed, d.Recovery.TornBytesTruncated)
+	}
 	log.Printf("pricingd: serving on %s (tables: %d generators, share %d, ledger shards %d)",
 		*addr, len(cal.Generators), cal.SharePerCore, *shards)
 	s := &http.Server{
@@ -91,7 +109,30 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(s.ListenAndServe())
+
+	// Graceful shutdown: drain in-flight requests, then flush and close the
+	// ledger so even fsync=interval/never lose nothing on a clean stop. A
+	// SIGKILL skips all of this — that is what the WAL is for.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("pricingd: shutting down…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("pricingd: draining: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			log.Fatalf("pricingd: closing ledger: %v", err)
+		}
+		log.Printf("pricingd: ledger flushed, bye")
+	}
 }
 
 func loadOrCalibrate(path string, scale float64, seed int64) (*core.Calibration, error) {

@@ -237,6 +237,36 @@ type HealthResponse struct {
 	ShardHealth []ShardHealth `json:"shardHealth"`
 	// TablesETag is the current calibration-table version (see /v3/tables).
 	TablesETag string `json:"tablesETag"`
+	// Durability reports the ledger's persistence state; omitted when the
+	// server runs a volatile ledger (no data dir).
+	Durability *DurabilityHealth `json:"durability,omitempty"`
+}
+
+// DurabilityHealth is the /healthz durability block of a server backed by a
+// durable ledger (Config.DataDir).
+type DurabilityHealth struct {
+	// Dir is the data directory; Fsync the configured sync policy.
+	Dir   string `json:"dir"`
+	Fsync string `json:"fsync"`
+	// WALBytes is the live write-ahead-log footprint; WALRecords counts
+	// records appended since startup; Syncs counts fsync syscalls.
+	WALBytes   int64  `json:"walBytes"`
+	WALRecords uint64 `json:"walRecords"`
+	Syncs      uint64 `json:"syncs"`
+	// Snapshots counts compacting snapshots since startup;
+	// LastSnapshotGen/Unix describe the newest committed one.
+	// LastSnapshotError / LastSyncError are the most recent background
+	// snapshot/fsync failures ("" when healthy) — the latter is the only
+	// signal of a dying disk under fsync=interval.
+	Snapshots         uint64 `json:"snapshots"`
+	LastSnapshotGen   uint64 `json:"lastSnapshotGen,omitempty"`
+	LastSnapshotUnix  int64  `json:"lastSnapshotUnix,omitempty"`
+	LastSnapshotError string `json:"lastSnapshotError,omitempty"`
+	LastSyncError     string `json:"lastSyncError,omitempty"`
+	// Recovery describes what this process rebuilt at startup: the
+	// snapshot generation loaded, WAL records replayed on top of it, and
+	// any torn trailing bytes truncated from a crashed final segment.
+	Recovery ledger.RecoveryStats `json:"recovery"`
 }
 
 // ShardHealth is one ledger shard's occupancy on /healthz.

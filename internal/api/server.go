@@ -44,6 +44,18 @@ type Config struct {
 	// MaxStreamLines bounds the physical lines read from one /v3/usage
 	// stream; 0 means DefaultMaxStreamLines.
 	MaxStreamLines int
+	// DataDir, when non-empty, makes the billing ledger durable: accruals
+	// are write-ahead-logged there, snapshots compact the logs, and a
+	// restarted server recovers the exact pre-crash billing state (see
+	// internal/ledger). Empty keeps the ledger in memory.
+	DataDir string
+	// Fsync selects the WAL sync policy: "always" (default — every
+	// acknowledged accrual is on stable storage), "interval" or "never".
+	Fsync string
+	// SnapshotEvery triggers a compacting snapshot after that many
+	// accruals; 0 selects the ledger default, negative disables automatic
+	// snapshots. Ignored without DataDir.
+	SnapshotEvery int
 }
 
 // Server is the reusable pricing service. It is an http.Handler; calibration
@@ -96,10 +108,17 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	fsync, err := ledger.ParseFsyncMode(cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
 	led, err := ledger.New(ledger.Config{
 		MaxTenants:    cfg.MaxTenants,
 		WindowMinutes: cfg.WindowMinutes,
 		Shards:        cfg.Shards,
+		Dir:           cfg.DataDir,
+		Fsync:         fsync,
+		SnapshotEvery: cfg.SnapshotEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +174,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// Close flushes and closes the billing ledger: on a durable server every
+// acknowledged accrual is synced to the WAL regardless of the fsync policy
+// and the background snapshotter stops. Call it after the HTTP server has
+// drained. A volatile server's Close is a no-op. Idempotent.
+func (s *Server) Close() error {
+	return s.ledger.Close()
+}
+
+// Durability exposes the ledger's persistence stats (Enabled=false on a
+// volatile server), so operators can log recovery outcomes at startup.
+func (s *Server) Durability() ledger.DurabilityStats {
+	return s.ledger.Durability()
+}
+
 // --- shared plumbing -------------------------------------------------------
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -193,6 +226,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	for i, ss := range st.Shards {
 		shards[i] = ShardHealth{Tenants: ss.Tenants, Keys: ss.KeysTracked}
 	}
+	var durability *DurabilityHealth
+	if d := s.ledger.Durability(); d.Enabled {
+		durability = &DurabilityHealth{
+			Dir:               d.Dir,
+			Fsync:             d.Fsync,
+			WALBytes:          d.WALBytes,
+			WALRecords:        d.WALRecords,
+			Syncs:             d.Syncs,
+			Snapshots:         d.Snapshots,
+			LastSnapshotGen:   d.LastSnapshotGen,
+			LastSnapshotUnix:  d.LastSnapshotUnix,
+			LastSnapshotError: d.LastSnapshotError,
+			LastSyncError:     d.LastSyncError,
+			Recovery:          d.Recovery,
+		}
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		OK:                true,
 		Tenants:           st.Tenants,
@@ -205,6 +254,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Shards:            len(st.Shards),
 		ShardHealth:       shards,
 		TablesETag:        s.tablesETag(),
+		Durability:        durability,
 	})
 }
 
@@ -294,6 +344,10 @@ func (s *Server) accrue(resp *QuoteResponse, tenant string, minute int, key stri
 		Key:        key,
 	})
 	if err != nil {
+		// A failing disk is the service's fault, not the request's.
+		if errors.Is(err, ledger.ErrDurability) {
+			return ledger.Dropped, &Error{Status: http.StatusServiceUnavailable, Message: err.Error()}
+		}
 		return ledger.Dropped, &Error{Status: http.StatusBadRequest, Message: err.Error()}
 	}
 	if outcome == ledger.Dropped {

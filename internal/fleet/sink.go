@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
@@ -31,10 +32,24 @@ type RemoteSinkConfig struct {
 	// BatchSize is the number of records per StreamUsage call (default
 	// DefaultSinkBatch).
 	BatchSize int
+	// Retries is how many times a failed batch is re-sent before the error
+	// surfaces (default 0: fail fast). A batch that died mid-flight may
+	// have partially accrued, so retries only make sense with a RunID —
+	// the per-record keys turn the replayed lines into duplicates instead
+	// of double-bills. That is what lets a fleet run survive a pricing-
+	// service restart: the sink re-sends into the recovered ledger and the
+	// service's WAL-rebuilt dedup state sorts out what already billed.
+	Retries int
+	// RetryWait is the pause between retries (default DefaultRetryWait).
+	RetryWait time.Duration
 }
 
-// DefaultSinkBatch is the records-per-call batch size of RemoteSink.
-const DefaultSinkBatch = 256
+// DefaultSinkBatch is the records-per-call batch size of RemoteSink;
+// DefaultRetryWait the pause between re-sends of a failed batch.
+const (
+	DefaultSinkBatch = 256
+	DefaultRetryWait = 250 * time.Millisecond
+)
 
 // RemoteSink forwards metered records to a live pricing service over the
 // /v3 NDJSON usage stream: the fleet→service half of running the simulator
@@ -60,12 +75,18 @@ type RemoteSinkStats struct {
 	Duplicates int `json:"duplicates"`
 	Rejected   int `json:"rejected"`
 	Dropped    int `json:"dropped"`
+	// Retried counts batch re-sends after transport failures (see
+	// RemoteSinkConfig.Retries).
+	Retried int `json:"retried,omitempty"`
 }
 
 // NewRemoteSink builds a sink that streams to the service behind client.
 func NewRemoteSink(ctx context.Context, client *api.Client, cfg RemoteSinkConfig) *RemoteSink {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = DefaultSinkBatch
+	}
+	if cfg.RetryWait <= 0 {
+		cfg.RetryWait = DefaultRetryWait
 	}
 	return &RemoteSink{ctx: ctx, client: client, cfg: cfg}
 }
@@ -93,24 +114,44 @@ func (s *RemoteSink) Observe(rec MeteredRecord) error {
 	return nil
 }
 
-// send streams the buffered batch and folds the service's accounting into
-// the stats. Transport failures are returned (the batch is dropped, not
-// retried — retries are the caller's policy, made safe by RunID keys).
+// send streams the buffered batch, re-sending up to cfg.Retries times on
+// failure, and folds the successful attempt's accounting into the stats. A
+// batch that failed mid-flight may have partially accrued server-side;
+// RunID keys make the replayed lines Duplicates, so the retry path never
+// double-bills (and Retried counts how often it was taken).
 func (s *RemoteSink) send() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
 	batch := s.buf
 	s.buf = s.buf[:0]
-	resp, err := s.client.StreamUsage(s.ctx, "", batch)
-	s.sent.Accepted += resp.Accepted
-	s.sent.Duplicates += resp.Duplicates
-	s.sent.Rejected += resp.Rejected
-	s.sent.Dropped += resp.Dropped
-	if err != nil {
-		return fmt.Errorf("streaming %d records: %w", len(batch), err)
+	var lastErr error
+	attempts := 0
+	for attempt := 0; ; attempt++ {
+		resp, err := s.client.StreamUsage(s.ctx, "", batch)
+		attempts++
+		if err == nil {
+			s.sent.Accepted += resp.Accepted
+			s.sent.Duplicates += resp.Duplicates
+			s.sent.Rejected += resp.Rejected
+			s.sent.Dropped += resp.Dropped
+			return nil
+		}
+		// Keep the first real transport failure: an attempt that merely
+		// died of context cancellation must not mask the root cause.
+		if lastErr == nil || s.ctx.Err() == nil {
+			lastErr = err
+		}
+		if attempt >= s.cfg.Retries || s.ctx.Err() != nil {
+			break
+		}
+		s.sent.Retried++
+		select {
+		case <-s.ctx.Done():
+		case <-time.After(s.cfg.RetryWait):
+		}
 	}
-	return nil
+	return fmt.Errorf("streaming %d records (%d attempts): %w", len(batch), attempts, lastErr)
 }
 
 // Flush sends the buffered tail. Beyond transport failures, it reports

@@ -108,3 +108,105 @@ func BenchmarkTenantsPage(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWALAppend measures durable accrual throughput per fsync mode
+// from GOMAXPROCS writers: "never" shows the raw framing+write() cost over
+// the volatile baseline, "interval" adds the background syncer, and
+// "always" is dominated by group-committed fsyncs — the price of
+// acknowledged-means-durable.
+func BenchmarkWALAppend(b *testing.B) {
+	tenants := benchTenants(1024)
+	for _, mode := range []FsyncMode{FsyncNever, FsyncInterval, FsyncAlways} {
+		b.Run("fsync="+mode.String(), func(b *testing.B) {
+			l, err := New(Config{Shards: 8, Dir: b.TempDir(), Fsync: mode, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(worker.Add(1)) * 7919
+				for pb.Next() {
+					if _, err := l.Accrue(Entry{
+						Tenant:     tenants[i%len(tenants)],
+						Pricer:     "litmus",
+						Minute:     i % 64,
+						Commercial: 2,
+						Price:      1,
+					}); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accruals/s")
+		})
+	}
+}
+
+// BenchmarkRecover measures New's crash-recovery path: full WAL replay of
+// n records into an 8-shard store, no snapshot to shortcut it.
+func BenchmarkRecover(b *testing.B) {
+	tenants := benchTenants(256)
+	for _, n := range []int{1_000, 16_000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			cfg := Config{Shards: 8, Dir: dir, Fsync: FsyncNever, SnapshotEvery: -1}
+			l, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				l.Accrue(Entry{
+					Tenant:     tenants[i%len(tenants)],
+					Pricer:     "litmus",
+					Minute:     i % 64,
+					Commercial: 2,
+					Price:      1,
+					Key:        fmt.Sprintf("k%d", i),
+				})
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := r.Durability().Recovery.RecordsReplayed; got != uint64(n) {
+					b.Fatalf("replayed %d records, want %d", got, n)
+				}
+				b.StopTimer()
+				r.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkSnapshot measures one compacting snapshot of a populated
+// 8-shard store (the background snapshotter's unit of work).
+func BenchmarkSnapshot(b *testing.B) {
+	tenants := benchTenants(1024)
+	l, err := New(Config{Shards: 8, Dir: b.TempDir(), Fsync: FsyncNever, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 20_000; i++ {
+		l.Accrue(Entry{Tenant: tenants[i%len(tenants)], Pricer: "litmus", Minute: i % 64, Commercial: 2, Price: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// durable is a ledger's persistence state: per-shard WAL writers, the
+// snapshot generation, background sync/snapshot goroutines, and the
+// observability counters behind DurabilityStats.
+type durable struct {
+	l   *Ledger
+	dir string
+
+	// gen is the rotation-generation counter (guarded by snapMu): the seq
+	// the next snapshot rotates segments to. It advances even when a
+	// snapshot attempt fails partway, so a retry never re-rotates a shard
+	// onto a seq it already occupies. lastSnapGen tracks only *committed*
+	// snapshots, for stats.
+	snapMu      sync.Mutex
+	gen         uint64
+	lastSnapGen atomic.Uint64
+
+	wals []*walFile
+
+	records       atomic.Uint64 // WAL records appended since open
+	sinceSnap     atomic.Int64  // accruals since the last snapshot
+	syncs         atomic.Uint64
+	snapshots     atomic.Uint64
+	lastSnapUnix  atomic.Int64
+	lastSnapBytes atomic.Int64
+	lastSnapErr   atomic.Value // string
+	lastSyncErr   atomic.Value // string
+
+	recovery RecoveryStats
+
+	snapCh    chan struct{}
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// RecoveryStats describes what New rebuilt from a data directory.
+type RecoveryStats struct {
+	// Recovered reports whether any prior state (snapshot or WAL records)
+	// was found and rebuilt.
+	Recovered bool `json:"recovered"`
+	// SnapshotGen is the generation of the snapshot loaded (0 = none).
+	SnapshotGen uint64 `json:"snapshotGen,omitempty"`
+	// SnapshotsSkipped counts newer snapshot files that failed to load and
+	// were passed over for an older one (only possible with Archive).
+	SnapshotsSkipped int `json:"snapshotsSkipped,omitempty"`
+	// SegmentsReplayed / RecordsReplayed / BytesReplayed cover the WAL
+	// tail applied on top of the snapshot.
+	SegmentsReplayed int    `json:"segmentsReplayed"`
+	RecordsReplayed  uint64 `json:"recordsReplayed"`
+	BytesReplayed    int64  `json:"bytesReplayed"`
+	// TornSegments counts final segments that ended in a torn or corrupt
+	// record; TornBytesTruncated is how many trailing bytes were cut off.
+	// A torn tail is expected after a crash — it is the unacknowledged
+	// write the crash interrupted.
+	TornSegments       int   `json:"tornSegments,omitempty"`
+	TornBytesTruncated int64 `json:"tornBytesTruncated,omitempty"`
+}
+
+// DurabilityStats is the durable store's observability snapshot.
+type DurabilityStats struct {
+	// Enabled is false on a volatile ledger (every other field zero).
+	Enabled bool   `json:"enabled"`
+	Dir     string `json:"dir,omitempty"`
+	Fsync   string `json:"fsync,omitempty"`
+	// WALBytes is the live WAL footprint (active segments plus recovered
+	// tails not yet compacted); WALRecords counts records appended since
+	// open; Syncs counts fsync syscalls issued.
+	WALBytes   int64  `json:"walBytes"`
+	WALRecords uint64 `json:"walRecords"`
+	Syncs      uint64 `json:"syncs"`
+	// Snapshots counts snapshots taken since open; LastSnapshotGen /
+	// LastSnapshotUnix / LastSnapshotBytes describe the newest committed
+	// one (at startup, the one recovery loaded). LastSnapshotError carries
+	// the most recent background snapshot failure, LastSyncError the most
+	// recent background fsync failure ("" when healthy) — watch the latter
+	// under FsyncInterval, where nothing else surfaces a dying disk.
+	Snapshots         uint64 `json:"snapshots"`
+	LastSnapshotGen   uint64 `json:"lastSnapshotGen,omitempty"`
+	LastSnapshotUnix  int64  `json:"lastSnapshotUnix,omitempty"`
+	LastSnapshotBytes int64  `json:"lastSnapshotBytes,omitempty"`
+	LastSnapshotError string `json:"lastSnapshotError,omitempty"`
+	LastSyncError     string `json:"lastSyncError,omitempty"`
+	// Recovery describes what this process rebuilt at startup.
+	Recovery RecoveryStats `json:"recovery"`
+}
+
+// Durability returns the durable store's stats; on a volatile ledger only
+// Enabled=false.
+func (l *Ledger) Durability() DurabilityStats {
+	d := l.dur
+	if d == nil {
+		return DurabilityStats{}
+	}
+	st := DurabilityStats{
+		Enabled:           true,
+		Dir:               d.dir,
+		Fsync:             l.cfg.Fsync.String(),
+		WALRecords:        d.records.Load(),
+		Syncs:             d.syncs.Load(),
+		Snapshots:         d.snapshots.Load(),
+		LastSnapshotGen:   d.lastSnapGen.Load(),
+		LastSnapshotUnix:  d.lastSnapUnix.Load(),
+		LastSnapshotBytes: d.lastSnapBytes.Load(),
+		Recovery:          d.recovery,
+	}
+	if e, ok := d.lastSnapErr.Load().(string); ok {
+		st.LastSnapshotError = e
+	}
+	if e, ok := d.lastSyncErr.Load().(string); ok {
+		st.LastSyncError = e
+	}
+	for _, w := range d.wals {
+		st.WALBytes += w.bytes()
+	}
+	return st
+}
+
+// ledgerMeta is the data directory's identity file: the config axes that
+// determine replay semantics. Opening a directory with a mismatched shape
+// is refused — re-sharding or re-windowing history would silently change
+// bills.
+type ledgerMeta struct {
+	Version       int `json:"version"`
+	Shards        int `json:"shards"`
+	WindowMinutes int `json:"windowMinutes"`
+	MaxKeys       int `json:"maxKeys"`
+}
+
+// openDurable wires persistence into a freshly constructed ledger: it
+// creates or validates the data directory, loads the latest valid snapshot,
+// replays the WAL tail (truncating a torn final record per shard), opens
+// every shard's active segment for append, and starts the background
+// syncer/snapshotter.
+func (l *Ledger) openDurable() error {
+	dir := l.cfg.Dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ledger: creating data dir: %w", err)
+	}
+	removeTempFiles(dir)
+
+	meta := ledgerMeta{Version: 1, Shards: l.cfg.Shards, WindowMinutes: l.cfg.WindowMinutes, MaxKeys: l.cfg.MaxKeys}
+	metaPath := filepath.Join(dir, "meta.json")
+	if data, err := os.ReadFile(metaPath); err == nil {
+		var got ledgerMeta
+		if err := json.Unmarshal(data, &got); err != nil {
+			return fmt.Errorf("ledger: corrupt %s: %w", metaPath, err)
+		}
+		if got != meta {
+			return fmt.Errorf("ledger: data dir %s was written with shards=%d window=%d maxKeys=%d; config asks shards=%d window=%d maxKeys=%d (re-sharding history is not supported)",
+				dir, got.Shards, got.WindowMinutes, got.MaxKeys, meta.Shards, meta.WindowMinutes, meta.MaxKeys)
+		}
+	} else if os.IsNotExist(err) {
+		data, merr := json.Marshal(meta)
+		if merr != nil {
+			return merr
+		}
+		if err := writeFileAtomic(metaPath, data); err != nil {
+			return fmt.Errorf("ledger: writing %s: %w", metaPath, err)
+		}
+	} else {
+		return fmt.Errorf("ledger: reading %s: %w", metaPath, err)
+	}
+
+	d := &durable{
+		l:      l,
+		dir:    dir,
+		wals:   make([]*walFile, len(l.shards)),
+		snapCh: make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+	d.lastSnapErr.Store("")
+	d.lastSyncErr.Store("")
+
+	// --- latest valid snapshot -------------------------------------------
+	gens, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	for i, gen := range gens {
+		doc, err := readSnapshot(snapshotPath(dir, gen), l.cfg.Shards, l.cfg.WindowMinutes, l.cfg.MaxKeys)
+		if err != nil {
+			// A committed snapshot should never be unreadable (it was
+			// fsynced before rename). Fall back to an older snapshot plus
+			// its segments — but only when Archive retained them; without
+			// it the covered history is gone and silently serving a
+			// shorter bill would be worse than failing.
+			if !l.cfg.Archive {
+				return fmt.Errorf("ledger: snapshot %d unreadable and older history was compacted away (enable Archive to retain it): %w", gen, err)
+			}
+			d.recovery.SnapshotsSkipped = i + 1
+			continue
+		}
+		for si, sh := range l.shards {
+			restoreShard(sh, doc.ShardStates[si])
+		}
+		d.gen = gen
+		d.recovery.SnapshotGen = gen
+		d.recovery.SnapshotsSkipped = i
+		d.recovery.Recovered = true
+		break
+	}
+	if d.recovery.SnapshotGen == 0 && len(gens) > 0 && !d.recovery.Recovered {
+		// Every snapshot was invalid; with Archive the full WAL history is
+		// still on disk, so replay everything from empty.
+		d.recovery.SnapshotsSkipped = len(gens)
+	}
+
+	// --- WAL tail replay --------------------------------------------------
+	segs, err := ListWALSegments(dir)
+	if err != nil {
+		return err
+	}
+	perShard := make(map[int][]SegmentInfo)
+	for _, seg := range segs {
+		if seg.Shard < 0 || seg.Shard >= len(l.shards) {
+			return fmt.Errorf("ledger: segment %s names shard %d of %d", seg.Path, seg.Shard, len(l.shards))
+		}
+		if seg.Seq < d.gen {
+			// Covered by the loaded snapshot. Without Archive this is a
+			// leftover from a crash between a snapshot's rename and its
+			// segment GC — re-collect it now, or it leaks forever (later
+			// snapshots only GC the segments they themselves rotate away).
+			if !l.cfg.Archive {
+				_ = os.Remove(seg.Path)
+			}
+			continue
+		}
+		perShard[seg.Shard] = append(perShard[seg.Shard], seg)
+	}
+	for si, sh := range l.shards {
+		w := &walFile{shard: si, dir: dir, syncs: &d.syncs}
+		shardSegs := perShard[si] // already sorted by seq
+		for i, seg := range shardSegs {
+			recs, off, derr := DecodeWALFile(seg.Path)
+			if derr != nil {
+				if i != len(shardSegs)-1 {
+					// Only the final segment can legitimately be torn (a
+					// crash mid-append); damage below it means acknowledged
+					// history is gone.
+					return fmt.Errorf("ledger: segment %s is corrupt below the WAL tail: %v", seg.Path, derr)
+				}
+				info, serr := os.Stat(seg.Path)
+				if serr != nil {
+					return serr
+				}
+				if err := os.Truncate(seg.Path, off); err != nil {
+					return fmt.Errorf("ledger: truncating torn tail of %s: %w", seg.Path, err)
+				}
+				d.recovery.TornSegments++
+				d.recovery.TornBytesTruncated += info.Size() - off
+			}
+			for _, rec := range recs {
+				key := namespacedKey(rec.Entry)
+				sh.apply(rec.Entry, key, rec.Outcome, l.cfg.WindowMinutes)
+			}
+			if len(recs) > 0 {
+				d.recovery.Recovered = true
+			}
+			d.recovery.SegmentsReplayed++
+			d.recovery.RecordsReplayed += uint64(len(recs))
+			d.recovery.BytesReplayed += off
+			if i == len(shardSegs)-1 {
+				w.seq, w.size = seg.Seq, off
+			} else {
+				w.tail = append(w.tail, seg.Path)
+				w.tailSize += off
+			}
+		}
+		seq := d.gen
+		if len(shardSegs) > 0 {
+			seq = shardSegs[len(shardSegs)-1].Seq
+		}
+		f, err := os.OpenFile(segmentPath(dir, si, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("ledger: opening wal segment: %w", err)
+		}
+		w.f, w.seq = f, seq
+		if seq > d.gen {
+			// A crash mid-snapshot left rotated segments above the last
+			// committed generation; the next snapshot must start past them.
+			d.gen = seq
+		}
+		d.wals[si] = w
+		sh.wal = w
+	}
+	// Make the freshly created segments' dirents durable before any record
+	// is acknowledged into them.
+	syncDir(dir)
+	d.lastSnapGen.Store(d.recovery.SnapshotGen)
+
+	// The tenant cap's atomic is the sum of recovered accounts.
+	total := int64(0)
+	for _, sh := range l.shards {
+		total += int64(len(sh.accounts))
+	}
+	l.tenants.Store(total)
+
+	l.dur = d
+	d.start()
+	return nil
+}
+
+// start launches the background goroutines: the snapshotter (when automatic
+// snapshots are enabled) and the interval syncer (FsyncInterval mode).
+func (d *durable) start() {
+	if d.l.cfg.SnapshotEvery > 0 {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for {
+				select {
+				case <-d.stopCh:
+					return
+				case <-d.snapCh:
+					if err := d.l.Snapshot(); err != nil {
+						d.lastSnapErr.Store(err.Error())
+					} else {
+						d.lastSnapErr.Store("")
+					}
+				}
+			}
+		}()
+	}
+	if d.l.cfg.Fsync == FsyncInterval {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			ticker := time.NewTicker(d.l.cfg.FsyncEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-d.stopCh:
+					return
+				case <-ticker.C:
+					d.syncAll()
+				}
+			}
+		}()
+	}
+}
+
+// noteAppend records one appended WAL record and nudges the snapshotter
+// once the configured interval has accumulated.
+func (d *durable) noteAppend() {
+	d.records.Add(1)
+	if every := d.l.cfg.SnapshotEvery; every > 0 && d.sinceSnap.Add(1) >= int64(every) {
+		select {
+		case d.snapCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// syncAll fsyncs every shard's WAL up to its current watermark. Failures
+// are sticky on the stats (LastSyncError) until a pass succeeds — under
+// FsyncInterval nobody else would ever see them, and a disk that stops
+// syncing silently voids the lose-at-most-one-interval guarantee.
+func (d *durable) syncAll() {
+	var firstErr error
+	for _, w := range d.wals {
+		w.mu.Lock()
+		mark := w.appended
+		w.mu.Unlock()
+		if err := w.syncTo(mark); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		d.lastSyncErr.Store(firstErr.Error())
+	} else {
+		d.lastSyncErr.Store("")
+	}
+}
+
+// closeAll stops the background goroutines, syncs and closes every WAL.
+func (d *durable) closeAll() error {
+	d.closeOnce.Do(func() {
+		d.closed.Store(true)
+		close(d.stopCh)
+		d.wg.Wait()
+		for _, w := range d.wals {
+			if err := w.close(); err != nil && d.closeErr == nil {
+				d.closeErr = err
+			}
+		}
+	})
+	return d.closeErr
+}

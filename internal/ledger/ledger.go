@@ -26,13 +26,27 @@
 // eviction order under memory pressure — and only eviction order — depends
 // on the shard count.
 //
+// With Config.Dir set the store is durable: every accrual is framed into a
+// per-shard write-ahead log before it is applied (group-committed fsync
+// policy of the caller's choosing), periodic snapshots compact the logs,
+// and New recovers the exact pre-crash state — accounts, statements,
+// idempotency-key FIFOs, outcome counters, tenant-cap occupancy — from the
+// latest valid snapshot plus the WAL tail, truncating a torn final record.
+// Durability, like sharding, can never change a bill: the ledgertest crash
+// harness recovers a clone of the data directory truncated at every WAL
+// offset and proves it equal to a volatile ledger fed the surviving
+// records.
+//
 // The ledger never prices anything. Callers quote through core.Pricer and
 // accrue the result, so aggregation cannot change a price.
 package ledger
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Defaults applied when Config leaves the fields zero.
@@ -48,7 +62,17 @@ const (
 	// contention negligible well past typical core counts while the
 	// per-shard memory overhead stays trivial.
 	DefaultShards = 16
+	// DefaultSnapshotEvery is the accrual count between background
+	// snapshots on a durable ledger.
+	DefaultSnapshotEvery = 1 << 17
+	// DefaultFsyncEvery is the FsyncInterval sync period.
+	DefaultFsyncEvery = 100 * time.Millisecond
 )
+
+// ErrDurability wraps WAL append and fsync failures, so callers can
+// distinguish "this entry is invalid" from "the disk is failing" (the
+// pricing service maps the latter to 503, not 400).
+var ErrDurability = errors.New("ledger: durability failure")
 
 // Config parameterises a ledger.
 type Config struct {
@@ -69,6 +93,31 @@ type Config struct {
 	// Shards is the lock-stripe count tenants are hash-partitioned over.
 	// 0 selects DefaultShards; 1 yields a fully serialized ledger.
 	Shards int
+
+	// Dir, when non-empty, makes the ledger durable: every accrual is
+	// framed into a per-shard write-ahead log under Dir before it is
+	// applied, periodic snapshots compact the logs, and New rebuilds the
+	// exact pre-crash store from the latest valid snapshot plus the WAL
+	// tail (truncating a torn final record). Empty Dir keeps the ledger
+	// purely in memory. Durability never changes a bill: a recovered
+	// ledger is observably identical to a volatile one fed the same
+	// acknowledged entries (internal/ledger/ledgertest proves it at every
+	// WAL truncation offset).
+	Dir string
+	// Fsync selects when acknowledged appends reach stable storage; the
+	// zero value is FsyncAlways. See FsyncMode.
+	Fsync FsyncMode
+	// FsyncEvery is the FsyncInterval period; 0 selects DefaultFsyncEvery.
+	FsyncEvery time.Duration
+	// SnapshotEvery triggers a background compacting snapshot after this
+	// many accruals. 0 selects DefaultSnapshotEvery; negative disables
+	// automatic snapshots (Snapshot can still be called explicitly).
+	SnapshotEvery int
+	// Archive keeps WAL segments and snapshots that newer snapshots have
+	// superseded instead of deleting them: the data directory retains the
+	// full replayable accrual history (an audit trail), at the cost of
+	// unbounded growth.
+	Archive bool
 }
 
 // Entry is one priced accrual: the amounts a pricer quoted for one
@@ -146,14 +195,12 @@ type Ledger struct {
 	// past MaxTenants.
 	tenants atomic.Int64
 
-	// Outcome counters are atomics so shards never contend on them.
-	accrued     atomic.Uint64
-	duplicates  atomic.Uint64
-	dropped     atomic.Uint64
-	keysEvicted atomic.Uint64
+	// dur holds the persistence state; nil on a volatile ledger.
+	dur *durable
 }
 
-// New builds a ledger from cfg.
+// New builds a ledger from cfg. With cfg.Dir set it opens (or creates) the
+// durable store there, recovering any previous state — see Config.Dir.
 func New(cfg Config) (*Ledger, error) {
 	if cfg.MaxTenants < 0 || cfg.WindowMinutes < 0 || cfg.MaxKeys < 0 || cfg.Shards < 0 {
 		return nil, fmt.Errorf("ledger: negative limits in config %+v", cfg)
@@ -170,12 +217,38 @@ func New(cfg Config) (*Ledger, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = DefaultShards
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.FsyncEvery <= 0 {
+		cfg.FsyncEvery = DefaultFsyncEvery
+	}
+	if cfg.Fsync < FsyncAlways || cfg.Fsync > FsyncNever {
+		return nil, fmt.Errorf("ledger: unknown fsync mode %d", cfg.Fsync)
+	}
 	perShardKeys := max(1, (cfg.MaxKeys+cfg.Shards-1)/cfg.Shards)
 	shards := make([]*shard, cfg.Shards)
 	for i := range shards {
 		shards[i] = newShard(perShardKeys)
 	}
-	return &Ledger{cfg: cfg, shards: shards}, nil
+	l := &Ledger{cfg: cfg, shards: shards}
+	if cfg.Dir != "" {
+		if err := l.openDurable(); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Close flushes and closes the durable store (a no-op on a volatile
+// ledger). The background snapshotter and syncer stop, every shard's WAL is
+// synced regardless of the fsync mode, and further accruals fail with
+// ErrDurability. Close is idempotent.
+func (l *Ledger) Close() error {
+	if l.dur == nil {
+		return nil
+	}
+	return l.dur.closeAll()
 }
 
 // WindowMinutes returns the statement window width.
@@ -196,38 +269,62 @@ func (l *Ledger) shardFor(tenant string) *shard {
 	return l.shards[h%uint32(len(l.shards))]
 }
 
+// namespacedKey scopes an idempotency key to its tenant: tenant B reusing
+// (or guessing) tenant A's key must still bill. The tenant prefix also pins
+// a key to the tenant's shard, so a key check never crosses shards.
+func namespacedKey(e Entry) string {
+	if e.Key == "" {
+		return ""
+	}
+	return e.Tenant + "\x00" + e.Key
+}
+
 // Accrue bills one entry. It returns Duplicate when the entry's idempotency
 // key was seen before (nothing billed), Dropped when the tenant cap blocks a
 // new account (nothing billed, drop counted), and an error only for entries
-// no ledger could bill. Only the owning shard is locked, so accruals for
-// tenants on different shards proceed in parallel.
+// no ledger could bill — or, on a durable ledger, when the entry could not
+// be made durable (wrapped ErrDurability). Only the owning shard is locked,
+// so accruals for tenants on different shards proceed in parallel.
+//
+// On a durable ledger the entry and its outcome are framed into the shard's
+// WAL before any state changes, and with FsyncAlways Accrue returns only
+// after the record is on stable storage — an acknowledged accrual survives
+// a crash.
 func (l *Ledger) Accrue(e Entry) (Outcome, error) {
 	if e.Tenant == "" {
 		return Dropped, fmt.Errorf("ledger: accrual requires a tenant")
 	}
-	if e.Commercial < 0 || e.Price < 0 {
-		return Dropped, fmt.Errorf("ledger: negative amounts (commercial %v, price %v)", e.Commercial, e.Price)
+	// !(x >= 0) also rejects NaN; infinities are unbillable and would not
+	// survive the snapshot encoding.
+	if !(e.Commercial >= 0) || !(e.Price >= 0) || math.IsInf(e.Commercial, 1) || math.IsInf(e.Price, 1) {
+		return Dropped, fmt.Errorf("ledger: non-finite or negative amounts (commercial %v, price %v)", e.Commercial, e.Price)
 	}
 	if e.Minute < 0 {
 		return Dropped, fmt.Errorf("ledger: negative minute %d", e.Minute)
 	}
+	// Entries must fit a WAL frame (maxWALPayload), or a durable ledger
+	// would acknowledge a record its own recovery decoder rejects —
+	// poisoning every later record in the segment. Volatile ledgers
+	// enforce the same bound so durability never changes which entries
+	// bill.
+	if n := len(e.Tenant) + len(e.Pricer) + len(e.Key); n > MaxEntryBytes {
+		return Dropped, fmt.Errorf("ledger: entry strings total %d bytes (max %d)", n, MaxEntryBytes)
+	}
 	sh := l.shardFor(e.Tenant)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	key := namespacedKey(e)
 
-	// Dedup keys live in a per-tenant namespace: tenant B reusing (or
-	// guessing) tenant A's key must still bill. The tenant prefix also pins
-	// a key to the tenant's shard, so a key check never crosses shards.
-	key := ""
-	if e.Key != "" {
-		key = e.Tenant + "\x00" + e.Key
+	sh.mu.Lock()
+	// Decide the outcome first: the WAL logs (entry, outcome) pairs, so
+	// replay can apply outcomes instead of re-deciding ones that depended
+	// on cross-shard state (the tenant cap).
+	outcome := Accrued
+	reserved := false
+	if key != "" {
 		if _, seen := sh.keys[key]; seen {
-			l.duplicates.Add(1)
-			return Duplicate, nil
+			outcome = Duplicate
 		}
 	}
-	acct := sh.accounts[e.Tenant]
-	if acct == nil {
+	if outcome == Accrued && sh.accounts[e.Tenant] == nil {
 		// The cap check is add-then-check on the global atomic: two shards
 		// racing for the last slot cannot both win, so the cap is exact —
 		// a sharded ledger admits exactly the tenants a serialized one
@@ -235,39 +332,39 @@ func (l *Ledger) Accrue(e Entry) (Outcome, error) {
 		// serialized by its shard's lock.
 		if n := l.tenants.Add(1); n > int64(l.cfg.MaxTenants) {
 			l.tenants.Add(-1)
-			l.dropped.Add(1)
-			return Dropped, nil
-		}
-		acct = &account{windows: make(map[int]*window)}
-		sh.accounts[e.Tenant] = acct
-		sh.insertName(e.Tenant)
-	}
-	// Record the key only once the entry actually bills, so a retry after a
-	// drop is not mistaken for a duplicate.
-	if key != "" {
-		sh.keys[key] = struct{}{}
-		sh.keyq = append(sh.keyq, key)
-		for len(sh.keyq) > sh.maxKeys {
-			delete(sh.keys, sh.keyq[0])
-			sh.keyq = sh.keyq[1:]
-			l.keysEvicted.Add(1)
+			outcome = Dropped
+		} else {
+			reserved = true
 		}
 	}
-	widx := e.Minute / l.cfg.WindowMinutes
-	w := acct.windows[widx]
-	if w == nil {
-		w = &window{bills: make(map[string]float64)}
-		acct.windows[widx] = w
+	var watermark uint64
+	if sh.wal != nil {
+		var err error
+		watermark, err = sh.wal.append(WALRecord{Entry: e, Outcome: outcome})
+		if err != nil {
+			// Nothing was applied; release the tentative cap slot.
+			if reserved {
+				l.tenants.Add(-1)
+			}
+			sh.mu.Unlock()
+			return Dropped, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
 	}
-	acct.invocations++
-	acct.commercial += e.Commercial
-	acct.billed += e.Price
-	w.invocations++
-	w.commercial += e.Commercial
-	w.billed += e.Price
-	w.bills[e.Pricer] += e.Price
-	l.accrued.Add(1)
-	return Accrued, nil
+	sh.apply(e, key, outcome, l.cfg.WindowMinutes)
+	sh.mu.Unlock()
+
+	if sh.wal != nil {
+		if l.cfg.Fsync == FsyncAlways {
+			if err := sh.wal.syncTo(watermark); err != nil {
+				// The record is written and applied but not yet known
+				// durable; surface the failing disk without undoing the
+				// bill.
+				return outcome, fmt.Errorf("%w: %v", ErrDurability, err)
+			}
+		}
+		l.dur.noteAppend()
+	}
+	return outcome, nil
 }
 
 // Summary is a tenant's aggregate bill.
@@ -418,16 +515,16 @@ type Stats struct {
 // shard consistent) under concurrent writes.
 func (l *Ledger) Stats() Stats {
 	st := Stats{
-		MaxTenants:  l.cfg.MaxTenants,
-		Accrued:     l.accrued.Load(),
-		Duplicates:  l.duplicates.Load(),
-		Dropped:     l.dropped.Load(),
-		KeysEvicted: l.keysEvicted.Load(),
-		Shards:      make([]ShardStats, len(l.shards)),
+		MaxTenants: l.cfg.MaxTenants,
+		Shards:     make([]ShardStats, len(l.shards)),
 	}
 	for i, sh := range l.shards {
 		sh.mu.Lock()
 		ss := ShardStats{Tenants: len(sh.accounts), KeysTracked: len(sh.keys)}
+		st.Accrued += sh.accrued
+		st.Duplicates += sh.duplicates
+		st.Dropped += sh.dropped
+		st.KeysEvicted += sh.keysEvicted
 		sh.mu.Unlock()
 		st.Shards[i] = ss
 		st.Tenants += ss.Tenants

@@ -19,6 +19,17 @@ type shard struct {
 	names    []string // account names, kept sorted for O(log n) pagination
 	keys     map[string]struct{}
 	keyq     []string // FIFO eviction order of keys
+
+	// Outcome counters live per shard (under mu, which accruals already
+	// hold) so snapshots can capture each stripe's counters consistently
+	// with its accounts at one WAL offset; Stats sums them.
+	accrued     uint64
+	duplicates  uint64
+	dropped     uint64
+	keysEvicted uint64
+
+	// wal is the shard's append-only log; nil on a volatile ledger.
+	wal *walFile
 }
 
 func newShard(maxKeys int) *shard {
@@ -27,6 +38,58 @@ func newShard(maxKeys int) *shard {
 		accounts: make(map[string]*account),
 		keys:     make(map[string]struct{}),
 	}
+}
+
+// apply mutates the shard for one decided (entry, outcome) pair: counters
+// for Duplicate/Dropped, the full account/key/window update for Accrued. It
+// is the single state-transition function shared by the live Accrue path
+// and WAL replay, so a recovered shard is bit-identical to the shard that
+// logged the records. Callers hold mu (live) or own the ledger exclusively
+// (recovery).
+func (sh *shard) apply(e Entry, key string, outcome Outcome, windowMinutes int) {
+	switch outcome {
+	case Duplicate:
+		sh.duplicates++
+		return
+	case Dropped:
+		sh.dropped++
+		return
+	}
+	acct := sh.accounts[e.Tenant]
+	if acct == nil {
+		acct = &account{windows: make(map[int]*window)}
+		sh.accounts[e.Tenant] = acct
+		sh.insertName(e.Tenant)
+	}
+	// Record the key only for entries that actually bill, so a retry after
+	// a drop is not mistaken for a duplicate. The seen guard is free on the
+	// live path (Accrue only decides Accrued when the key is absent) and
+	// keeps replay of a damaged log from double-queueing a key.
+	if key != "" {
+		if _, seen := sh.keys[key]; !seen {
+			sh.keys[key] = struct{}{}
+			sh.keyq = append(sh.keyq, key)
+			for len(sh.keyq) > sh.maxKeys {
+				delete(sh.keys, sh.keyq[0])
+				sh.keyq = sh.keyq[1:]
+				sh.keysEvicted++
+			}
+		}
+	}
+	widx := e.Minute / windowMinutes
+	w := acct.windows[widx]
+	if w == nil {
+		w = &window{bills: make(map[string]float64)}
+		acct.windows[widx] = w
+	}
+	acct.invocations++
+	acct.commercial += e.Commercial
+	acct.billed += e.Price
+	w.invocations++
+	w.commercial += e.Commercial
+	w.billed += e.Price
+	w.bills[e.Pricer] += e.Price
+	sh.accrued++
 }
 
 // insertName keeps the shard's name index sorted on insert; callers hold mu.

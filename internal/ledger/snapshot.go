@@ -1,0 +1,249 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot files are JSON documents named snapshot-<gen>.json, written
+// atomically (temp + fsync + rename). A snapshot at generation G captures
+// every shard's full state — accounts, windows, idempotency-key FIFO,
+// outcome counters — consistent with that shard's WAL at the seq-G rotation
+// boundary: recovery loads the snapshot and replays only segments with
+// seq >= G. Floats round-trip exactly: Go marshals float64 with the
+// shortest representation that parses back to the identical bits, so a
+// recovered bill is byte-identical, not approximately equal.
+
+// snapshotDoc is the on-disk snapshot document.
+type snapshotDoc struct {
+	Version       int    `json:"version"`
+	Gen           uint64 `json:"gen"`
+	TakenUnix     int64  `json:"takenUnix"`
+	Shards        int    `json:"shards"`
+	WindowMinutes int    `json:"windowMinutes"`
+	MaxKeys       int    `json:"maxKeys"`
+	// ShardStates holds one entry per lock stripe, in shard order.
+	ShardStates []shardSnapshot `json:"shardStates"`
+}
+
+type shardSnapshot struct {
+	Accrued     uint64 `json:"accrued"`
+	Duplicates  uint64 `json:"duplicates"`
+	Dropped     uint64 `json:"dropped"`
+	KeysEvicted uint64 `json:"keysEvicted"`
+	// Keys is the idempotency-key FIFO in eviction order (namespaced
+	// tenant\x00key strings), so recovery restores not just which keys
+	// dedup but which ones age out next.
+	Keys     []string                   `json:"keys,omitempty"`
+	Accounts map[string]accountSnapshot `json:"accounts,omitempty"`
+}
+
+type accountSnapshot struct {
+	Invocations int64                  `json:"invocations"`
+	Commercial  float64                `json:"commercial"`
+	Billed      float64                `json:"billed"`
+	Windows     map[int]windowSnapshot `json:"windows,omitempty"`
+}
+
+type windowSnapshot struct {
+	Invocations int64              `json:"invocations"`
+	Commercial  float64            `json:"commercial"`
+	Billed      float64            `json:"billed"`
+	Bills       map[string]float64 `json:"bills,omitempty"`
+}
+
+func snapshotPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%08d.json", gen))
+}
+
+// listSnapshots returns the data directory's snapshot generations in
+// descending order.
+func listSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		var gen uint64
+		if n, err := fmt.Sscanf(e.Name(), "snapshot-%d.json", &gen); n == 1 && err == nil {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens, nil
+}
+
+// captureShard serialises one shard's state; callers hold sh.mu.
+func captureShard(sh *shard) shardSnapshot {
+	ss := shardSnapshot{
+		Accrued:     sh.accrued,
+		Duplicates:  sh.duplicates,
+		Dropped:     sh.dropped,
+		KeysEvicted: sh.keysEvicted,
+		Keys:        append([]string(nil), sh.keyq...),
+		Accounts:    make(map[string]accountSnapshot, len(sh.accounts)),
+	}
+	for name, a := range sh.accounts {
+		as := accountSnapshot{
+			Invocations: a.invocations,
+			Commercial:  a.commercial,
+			Billed:      a.billed,
+			Windows:     make(map[int]windowSnapshot, len(a.windows)),
+		}
+		for widx, w := range a.windows {
+			ws := windowSnapshot{
+				Invocations: w.invocations,
+				Commercial:  w.commercial,
+				Billed:      w.billed,
+				Bills:       make(map[string]float64, len(w.bills)),
+			}
+			for pricer, v := range w.bills {
+				ws.Bills[pricer] = v
+			}
+			as.Windows[widx] = ws
+		}
+		ss.Accounts[name] = as
+	}
+	return ss
+}
+
+// restoreShard rebuilds one shard from its snapshot; the ledger is not yet
+// published, so no locking.
+func restoreShard(sh *shard, ss shardSnapshot) {
+	sh.accrued = ss.Accrued
+	sh.duplicates = ss.Duplicates
+	sh.dropped = ss.Dropped
+	sh.keysEvicted = ss.KeysEvicted
+	sh.keyq = append([]string(nil), ss.Keys...)
+	sh.keys = make(map[string]struct{}, len(ss.Keys))
+	for _, k := range ss.Keys {
+		sh.keys[k] = struct{}{}
+	}
+	sh.accounts = make(map[string]*account, len(ss.Accounts))
+	sh.names = sh.names[:0]
+	for name, as := range ss.Accounts {
+		a := &account{
+			invocations: as.Invocations,
+			commercial:  as.Commercial,
+			billed:      as.Billed,
+			windows:     make(map[int]*window, len(as.Windows)),
+		}
+		for widx, ws := range as.Windows {
+			w := &window{
+				invocations: ws.Invocations,
+				commercial:  ws.Commercial,
+				billed:      ws.Billed,
+				bills:       make(map[string]float64, len(ws.Bills)),
+			}
+			for pricer, v := range ws.Bills {
+				w.bills[pricer] = v
+			}
+			a.windows[widx] = w
+		}
+		sh.accounts[name] = a
+		sh.names = append(sh.names, name)
+	}
+	sort.Strings(sh.names)
+}
+
+// readSnapshot loads and validates one snapshot file against the ledger's
+// shape.
+func readSnapshot(path string, shards, windowMinutes, maxKeys int) (*snapshotDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc snapshotDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", filepath.Base(path), err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("%s: unknown snapshot version %d", filepath.Base(path), doc.Version)
+	}
+	if doc.Shards != shards || len(doc.ShardStates) != shards {
+		return nil, fmt.Errorf("%s: snapshot has %d shards (%d states), ledger has %d",
+			filepath.Base(path), doc.Shards, len(doc.ShardStates), shards)
+	}
+	if doc.WindowMinutes != windowMinutes || doc.MaxKeys != maxKeys {
+		return nil, fmt.Errorf("%s: snapshot window/keys (%d, %d) mismatch config (%d, %d)",
+			filepath.Base(path), doc.WindowMinutes, doc.MaxKeys, windowMinutes, maxKeys)
+	}
+	return &doc, nil
+}
+
+// Snapshot compacts the durable store: it captures every shard's state,
+// rotates every shard's WAL segment, and commits the capture atomically as
+// snapshot-<gen>.json; superseded segments and snapshots are then deleted
+// (kept with Config.Archive). Safe under concurrent accrual — each shard is
+// captured and rotated under its own lock, so the snapshot plus each
+// shard's post-rotation WAL tail is exactly that shard's full history.
+// Returns an error on a volatile ledger.
+func (l *Ledger) Snapshot() error {
+	d := l.dur
+	if d == nil {
+		return fmt.Errorf("ledger: Snapshot on a volatile ledger (no Config.Dir)")
+	}
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	if d.closed.Load() {
+		return fmt.Errorf("ledger: Snapshot after Close")
+	}
+
+	// Reserve the generation up front: if this attempt fails after some
+	// shards have already rotated to gen, the retry must not reuse it —
+	// rotating a shard onto a seq it already occupies would collide, and
+	// recovery handles a sparse seq history fine (it replays everything
+	// >= the last committed snapshot).
+	gen := d.gen + 1
+	d.gen = gen
+	doc := snapshotDoc{
+		Version:       1,
+		Gen:           gen,
+		TakenUnix:     nowUnix(),
+		Shards:        len(l.shards),
+		WindowMinutes: l.cfg.WindowMinutes,
+		MaxKeys:       l.cfg.MaxKeys,
+		ShardStates:   make([]shardSnapshot, len(l.shards)),
+	}
+	var covered []string
+	for i, sh := range l.shards {
+		sh.mu.Lock()
+		ss := captureShard(sh)
+		old, err := sh.wal.rotate(gen)
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		doc.ShardStates[i] = ss
+		covered = append(covered, old...)
+	}
+	data, err := json.Marshal(&doc)
+	if err != nil {
+		return fmt.Errorf("ledger: encoding snapshot: %w", err)
+	}
+	if err := writeFileAtomic(snapshotPath(d.dir, gen), data); err != nil {
+		// The rotated segments stay; recovery replays them below the
+		// failed snapshot, and the next snapshot re-collects them.
+		return fmt.Errorf("%w: writing snapshot: %v", ErrDurability, err)
+	}
+	d.lastSnapGen.Store(gen)
+	d.sinceSnap.Store(0)
+	d.snapshots.Add(1)
+	d.lastSnapUnix.Store(doc.TakenUnix)
+	d.lastSnapBytes.Store(int64(len(data)))
+	if !l.cfg.Archive {
+		removeAll(covered)
+		if gens, err := listSnapshots(d.dir); err == nil {
+			for _, g := range gens {
+				if g < gen {
+					_ = os.Remove(snapshotPath(d.dir, g))
+				}
+			}
+		}
+	}
+	return nil
+}

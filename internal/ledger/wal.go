@@ -1,0 +1,440 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncMode selects when acknowledged WAL appends reach stable storage — the
+// durability-vs-throughput dial.
+type FsyncMode int
+
+const (
+	// FsyncAlways (the default) makes every acknowledged accrual durable
+	// before Accrue returns. Concurrent writers on one shard group-commit:
+	// one fsync covers every record appended before it started.
+	FsyncAlways FsyncMode = iota
+	// FsyncInterval syncs each shard's WAL on a background ticker
+	// (Config.FsyncEvery); a crash can lose up to one interval of
+	// acknowledged accruals.
+	FsyncInterval
+	// FsyncNever leaves appends to the OS page cache; a crash can lose
+	// everything the kernel had not yet written back. Segments are still
+	// synced at rotation and Close, so snapshots never cover lost records.
+	FsyncNever
+)
+
+// ParseFsyncMode parses a flag value: "always", "interval" or "never".
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "", "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never", "os":
+		return FsyncNever, nil
+	}
+	return FsyncAlways, fmt.Errorf("ledger: unknown fsync mode %q (want always, interval or never)", s)
+}
+
+// String names the mode.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncMode(%d)", int(m))
+}
+
+// WALRecord is one write-ahead-log entry: the accrual and the outcome the
+// live ledger decided for it. Replay applies the logged outcome rather than
+// re-deciding, so recovery reproduces the original bill even for outcomes
+// that depended on cross-shard state (the tenant cap).
+type WALRecord struct {
+	Entry   Entry
+	Outcome Outcome
+}
+
+// WAL framing: every record is [length u32 LE][crc32 u32 LE][payload], where
+// length counts the payload bytes and the CRC (IEEE) covers the payload.
+// The payload itself is
+//
+//	version u8 | outcome u8 | minute uvarint |
+//	commercial f64 LE | price f64 LE |
+//	tenant uvarint-len+bytes | pricer uvarint-len+bytes | key uvarint-len+bytes
+//
+// A record whose frame runs past the file, whose CRC mismatches, or whose
+// payload does not parse exactly marks the torn/corrupt tail: it and
+// everything after it are discarded (and truncated on recovery).
+const (
+	walFrameHeader = 8
+	walVersion     = 1
+	// maxWALPayload bounds a frame's declared payload length, so a corrupted
+	// length field cannot make the decoder allocate or skip gigabytes.
+	maxWALPayload = 1 << 20
+	// MaxEntryBytes bounds an Entry's combined tenant+pricer+key length.
+	// Accrue rejects longer entries up front — the encoder could frame
+	// them, but the decoder (rightly) refuses oversized frames, and a
+	// record that cannot be replayed must never be acknowledged. The slack
+	// below maxWALPayload covers the fixed fields and varint overhead.
+	MaxEntryBytes = maxWALPayload - 64
+)
+
+// AppendWALRecord appends rec's framed encoding to dst and returns the
+// extended slice.
+func AppendWALRecord(dst []byte, rec WALRecord) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	dst = append(dst, walVersion, byte(rec.Outcome))
+	dst = binary.AppendUvarint(dst, uint64(rec.Entry.Minute))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.Entry.Commercial))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.Entry.Price))
+	for _, s := range []string{rec.Entry.Tenant, rec.Entry.Pricer, rec.Entry.Key} {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	payload := dst[start+walFrameHeader:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// decodeWALPayload parses one frame payload. It must consume every byte —
+// trailing garbage inside a CRC-valid frame is still a corrupt record.
+func decodeWALPayload(b []byte) (WALRecord, error) {
+	var rec WALRecord
+	if len(b) < 2 {
+		return rec, fmt.Errorf("payload truncated at %d bytes", len(b))
+	}
+	if b[0] != walVersion {
+		return rec, fmt.Errorf("unknown record version %d", b[0])
+	}
+	if b[1] > byte(Dropped) {
+		return rec, fmt.Errorf("unknown outcome %d", b[1])
+	}
+	rec.Outcome = Outcome(b[1])
+	b = b[2:]
+	minute, n := binary.Uvarint(b)
+	if n <= 0 || minute > 1<<31 {
+		return rec, fmt.Errorf("bad minute varint")
+	}
+	rec.Entry.Minute = int(minute)
+	b = b[n:]
+	if len(b) < 16 {
+		return rec, fmt.Errorf("amounts truncated")
+	}
+	rec.Entry.Commercial = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	rec.Entry.Price = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	b = b[16:]
+	for _, dst := range []*string{&rec.Entry.Tenant, &rec.Entry.Pricer, &rec.Entry.Key} {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || l > uint64(len(b)-n) {
+			return rec, fmt.Errorf("bad string length")
+		}
+		*dst = string(b[n : n+int(l)])
+		b = b[n+int(l):]
+	}
+	if len(b) != 0 {
+		return rec, fmt.Errorf("%d trailing bytes in payload", len(b))
+	}
+	return rec, nil
+}
+
+// DecodeWAL scans framed records from data. It returns the records of the
+// longest valid prefix, the byte length of that prefix, and the error that
+// stopped the scan — nil when data ends exactly on a frame boundary. It
+// never panics on corrupt or truncated input, and a record is only ever
+// returned when its full frame, CRC and payload parse — the decoder cannot
+// invent an accrual from damaged bytes.
+func DecodeWAL(data []byte) ([]WALRecord, int64, error) {
+	var recs []WALRecord
+	off := int64(0)
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < walFrameHeader {
+			return recs, off, fmt.Errorf("torn frame header at offset %d (%d bytes)", off, len(rest))
+		}
+		length := binary.LittleEndian.Uint32(rest)
+		if length > maxWALPayload {
+			return recs, off, fmt.Errorf("frame at offset %d declares %d payload bytes (max %d)", off, length, maxWALPayload)
+		}
+		if uint32(len(rest)-walFrameHeader) < length {
+			return recs, off, fmt.Errorf("torn payload at offset %d (%d of %d bytes)", off, len(rest)-walFrameHeader, length)
+		}
+		payload := rest[walFrameHeader : walFrameHeader+int(length)]
+		if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(rest[4:]) {
+			return recs, off, fmt.Errorf("crc mismatch at offset %d", off)
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			return recs, off, fmt.Errorf("corrupt record at offset %d: %v", off, err)
+		}
+		recs = append(recs, rec)
+		off += int64(walFrameHeader) + int64(length)
+	}
+	return recs, off, nil
+}
+
+// DecodeWALFile decodes one segment file (see DecodeWAL).
+func DecodeWALFile(path string) ([]WALRecord, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return DecodeWAL(data)
+}
+
+// SegmentInfo locates one on-disk WAL segment: shard is the lock stripe the
+// segment belongs to, seq its rotation sequence (a snapshot at generation G
+// covers every segment with Seq < G).
+type SegmentInfo struct {
+	Shard int
+	Seq   uint64
+	Path  string
+}
+
+// ListWALSegments lists a data directory's WAL segments sorted by
+// (shard, seq). Non-segment files are ignored.
+func ListWALSegments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []SegmentInfo
+	for _, e := range entries {
+		var shard int
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), "wal-%d-%d.log", &shard, &seq); n == 2 && err == nil {
+			segs = append(segs, SegmentInfo{Shard: shard, Seq: seq, Path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Shard != segs[j].Shard {
+			return segs[i].Shard < segs[j].Shard
+		}
+		return segs[i].Seq < segs[j].Seq
+	})
+	return segs, nil
+}
+
+func segmentPath(dir string, shard int, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%04d-%08d.log", shard, seq))
+}
+
+// walFile is one shard's append-only log. Appends run under the shard lock
+// (which already serialises same-shard writers); syncs run outside it, so a
+// slow fsync never blocks appends — that is what turns FsyncAlways into
+// group commit instead of one fsync per record.
+type walFile struct {
+	shard int
+	dir   string
+
+	// mu guards the file handle and the append-side counters.
+	mu       sync.Mutex
+	f        *os.File
+	seq      uint64
+	size     int64    // bytes in the active segment
+	tail     []string // recovered tail segments below seq, not yet snapshot-covered
+	tailSize int64    // their total bytes
+	appended uint64   // monotone bytes appended since open (across rotations)
+	buf      []byte   // frame scratch, reused across appends
+	err      error    // sticky append failure: the shard refuses further writes
+
+	// syncMu serialises fsyncs (and excludes rotation mid-sync); synced is
+	// the appended watermark known durable.
+	syncMu sync.Mutex
+	synced atomic.Uint64
+	syncs  *atomic.Uint64
+}
+
+// append frames rec onto the active segment and returns the post-append
+// watermark to hand to syncTo. Callers hold the owning shard's lock. A
+// failed write poisons the file: the WAL tail may be torn, and appending
+// past a tear would orphan every later record at recovery.
+func (w *walFile) append(rec WALRecord) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.f == nil {
+		return 0, fmt.Errorf("wal shard %d: ledger closed", w.shard)
+	}
+	w.buf = AppendWALRecord(w.buf[:0], rec)
+	n, err := w.f.Write(w.buf)
+	w.size += int64(n)
+	w.appended += uint64(n)
+	if err != nil {
+		// Best effort: cut the torn bytes back off. If that works the
+		// segment is whole again and the shard can keep writing.
+		if n > 0 && w.f.Truncate(w.size-int64(n)) == nil {
+			w.size -= int64(n)
+			w.appended -= uint64(n)
+		} else {
+			w.err = fmt.Errorf("wal shard %d: torn append: %w", w.shard, err)
+		}
+		return 0, fmt.Errorf("wal shard %d: append: %w", w.shard, err)
+	}
+	return w.appended, nil
+}
+
+// syncTo makes every byte appended before watermark target durable. Group
+// commit: one fsync covers all records appended before it started, so
+// concurrent callers mostly return on the fast path without a syscall.
+func (w *walFile) syncTo(target uint64) error {
+	if w.synced.Load() >= target {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced.Load() >= target {
+		return nil
+	}
+	w.mu.Lock()
+	f, mark := w.f, w.appended
+	w.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	// Rotation needs syncMu, so f cannot be swapped or closed mid-sync.
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal shard %d: fsync: %w", w.shard, err)
+	}
+	w.syncs.Add(1)
+	if w.synced.Load() < mark {
+		w.synced.Store(mark)
+	}
+	return nil
+}
+
+// rotate syncs and closes the active segment and opens a fresh one at
+// newSeq, returning the paths of the segments the pending snapshot will
+// cover. Callers hold the owning shard's lock, so no append is in flight.
+func (w *walFile) rotate(newSeq uint64) ([]string, error) {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Open the new segment before touching the old one: a failure here
+	// leaves the shard exactly as it was, still appending to its current
+	// segment, so a failed snapshot attempt never wedges ingest.
+	f, err := os.OpenFile(segmentPath(w.dir, w.shard, newSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal shard %d: rotate: %w", w.shard, err)
+	}
+	syncDir(w.dir) // make the new segment's dirent durable before records land in it
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			f.Close()
+			os.Remove(segmentPath(w.dir, w.shard, newSeq))
+			return nil, fmt.Errorf("wal shard %d: sync before rotate: %w", w.shard, err)
+		}
+		w.f.Close()
+	}
+	covered := append(w.tail, segmentPath(w.dir, w.shard, w.seq))
+	w.f, w.seq, w.size = f, newSeq, 0
+	w.tail, w.tailSize = nil, 0
+	w.synced.Store(w.appended) // the closed segment is fully synced
+	return covered, nil
+}
+
+// close syncs and closes the active segment.
+func (w *walFile) close() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	w.synced.Store(w.appended)
+	return err
+}
+
+// bytes reports the shard's live WAL footprint: active segment plus any
+// recovered tail segments not yet compacted away.
+func (w *walFile) bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size + w.tailSize
+}
+
+// removeAll deletes files best-effort during snapshot GC; a leftover
+// segment is re-collected by the next snapshot, so failures are not fatal.
+func removeAll(paths []string) {
+	for _, p := range paths {
+		_ = os.Remove(p)
+	}
+}
+
+// syncDir fsyncs a directory so renames and creates inside it survive a
+// crash. Not every filesystem supports it; failures are non-fatal.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// writeFileAtomic writes data to path via a temp file, fsync and rename, so
+// a crash leaves either the old file or the new one — never a torn mix.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// removeTempFiles clears *.tmp leftovers from a crashed atomic write.
+func removeTempFiles(dir string) {
+	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".tmp" {
+			_ = os.Remove(path)
+		}
+		return nil
+	})
+}
+
+// nowUnix is a test seam for snapshot timestamps.
+var nowUnix = func() int64 { return time.Now().Unix() }

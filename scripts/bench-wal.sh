@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench-wal.sh — record the durable-ledger benchmark baseline.
+#
+# Runs the WAL append benchmarks (throughput per fsync mode), the recovery
+# benchmarks (replay rate per WAL size) and the snapshot benchmark, and
+# renders the results as JSON next to the BENCH_ledger.json volatile
+# baseline, so the durability tax is a diffable number instead of folklore.
+#
+# Usage:
+#   scripts/bench-wal.sh [output.json]       (default: BENCH_wal.json)
+#   BENCHTIME=2000x scripts/bench-wal.sh     (default: 200x — fsync=always
+#                                             issues one fsync per group
+#                                             commit, keep iteration counts
+#                                             moderate on spinning rust)
+#
+# Output shape matches bench-ledger.sh:
+#   {"goos": …, "benchmarks": [{"name": …, "iterations": N, "metrics": {…}}]}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_wal.json}
+benchtime=${BENCHTIME:-200x}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkWALAppend|BenchmarkRecover|BenchmarkSnapshot' \
+    -benchtime "$benchtime" ./internal/ledger/ | tee "$raw"
+
+maxprocs=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+awk -v benchtime="$benchtime" -v maxprocs="$maxprocs" '
+    /^goos: /   { goos = $2 }
+    /^goarch: / { goarch = $2 }
+    /^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+    /^Benchmark/ {
+        if (n++) entries = entries ",";
+        entries = entries sprintf("\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", $1, $2);
+        sep = "";
+        for (i = 3; i + 1 <= NF; i += 2) {
+            entries = entries sprintf("%s\"%s\": %s", sep, $(i + 1), $i);
+            sep = ", ";
+        }
+        entries = entries "}}";
+    }
+    END {
+        printf "{\n";
+        printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", goos, goarch, cpu;
+        printf "  \"maxprocs\": %s, \"benchtime\": \"%s\",\n", maxprocs, benchtime;
+        printf "  \"benchmarks\": [%s\n  ]\n}\n", entries;
+    }
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
