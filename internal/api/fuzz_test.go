@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/api/apitest"
+	"repro/internal/ledger"
 )
 
 // fuzzLimits keep the fuzzer inside interesting territory: a small line cap
@@ -45,6 +46,7 @@ func FuzzUsageStreamParser(f *testing.F) {
 	f.Add("", []byte("{not json\n\n\n"+valid+"\n"))                         // malformed + blanks
 	f.Add("", []byte(`{"language":"py","memoryMB":64}`+"\n"))               // no tenant
 	f.Add("", []byte(`{"tenant":"a","minute":-3}`+"\n"))                    // negative minute
+	f.Add("", []byte(`{"tenant":"a","minute":4294967296}`+"\n"))            // minute past the WAL bound
 	f.Add("k", []byte(strings.Repeat("\n", fuzzMaxStreamLines+10)))         // line-cap flood
 	f.Add("", []byte(valid+"\n"+strings.Repeat("x", 4096)+"\n"))            // oversized line
 	f.Add("", []byte("\r\n \t\r\n"+valid+"\r\n"))                           // CRLF + whitespace lines
@@ -111,7 +113,7 @@ func FuzzUsageStreamParser(f *testing.F) {
 				expectReject[i+1] = true
 				continue
 			}
-			if rec.Tenant == "" || rec.Minute < 0 {
+			if rec.Tenant == "" || rec.Minute < 0 || int64(rec.Minute) > ledger.MaxMinute {
 				expectReject[i+1] = true
 			}
 		}

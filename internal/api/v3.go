@@ -223,6 +223,9 @@ func (s *Server) priceLine(pricers map[string]core.Pricer, streamKey string, j i
 	if rec.Minute < 0 {
 		return reject("negative minute %d", rec.Minute)
 	}
+	if int64(rec.Minute) > ledger.MaxMinute {
+		return reject("minute %d exceeds %d", rec.Minute, ledger.MaxMinute)
+	}
 	key := rec.Key
 	if key == "" && streamKey != "" {
 		// Derive per-line keys from the stream key, so replaying the

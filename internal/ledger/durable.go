@@ -392,6 +392,13 @@ func (d *durable) closeAll() error {
 		d.closed.Store(true)
 		close(d.stopCh)
 		d.wg.Wait()
+		// Serialize with any in-flight external Snapshot (the background
+		// snapshotter is already drained): its rotations must finish or
+		// fail before the files close beneath it, and later attempts see
+		// closed. rotate independently refuses a closed walFile, so even a
+		// racing rotation cannot reopen a segment after Close.
+		d.snapMu.Lock()
+		defer d.snapMu.Unlock()
 		for _, w := range d.wals {
 			if err := w.close(); err != nil && d.closeErr == nil {
 				d.closeErr = err

@@ -377,6 +377,18 @@ func TestDurableSnapshotFailureDoesNotWedge(t *testing.T) {
 	if d := l.Durability(); d.LastSnapshotGen != 2 || d.Snapshots != 1 {
 		t.Fatalf("durability after retry = %+v", d)
 	}
+	// The failed attempt's rotated-away segments went back into each
+	// shard's tail, so the successful retry collects them: nothing below
+	// gen 2 may survive, or a flaky disk leaks a segment per attempt.
+	segs, err := ListWALSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if seg.Seq < 2 {
+			t.Errorf("segment %s leaked past the successful retry", seg.Path)
+		}
+	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -411,6 +423,38 @@ func TestAccrueRejectsOversizeEntry(t *testing.T) {
 		if err := l.Close(); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestAccrueRejectsHugeMinute pins the minute frame bound the same way: the
+// WAL decoder treats Minute > MaxMinute as corruption, so an acknowledged
+// record carrying one would truncate itself and every later acknowledged
+// record in its segment as a "torn tail" at recovery. Accrue must refuse it
+// up front, the boundary value itself must round-trip, and accruals after
+// the rejected entry must survive a restart.
+func TestAccrueRejectsHugeMinute(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 1}
+	l := mustNew(t, cfg)
+	accrue(t, l, Entry{Tenant: "acme", Pricer: "litmus", Minute: MaxMinute, Commercial: 1, Price: 1})
+	pastMax := MaxMinute // computed: MaxMinute+1 overflows int on 32-bit
+	pastMax++
+	if out, err := l.Accrue(Entry{Tenant: "acme", Minute: pastMax, Commercial: 1, Price: 1}); err == nil {
+		t.Fatalf("huge minute accepted (%v)", out)
+	}
+	accrue(t, l, Entry{Tenant: "acme", Pricer: "litmus", Minute: 1, Commercial: 2, Price: 2})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustNew(t, cfg)
+	defer r.Close()
+	rec := r.Durability().Recovery
+	if rec.RecordsReplayed != 2 || rec.TornSegments != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if st := r.Stats(); st.Accrued != 2 {
+		t.Fatalf("recovered stats = %+v", st)
 	}
 }
 

@@ -302,6 +302,12 @@ func (l *Ledger) Accrue(e Entry) (Outcome, error) {
 	if e.Minute < 0 {
 		return Dropped, fmt.Errorf("ledger: negative minute %d", e.Minute)
 	}
+	// The WAL decoder treats minutes above MaxMinute as corruption, and an
+	// acknowledged record the decoder rejects would take every later record
+	// in its segment down with it at recovery.
+	if int64(e.Minute) > MaxMinute {
+		return Dropped, fmt.Errorf("ledger: minute %d exceeds %d", e.Minute, MaxMinute)
+	}
 	// Entries must fit a WAL frame (maxWALPayload), or a durable ledger
 	// would acknowledge a record its own recovery decoder rejects —
 	// poisoning every later record in the segment. Volatile ledgers
@@ -354,6 +360,10 @@ func (l *Ledger) Accrue(e Entry) (Outcome, error) {
 	sh.mu.Unlock()
 
 	if sh.wal != nil {
+		// Count the append before the fsync: the record is in the WAL and
+		// applied whether or not the sync below succeeds, so WALRecords and
+		// the snapshot cadence must see it either way.
+		l.dur.noteAppend()
 		if l.cfg.Fsync == FsyncAlways {
 			if err := sh.wal.syncTo(watermark); err != nil {
 				// The record is written and applied but not yet known
@@ -362,7 +372,6 @@ func (l *Ledger) Accrue(e Entry) (Outcome, error) {
 				return outcome, fmt.Errorf("%w: %v", ErrDurability, err)
 			}
 		}
-		l.dur.noteAppend()
 	}
 	return outcome, nil
 }

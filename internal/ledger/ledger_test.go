@@ -45,10 +45,15 @@ func TestAccrueAndSummary(t *testing.T) {
 
 func TestAccrueValidation(t *testing.T) {
 	l := mustNew(t, Config{})
+	// Computed so the expression stays legal on 32-bit ints, where it wraps
+	// negative — rejected either way.
+	pastMax := MaxMinute
+	pastMax++
 	for name, e := range map[string]Entry{
 		"no tenant":       {Commercial: 1, Price: 1},
 		"negative price":  {Tenant: "t", Commercial: 1, Price: -1},
 		"negative minute": {Tenant: "t", Minute: -1},
+		"huge minute":     {Tenant: "t", Minute: pastMax},
 	} {
 		if _, err := l.Accrue(e); err == nil {
 			t.Errorf("%s: accepted", name)

@@ -200,6 +200,11 @@ func (l *Ledger) Snapshot() error {
 	// >= the last committed snapshot).
 	gen := d.gen + 1
 	d.gen = gen
+	// Reset the accrual counter per *attempt*, not per success: a failing
+	// disk would otherwise see the snapshotter re-nudged (and every shard
+	// re-rotated onto a fresh segment) on each subsequent accrual, instead
+	// of once per SnapshotEvery.
+	d.sinceSnap.Store(0)
 	doc := snapshotDoc{
 		Version:       1,
 		Gen:           gen,
@@ -209,34 +214,46 @@ func (l *Ledger) Snapshot() error {
 		MaxKeys:       l.cfg.MaxKeys,
 		ShardStates:   make([]shardSnapshot, len(l.shards)),
 	}
-	var covered []string
+	// covered[i] holds the segments shard i's rotation superseded. On any
+	// failure after a rotation they are handed back to their walFile: the
+	// shards keep appending to the new segments regardless, so the old ones
+	// must stay in the tail — visible in WALBytes, re-collected by the next
+	// successful snapshot — rather than leak until a restart's recovery.
+	covered := make([][]string, len(l.shards))
+	giveBack := func() {
+		for i, paths := range covered {
+			l.shards[i].wal.readdTail(paths)
+		}
+	}
 	for i, sh := range l.shards {
 		sh.mu.Lock()
 		ss := captureShard(sh)
 		old, err := sh.wal.rotate(gen)
 		sh.mu.Unlock()
 		if err != nil {
+			giveBack()
 			return fmt.Errorf("%w: %v", ErrDurability, err)
 		}
 		doc.ShardStates[i] = ss
-		covered = append(covered, old...)
+		covered[i] = old
 	}
 	data, err := json.Marshal(&doc)
 	if err != nil {
+		giveBack()
 		return fmt.Errorf("ledger: encoding snapshot: %w", err)
 	}
 	if err := writeFileAtomic(snapshotPath(d.dir, gen), data); err != nil {
-		// The rotated segments stay; recovery replays them below the
-		// failed snapshot, and the next snapshot re-collects them.
+		giveBack()
 		return fmt.Errorf("%w: writing snapshot: %v", ErrDurability, err)
 	}
 	d.lastSnapGen.Store(gen)
-	d.sinceSnap.Store(0)
 	d.snapshots.Add(1)
 	d.lastSnapUnix.Store(doc.TakenUnix)
 	d.lastSnapBytes.Store(int64(len(data)))
 	if !l.cfg.Archive {
-		removeAll(covered)
+		for _, paths := range covered {
+			removeAll(paths)
+		}
 		if gens, err := listSnapshots(d.dir); err == nil {
 			for _, g := range gens {
 				if g < gen {

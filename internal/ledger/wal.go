@@ -91,6 +91,12 @@ const (
 	// record that cannot be replayed must never be acknowledged. The slack
 	// below maxWALPayload covers the fixed fields and varint overhead.
 	MaxEntryBytes = maxWALPayload - 64
+	// MaxMinute bounds Entry.Minute for the same reason: the decoder
+	// treats an implausibly large minute as corruption, so Accrue must
+	// never acknowledge one — a record the decoder rejects would poison
+	// every later record in its segment as a "torn tail". MaxInt32 keeps
+	// every accepted minute representable in int on 32-bit platforms.
+	MaxMinute = 1<<31 - 1
 )
 
 // AppendWALRecord appends rec's framed encoding to dst and returns the
@@ -128,7 +134,7 @@ func decodeWALPayload(b []byte) (WALRecord, error) {
 	rec.Outcome = Outcome(b[1])
 	b = b[2:]
 	minute, n := binary.Uvarint(b)
-	if n <= 0 || minute > 1<<31 {
+	if n <= 0 || minute > MaxMinute {
 		return rec, fmt.Errorf("bad minute varint")
 	}
 	rec.Entry.Minute = int(minute)
@@ -171,7 +177,7 @@ func DecodeWAL(data []byte) ([]WALRecord, int64, error) {
 		if length > maxWALPayload {
 			return recs, off, fmt.Errorf("frame at offset %d declares %d payload bytes (max %d)", off, length, maxWALPayload)
 		}
-		if uint32(len(rest)-walFrameHeader) < length {
+		if int64(len(rest)-walFrameHeader) < int64(length) {
 			return recs, off, fmt.Errorf("torn payload at offset %d (%d of %d bytes)", off, len(rest)-walFrameHeader, length)
 		}
 		payload := rest[walFrameHeader : walFrameHeader+int(length)]
@@ -328,6 +334,11 @@ func (w *walFile) rotate(newSeq uint64) ([]string, error) {
 	defer w.syncMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.f == nil {
+		// close() ran; reopening a segment here would let Accrue succeed
+		// after Close returned.
+		return nil, fmt.Errorf("wal shard %d: rotate after close", w.shard)
+	}
 	// Open the new segment before touching the old one: a failure here
 	// leaves the shard exactly as it was, still appending to its current
 	// segment, so a failed snapshot attempt never wedges ingest.
@@ -336,19 +347,31 @@ func (w *walFile) rotate(newSeq uint64) ([]string, error) {
 		return nil, fmt.Errorf("wal shard %d: rotate: %w", w.shard, err)
 	}
 	syncDir(w.dir) // make the new segment's dirent durable before records land in it
-	if w.f != nil {
-		if err := w.f.Sync(); err != nil {
-			f.Close()
-			os.Remove(segmentPath(w.dir, w.shard, newSeq))
-			return nil, fmt.Errorf("wal shard %d: sync before rotate: %w", w.shard, err)
-		}
-		w.f.Close()
+	if err := w.f.Sync(); err != nil {
+		f.Close()
+		os.Remove(segmentPath(w.dir, w.shard, newSeq))
+		return nil, fmt.Errorf("wal shard %d: sync before rotate: %w", w.shard, err)
 	}
+	w.f.Close()
 	covered := append(w.tail, segmentPath(w.dir, w.shard, w.seq))
 	w.f, w.seq, w.size = f, newSeq, 0
 	w.tail, w.tailSize = nil, 0
 	w.synced.Store(w.appended) // the closed segment is fully synced
 	return covered, nil
+}
+
+// readdTail re-attaches segments a failed snapshot attempt rotated away:
+// they stay visible in bytes() and land back in the next rotation's covered
+// list, so a failed snapshot never orphans them until restart.
+func (w *walFile) readdTail(paths []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, p := range paths {
+		w.tail = append(w.tail, p)
+		if info, err := os.Stat(p); err == nil {
+			w.tailSize += info.Size()
+		}
+	}
 }
 
 // close syncs and closes the active segment.

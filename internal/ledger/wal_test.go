@@ -2,7 +2,9 @@ package ledger
 
 import (
 	"encoding/binary"
+	"os"
 	"reflect"
+	"sync/atomic"
 	"testing"
 )
 
@@ -12,6 +14,7 @@ var walTestRecords = []WALRecord{
 	{Entry: Entry{Tenant: "zeta", Pricer: "commercial", Minute: 0, Commercial: 0.1, Price: 0.1}, Outcome: Accrued},
 	{Entry: Entry{Tenant: "over-cap", Minute: 9, Commercial: 1, Price: 1}, Outcome: Dropped},
 	{Entry: Entry{Tenant: "t", Pricer: "", Minute: 1 << 20, Commercial: 0, Price: 0, Key: ""}, Outcome: Accrued},
+	{Entry: Entry{Tenant: "edge", Minute: MaxMinute, Commercial: 1, Price: 1}, Outcome: Accrued},
 }
 
 func encodeWAL(recs []WALRecord) []byte {
@@ -65,6 +68,45 @@ func TestWALTruncation(t *testing.T) {
 		if len(recs) > 0 && !reflect.DeepEqual(recs, walTestRecords[:len(recs)]) {
 			t.Fatalf("cut %d: surviving records are not a prefix", cut)
 		}
+	}
+}
+
+// TestWALRejectsHugeMinute pins the decoder side of the MaxMinute bound:
+// the encoder can frame a larger minute, but the decoder treats it as
+// corruption — which is exactly why Accrue must never acknowledge one.
+func TestWALRejectsHugeMinute(t *testing.T) {
+	pastMax := MaxMinute // computed: MaxMinute+1 overflows int on 32-bit
+	pastMax++
+	data := encodeWAL([]WALRecord{{Entry: Entry{Tenant: "t", Minute: pastMax, Commercial: 1, Price: 1}, Outcome: Accrued}})
+	recs, off, err := DecodeWAL(data)
+	if err == nil || off != 0 || len(recs) != 0 {
+		t.Fatalf("huge minute: %d recs, off %d, err %v", len(recs), off, err)
+	}
+}
+
+// TestWALRotateAfterClose pins the Close/Snapshot race: a rotation that
+// loses the race with close must fail instead of reopening a fresh segment,
+// which would let Accrue succeed after Close returned.
+func TestWALRotateAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	var syncs atomic.Uint64
+	w := &walFile{shard: 0, dir: dir, syncs: &syncs}
+	f, err := os.OpenFile(segmentPath(dir, 0, 0), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.f = f
+	if _, err := w.append(walTestRecords[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.rotate(1); err == nil {
+		t.Fatal("rotate reopened a closed WAL")
+	}
+	if _, err := w.append(walTestRecords[0]); err == nil {
+		t.Fatal("append succeeded after close")
 	}
 }
 
