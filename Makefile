@@ -1,6 +1,7 @@
 # Developer entry points; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-baseline bench-wal cover recovery-smoke fmt vet
+.PHONY: build test race bench bench-baseline bench-wal cover recovery-smoke fmt vet \
+	litmusvet lint lint-tools
 
 build:
 	go build ./...
@@ -48,3 +49,32 @@ fmt:
 
 vet:
 	go vet ./...
+
+# --- static analysis ---------------------------------------------------------
+
+# Pinned third-party linter versions: lint-tools installs exactly these (it
+# needs network, so CI runs it and caches the binaries); lint itself runs
+# them only when installed, so offline checkouts still get the full
+# first-party suite.
+STATICCHECK_VERSION := 2025.1.1
+GOVULNCHECK_VERSION := v1.1.4
+
+lint-tools:
+	go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# The repo's own analyzers (see internal/analysis), run through go vet so
+# results are cached per package like any other vet check. go build is
+# incremental, so rebuilding the tool each run costs almost nothing.
+litmusvet:
+	go build -o bin/litmusvet ./cmd/litmusvet
+	go vet -vettool=$(abspath bin/litmusvet) ./...
+
+lint: litmusvet
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	go vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (make lint-tools pins $(STATICCHECK_VERSION))"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping (make lint-tools pins $(GOVULNCHECK_VERSION))"; fi

@@ -39,7 +39,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		// A close error is the last chance to see a failed flush of the
+		// results file; exiting 0 with a torn file would be worse.
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 		w = f
 	}
 

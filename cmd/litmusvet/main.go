@@ -1,0 +1,23 @@
+// Litmusvet runs the repo's custom static analyzers (see internal/analysis):
+// lock discipline on ledger shards, fsync ordering for group commit, the
+// single-accrual-path rule, float money comparisons, and discarded
+// Close/Sync errors on the durability path.
+//
+// Standalone:
+//
+//	litmusvet ./...
+//
+// As a vet tool (shares go vet's per-package result cache):
+//
+//	go vet -vettool=$(pwd)/bin/litmusvet ./...
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis/litmusvet"
+)
+
+func main() {
+	os.Exit(litmusvet.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,172 @@
+// Package analysistest runs an analyzer over a golden package under
+// testdata/src and checks its diagnostics against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (rebuilt on the
+// stdlib because this environment vendors no external modules).
+//
+// Expectation syntax: a comment `// want "regexp"` (one or more quoted
+// regexps, double- or back-quoted) on a line means that line must produce a
+// diagnostic matching each regexp. Every diagnostic must be claimed by a
+// want on its line, and every want must be claimed by a diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the shared testdata directory,
+// assuming the calling test runs in a sibling of internal/analysis/testdata
+// (which all analyzer packages are).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads testdata/src/<pkg> (including its _test.go files), applies the
+// analyzer, and reports any mismatch against the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	pkgs, err := load.Packages(dir, true, ".")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded from %s", dir)
+	}
+	for _, p := range pkgs {
+		checkPackage(t, a, p)
+	}
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, p *load.Package) {
+	t.Helper()
+	wants := collectWants(t, p.Fset, p.Files)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Pkg,
+		TypesInfo: p.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, w.rx)
+			}
+		}
+	}
+}
+
+// wantRE matches the expectation marker; quoted patterns follow it.
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the sequence of Go-quoted strings in s.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var end int
+		switch s[0] {
+		case '`':
+			end = strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Walk to the closing quote, honouring escapes.
+			end = -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+			}
+			out = append(out, unq)
+			s = s[end+1:]
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got %q", pos, s)
+		}
+		s = strings.TrimSpace(s)
+	}
+	return out
+}

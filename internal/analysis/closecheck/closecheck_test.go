@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/closecheck"
+)
+
+func TestClosecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), closecheck.Analyzer, "closecheck")
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces a litmusvet control comment: //litmus:<name> <args>.
+// Directives are written in Go's machine-directive style (no space after //)
+// so gofmt leaves them alone.
+const DirectivePrefix = "//litmus:"
+
+// A Directive is one parsed //litmus: comment.
+type Directive struct {
+	// Name is the word after the colon, e.g. "guarded-by" or "close-ok".
+	Name string
+	// Args is the rest of the comment, conventionally a justification.
+	Args string
+	Pos  token.Pos
+}
+
+// Directives indexes a package's //litmus: comments by file and line.
+//
+// A directive applies to the line it is written on and, so that it can stand
+// alone above the statement it annotates, to the following line as well.
+// Declaration-attached directives (in a func or field doc comment) are
+// matched separately via FuncDirective / FieldDirective.
+type Directives struct {
+	byLine map[string]map[int][]Directive // filename → line → directives
+}
+
+// ParseDirective parses one comment's text; ok is false for ordinary comments.
+func ParseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, DirectivePrefix) {
+		return Directive{}, false
+	}
+	rest := c.Text[len(DirectivePrefix):]
+	name, args, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Args: strings.TrimSpace(args), Pos: c.Pos()}, true
+}
+
+// CollectDirectives indexes every //litmus: comment in files.
+func CollectDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{byLine: make(map[string]map[int][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, ok := ParseDirective(c)
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lines := d.byLine[posn.Filename]
+				if lines == nil {
+					lines = make(map[int][]Directive)
+					d.byLine[posn.Filename] = lines
+				}
+				lines[posn.Line] = append(lines[posn.Line], dir)
+			}
+		}
+	}
+	return d
+}
+
+// At returns the named directive covering pos's line, if any. A directive on
+// line N covers lines N and N+1 (see Directives).
+func (d *Directives) At(fset *token.FileSet, pos token.Pos, name string) (Directive, bool) {
+	if d == nil || !pos.IsValid() {
+		return Directive{}, false
+	}
+	posn := fset.Position(pos)
+	lines := d.byLine[posn.Filename]
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.Name == name {
+				return dir, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// FuncDirective returns the named directive from fn's doc comment, if any.
+func FuncDirective(fn *ast.FuncDecl, name string) (Directive, bool) {
+	return commentGroupDirective(fn.Doc, name)
+}
+
+// FieldDirective returns the named directive from a struct field's doc or
+// trailing line comment, if any.
+func FieldDirective(field *ast.Field, name string) (Directive, bool) {
+	if dir, ok := commentGroupDirective(field.Doc, name); ok {
+		return dir, true
+	}
+	return commentGroupDirective(field.Comment, name)
+}
+
+func commentGroupDirective(cg *ast.CommentGroup, name string) (Directive, bool) {
+	if cg == nil {
+		return Directive{}, false
+	}
+	for _, c := range cg.List {
+		if dir, ok := ParseDirective(c); ok && dir.Name == name {
+			return dir, true
+		}
+	}
+	return Directive{}, false
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		args string
+		ok   bool
+	}{
+		{"//litmus:guarded-by caller holds mu", "guarded-by", "caller holds mu", true},
+		{"//litmus:close-ok", "close-ok", "", true},
+		{"//litmus:float-eq-ok   padded  ", "float-eq-ok", "padded", true},
+		{"// litmus:guarded-by spaced is not a directive", "", "", false},
+		{"// plain comment", "", "", false},
+		{"//litmus:", "", "", false},
+	}
+	for _, c := range cases {
+		d, ok := ParseDirective(&ast.Comment{Text: c.in})
+		if ok != c.ok {
+			t.Errorf("ParseDirective(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && (d.Name != c.name || d.Args != c.args) {
+			t.Errorf("ParseDirective(%q) = %q/%q, want %q/%q", c.in, d.Name, d.Args, c.name, c.args)
+		}
+	}
+}
+
+func TestDirectiveCoversNextLine(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//litmus:close-ok own line covers the next
+	g() // line 5: covered
+	g() // line 6: not covered
+	g() //litmus:close-ok trailing comment covers its own line
+}
+
+func g() {}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := CollectDirectives(fset, []*ast.File{file})
+
+	posOnLine := func(line int) token.Pos {
+		f := fset.File(file.Pos())
+		return f.LineStart(line)
+	}
+	if _, ok := dirs.At(fset, posOnLine(5), "close-ok"); !ok {
+		t.Error("directive on its own line should cover the next line")
+	}
+	if _, ok := dirs.At(fset, posOnLine(6), "close-ok"); ok {
+		t.Error("directive should not reach two lines down")
+	}
+	if _, ok := dirs.At(fset, posOnLine(7), "close-ok"); !ok {
+		t.Error("trailing directive should cover its own line")
+	}
+	if _, ok := dirs.At(fset, posOnLine(5), "float-eq-ok"); ok {
+		t.Error("directive names must match")
+	}
+}

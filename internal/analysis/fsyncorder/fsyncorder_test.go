@@ -1,0 +1,12 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fsyncorder"
+)
+
+func TestFsyncorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), fsyncorder.Analyzer, "fsyncorder")
+}

@@ -1,0 +1,279 @@
+// Package litmusvet assembles the repo's analyzers into a driver usable two
+// ways: standalone over `go list` patterns (litmusvet ./...) and as a
+// go vet -vettool (implementing the vet .cfg protocol), so CI can run the
+// suite with go vet's per-package build caching.
+package litmusvet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/closecheck"
+	"repro/internal/analysis/fsyncorder"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/moneycmp"
+	"repro/internal/analysis/onepath"
+)
+
+// Analyzers returns the litmusvet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		closecheck.Analyzer,
+		fsyncorder.Analyzer,
+		lockcheck.Analyzer,
+		moneycmp.Analyzer,
+		onepath.Analyzer,
+	}
+}
+
+// A Finding is one rendered diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunPackage applies every analyzer to one loaded package.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	var findings []Finding
+	seen := make(map[Finding]bool)
+	for _, a := range Analyzers() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				f := Finding{Pos: fset.Position(d.Pos), Analyzer: a.Name, Message: d.Message}
+				if !seen[f] {
+					seen[f] = true
+					findings = append(findings, f)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Main is the litmusvet entry point; it returns the process exit code
+// (0 clean, 1 findings, 2 operational error).
+func Main(args []string, stdout, stderr io.Writer) int {
+	// The go vet -vettool protocol: -V=full describes the executable for
+	// build caching, -flags describes supported flags, and a *.cfg argument
+	// is a single compilation unit to analyze.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			return printVersion(stdout)
+		case args[0] == "-flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetCfg(args[0], stderr)
+		}
+	}
+
+	// Standalone mode: litmusvet [-no-tests] [patterns...]
+	tests := true
+	var patterns []string
+	for _, a := range args {
+		switch {
+		case a == "-no-tests" || a == "--no-tests":
+			tests = false
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(stderr, "litmusvet: unknown flag %s\nusage: litmusvet [-no-tests] [packages]\n", a)
+			return 2
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	pkgs, err := load.Packages(".", tests, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "litmusvet: %v\n", err)
+		return 2
+	}
+	exit := 0
+	for _, p := range pkgs {
+		findings, err := RunPackage(p.Fset, p.Files, p.Pkg, p.Info)
+		if err != nil {
+			fmt.Fprintf(stderr, "litmusvet: %s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// printVersion implements -V=full: the output must change whenever the tool
+// binary changes, or go vet's result caching would serve stale findings.
+func printVersion(w io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(w, "litmusvet version devel\n")
+		return 0
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(w, "litmusvet version devel\n")
+		return 0
+	}
+	h := sha256.New()
+	_, cerr := io.Copy(h, f)
+	if err := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(w, "litmusvet version devel\n")
+		return 0
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%x\n", exe, h.Sum(nil))
+	return 0
+}
+
+// vetConfig mirrors the JSON compilation-unit description go vet writes
+// next to each package it checks.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetCfg analyzes the single compilation unit described by cfgPath.
+func runVetCfg(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "litmusvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "litmusvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// go vet expects the tool to leave a facts file for dependents; the
+	// suite keeps no cross-package facts, so an empty one suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "litmusvet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "litmusvet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			return base.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "litmusvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	findings, err := RunPackage(fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(stderr, "litmusvet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s: %s [%s]\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,179 @@
+// Package load type-checks Go packages for litmusvet without depending on
+// golang.org/x/tools/go/packages: it shells out to `go list -export -deps`
+// for the build graph and compiler export data, parses the target packages'
+// sources with comments, and type-checks them against the export data with
+// the standard library importer. Everything works offline — the export
+// files come from the local build cache, produced by the same toolchain
+// that builds the repo.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked compilation unit ready for analysis.
+type Package struct {
+	// ImportPath is the go list identifier; test variants keep their
+	// bracketed suffix, e.g. "repro/internal/ledger [repro/internal/ledger.test]".
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matching patterns, resolved
+// relative to dir. With tests true, packages that have test files are
+// returned as their test variant (package sources plus in-package _test.go
+// files) and external _test packages are included — the same units `go vet`
+// analyzes during `go test`.
+func Packages(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e", "-export", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=Dir,ImportPath,Name,Export,Standard,DepOnly,ForTest,GoFiles,Imports,ImportMap,Error,DepsErrors")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path → export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test main package
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+
+	// When a package's test variant is present it strictly contains the
+	// plain unit, so analyze only the variant — otherwise every diagnostic
+	// in a non-test file would be reported twice.
+	variants := make(map[string]bool)
+	for _, p := range targets {
+		if p.ForTest != "" && p.ImportPath != p.ForTest && strings.HasPrefix(p.ImportPath, p.ForTest+" ") {
+			variants[p.ForTest] = true
+		}
+	}
+
+	var pkgs []*Package
+	for _, p := range targets {
+		if variants[p.ImportPath] {
+			continue
+		}
+		pkg, err := check(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one go list unit against export data.
+func check(p *listPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (build the package first)", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect everything; first error reported below
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	// Strip the variant suffix for the types.Package path so Pkg.Path()
+	// matches what analyzers expect.
+	path, _, _ := strings.Cut(p.ImportPath, " ")
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,144 @@
+// Package moneycmp forbids exact equality on floating-point money.
+//
+// Billed amounts are float64 throughout the system, and the repo's
+// correctness story is careful about when two of them may be compared
+// exactly: the differential and crash harnesses feed both sides identical
+// dyadic-exact amounts (ledgertest's Exact streams), so byte-identical
+// comparison is sound there — but a general ==/!= between two computed
+// amounts is a rounding bug waiting to happen, and a switch on a float is
+// never right.
+//
+// The analyzer flags == and != where both operands are floating point, and
+// any switch whose tag is floating point, with two principled exemptions:
+//
+//   - comparison against a constant whose exact value is representable in
+//     float64 (0, 1, 12, 0.25, ...): equality with a dyadic constant is
+//     well-defined, and it is how tests assert exact bills. A constant that
+//     already rounded (0.1, 1e-20) gets no exemption — comparing against it
+//     is exactly the bug this check exists for.
+//   - x != x / x == x, the NaN idiom.
+//
+// Deliberate exact comparisons between computed amounts (the differential
+// idiom outside ledgertest) are annotated //litmus:float-eq-ok <why>.
+package moneycmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the moneycmp analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "moneycmp",
+	Doc:  "no ==/!=/switch on float64 amounts; use dyadic-exact constants or epsilon",
+	Run:  run,
+}
+
+const directive = "float-eq-ok"
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if !isFloat(pass, n.X) || !isFloat(pass, n.Y) {
+				return true
+			}
+			if exactConst(pass, n.X) || exactConst(pass, n.Y) {
+				return true
+			}
+			if analysis.RenderExpr(n.X) == analysis.RenderExpr(n.Y) {
+				return true // x != x: the NaN check
+			}
+			if pass.SuppressedAt(n.OpPos, directive) {
+				return true
+			}
+			pass.Reportf(n.OpPos, "%s between computed float64 amounts; compare with an epsilon or dyadic-exact values (annotate %s%s where both sides derive from one stream)",
+				n.Op, analysis.DirectivePrefix, directive)
+		case *ast.SwitchStmt:
+			if n.Tag == nil || !isFloat(pass, n.Tag) {
+				return true
+			}
+			if pass.SuppressedAt(n.Switch, directive) {
+				return true
+			}
+			pass.Reportf(n.Switch, "switch on a float64 amount; float case matching is exact equality in disguise")
+		}
+		return true
+	})
+	return nil
+}
+
+// isFloat reports whether e's type is floating point (float32/float64 or a
+// defined type over one). Untyped constants take their default type.
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	if basic.Info()&types.IsUntyped != 0 {
+		t = types.Default(t)
+		basic, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return basic.Info()&types.IsFloat != 0
+}
+
+// exactConst reports whether e is a constant whose exact mathematical value
+// is representable in float64 without rounding — the dyadic rationals tests
+// may compare against. The check must read the unrounded value: go/types
+// records typed float constants already rounded to float64 (0.1 becomes the
+// nearest double, which is trivially "exact"), so the literal text or the
+// declared constant's untyped value is consulted instead.
+func exactConst(pass *analysis.Pass, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			if x.Op == token.SUB || x.Op == token.ADD {
+				e = x.X
+				continue
+			}
+		}
+		break
+	}
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		if x.Kind != token.INT && x.Kind != token.FLOAT {
+			return false
+		}
+		return exactFloat(constant.MakeFromLiteral(x.Value, x.Kind, 0))
+	case *ast.Ident:
+		if c, ok := pass.TypesInfo.Uses[x].(*types.Const); ok {
+			return exactFloat(c.Val())
+		}
+	case *ast.SelectorExpr:
+		if c, ok := pass.TypesInfo.Uses[x.Sel].(*types.Const); ok {
+			return exactFloat(c.Val())
+		}
+	}
+	return false
+}
+
+func exactFloat(v constant.Value) bool {
+	v = constant.ToFloat(v)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	_, exact := constant.Float64Val(v)
+	return exact
+}

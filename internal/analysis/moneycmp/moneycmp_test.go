@@ -1,0 +1,12 @@
+package moneycmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/moneycmp"
+)
+
+func TestMoneycmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), moneycmp.Analyzer, "moneycmp")
+}

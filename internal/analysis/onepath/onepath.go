@@ -1,0 +1,102 @@
+// Package onepath enforces the single-accrual-path invariant: every bill in
+// the system flows through one sanctioned pricing path, so no subsystem can
+// side-door money into the ledger.
+//
+// Calls to (*ledger.Ledger).Accrue are permitted only from:
+//
+//   - the ledger subsystem itself (repro/internal/ledger and its
+//     subpackages — WAL replay and the differential/crash harnesses);
+//   - api.(*Server).priceAndAccrue, the one function that prices a request
+//     and bills the result (PR 3 made it the single accrual path);
+//   - _test.go files, which exercise the ledger directly by design;
+//   - call sites annotated //litmus:allow-accrue <why>.
+//
+// Everything else is a diagnostic: a new caller of Accrue is a new billing
+// path and must either route through the API's pricing path or earn an
+// explicit annotation in review.
+package onepath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the onepath analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "onepath",
+	Doc:  "ledger.Accrue is called only from the sanctioned pricing paths",
+	Run:  run,
+}
+
+// ledgerPath is the package whose Accrue is protected; sanctionedFunc the
+// one function outside it allowed to bill.
+const (
+	ledgerPath     = "repro/internal/ledger"
+	sanctionedFunc = "priceAndAccrue"
+)
+
+func run(pass *analysis.Pass) error {
+	if p := pass.Pkg.Path(); p == ledgerPath || strings.HasPrefix(p, ledgerPath+"/") {
+		return nil // the ledger subsystem is the mechanism, not a caller
+	}
+	for _, file := range pass.Files {
+		testFile := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		if testFile {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			allowedFunc := fn.Name.Name == sanctionedFunc
+			if _, ok := analysis.FuncDirective(fn, "allow-accrue"); ok {
+				allowedFunc = true
+			}
+			if allowedFunc {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Accrue" {
+					return true
+				}
+				if !isLedgerMethod(pass, sel) {
+					return true
+				}
+				if pass.SuppressedAt(call.Pos(), "allow-accrue") {
+					return true
+				}
+				pass.Reportf(call.Pos(), "ledger.Accrue outside the sanctioned pricing path; bill through api.(*Server).%s or annotate %sallow-accrue with a reason",
+					sanctionedFunc, analysis.DirectivePrefix)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isLedgerMethod reports whether sel selects the Accrue method of
+// repro/internal/ledger.Ledger.
+func isLedgerMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Ledger" && obj.Pkg() != nil && obj.Pkg().Path() == ledgerPath
+}

@@ -1,0 +1,12 @@
+package onepath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/onepath"
+)
+
+func TestOnepath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), onepath.Analyzer, "onepath")
+}

@@ -1,0 +1,60 @@
+// Package closecheck is golden input for the closecheck analyzer.
+package closecheck
+
+import (
+	"io"
+	"os"
+)
+
+type wal struct {
+	f *os.File
+}
+
+func (w *wal) Close() error { return w.f.Close() }
+
+func (w *wal) Sync() error { return w.f.Sync() }
+
+func bad(w *wal) {
+	w.Close() // want `\(wal\)\.Close error discarded`
+}
+
+func badSync(w *wal) {
+	w.Sync() // want `\(wal\)\.Sync error discarded`
+}
+
+func badDefer(f *os.File) {
+	defer f.Close() // want `\(File\)\.Close error discarded`
+}
+
+func badRename(a, b string) {
+	os.Rename(a, b) // want `os\.Rename error discarded`
+}
+
+func badTruncate(path string) {
+	os.Truncate(path, 0) // want `os\.Truncate error discarded`
+}
+
+func explicitDiscard(w *wal) {
+	_ = w.Close() // visible in review: accepted
+}
+
+func handled(w *wal) error {
+	return w.Close()
+}
+
+func annotated(f *os.File) {
+	//litmus:close-ok read-only file; close cannot lose data
+	f.Close()
+}
+
+type noErr struct{}
+
+func (noErr) Close() {}
+
+func fine(n noErr) {
+	n.Close() // returns no error: nothing to discard
+}
+
+func foreignInterface(r io.ReadCloser) {
+	r.Close() // interfaces are out of scope
+}

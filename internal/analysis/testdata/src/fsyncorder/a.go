@@ -1,0 +1,74 @@
+// Package fsyncorder is golden input for the fsyncorder analyzer.
+package fsyncorder
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// appendRec is the WAL append.
+//
+//litmus:appends
+func (s *store) appendRec(b []byte) error {
+	_, err := s.f.Write(b)
+	return err
+}
+
+// syncWAL makes prior appends durable.
+//
+//litmus:syncs
+func (s *store) syncWAL() error {
+	return s.f.Sync()
+}
+
+func (s *store) badDirect() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `fsync while holding s\.mu`
+}
+
+func (s *store) badViaHelper() error {
+	s.mu.Lock()
+	err := s.syncWAL() // want `fsync while holding s\.mu`
+	s.mu.Unlock()
+	return err
+}
+
+func (s *store) goodGroupCommit(b []byte) error {
+	s.mu.Lock()
+	err := s.appendRec(b)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.syncWAL()
+}
+
+func (s *store) deliberateColdPath() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//litmus:sync-under-lock-ok rotation-style cold path, held rarely
+	return s.f.Sync()
+}
+
+func (s *store) badOrder(b []byte) error {
+	if err := s.syncWAL(); err != nil { // want `sync before the WAL append`
+		return err
+	}
+	return s.appendRec(b)
+}
+
+// checkpointOld syncs state older than what it appends.
+//
+//litmus:sync-order-ok
+func checkpointOld(s *store, b []byte) error {
+	if err := s.syncWAL(); err != nil {
+		return err
+	}
+	return s.appendRec(b)
+}

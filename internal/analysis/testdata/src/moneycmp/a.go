@@ -1,0 +1,48 @@
+// Package moneycmp is golden input for the moneycmp analyzer.
+package moneycmp
+
+type bill struct {
+	amount float64
+	other  float64
+}
+
+func bad(a, b bill) bool {
+	return a.amount == b.amount // want `== between computed float64 amounts`
+}
+
+func badNeq(a, b bill) bool {
+	return a.amount != b.other // want `!= between computed float64 amounts`
+}
+
+func dyadicConstOK(a bill) bool {
+	return a.amount == 12 || a.amount == 0.25 || 0 == a.amount
+}
+
+func roundedConstBad(a bill) bool {
+	return a.amount == 0.1 // want `== between computed float64 amounts`
+}
+
+func nanIdiom(a bill) bool {
+	return a.amount != a.amount
+}
+
+func annotated(a, b bill) bool {
+	//litmus:float-eq-ok differential oracle: both sides derive from one stream
+	return a.amount == b.amount
+}
+
+func badSwitch(a bill) int {
+	switch a.amount { // want `switch on a float64 amount`
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func intsFine(x, y int) bool {
+	return x == y
+}
+
+func orderingFine(a, b bill) bool {
+	return a.amount < b.amount
+}

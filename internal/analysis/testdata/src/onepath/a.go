@@ -1,0 +1,33 @@
+// Package onepath is golden input for the onepath analyzer.
+package onepath
+
+import "repro/internal/ledger"
+
+func sideDoor(l *ledger.Ledger, e ledger.Entry) {
+	l.Accrue(e) // want `ledger\.Accrue outside the sanctioned pricing path`
+}
+
+func priceAndAccrue(l *ledger.Ledger, e ledger.Entry) {
+	l.Accrue(e) // the sanctioned path is matched by name
+}
+
+// replayTool re-bills from a trace during offline replay.
+//
+//litmus:allow-accrue offline replay re-creates historical bills
+func replayTool(l *ledger.Ledger, e ledger.Entry) {
+	l.Accrue(e)
+}
+
+func annotatedSite(l *ledger.Ledger, e ledger.Entry) {
+	//litmus:allow-accrue one-off backfill behind an operator flag
+	l.Accrue(e)
+}
+
+type other struct{}
+
+// Accrue on an unrelated type is not the ledger's Accrue.
+func (other) Accrue(ledger.Entry) {}
+
+func unrelated(o other, e ledger.Entry) {
+	o.Accrue(e)
+}

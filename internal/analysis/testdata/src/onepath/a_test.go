@@ -1,0 +1,8 @@
+package onepath
+
+import "repro/internal/ledger"
+
+// Test files may bill the ledger directly by design.
+func helperForTests(l *ledger.Ledger, e ledger.Entry) {
+	l.Accrue(e)
+}

@@ -83,7 +83,11 @@ func TestServerRecoversLedger(t *testing.T) {
 	_ = srv1
 
 	srv2 := durableServer(t, dataDir, "always")
-	defer srv2.Close()
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("closing durable server: %v", err)
+		}
+	}()
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
 	client2 := NewClient(ts2.URL)

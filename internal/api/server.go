@@ -62,7 +62,9 @@ type Config struct {
 // tables can be hot-swapped while quotes are in flight, and all billing
 // state lives in the ledger subsystem.
 type Server struct {
+	//litmus:unguarded frozen by New before the server is shared
 	cfg Config
+	//litmus:unguarded frozen by New before the server is shared
 	mux *http.ServeMux
 
 	// mu guards the swap-able pricing state below. tablesGen increments on
@@ -74,7 +76,9 @@ type Server struct {
 	tablesGen uint64
 
 	// ledger is the billing subsystem every API version accrues into; it is
-	// concurrency-safe on its own.
+	// concurrency-safe on its own and set once by New.
+	//
+	//litmus:unguarded frozen by New before the server is shared
 	ledger *ledger.Ledger
 }
 
@@ -334,6 +338,8 @@ func (s *Server) priceAndAccrue(pricers map[string]core.Pricer, req QuoteRequest
 // that builds a ledger entry from a quote, so every ingest path — /v1 and
 // /v2 quotes, /v2 meter batches, the /v3 stream collector — bills
 // identically. A drop at the tenant cap comes back as a 503.
+//
+//litmus:allow-accrue priceAndAccrue's delegate: the one builder of ledger entries
 func (s *Server) accrue(resp *QuoteResponse, tenant string, minute int, key string) (ledger.Outcome, *Error) {
 	outcome, err := s.ledger.Accrue(ledger.Entry{
 		Tenant:     tenant,
@@ -535,6 +541,8 @@ func (s *Server) handlePricers(w http.ResponseWriter, r *http.Request) {
 // --- /v2/tables and the table version ---------------------------------------
 
 // etagLocked renders the table version as a strong ETag; callers hold mu.
+//
+//litmus:guarded-by caller holds mu
 func (s *Server) etagLocked() string { return fmt.Sprintf("%q", fmt.Sprintf("tables-%d", s.tablesGen)) }
 
 // tablesETag returns the current table-version ETag.

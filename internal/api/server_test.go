@@ -192,7 +192,10 @@ func TestV1QuoteByteCompatible(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("case %d: status = %d: %s", i, resp.StatusCode, got)
 		}
-		want := seedV1Response(t, srv.models, body)
+		srv.mu.RLock()
+		models := srv.models
+		srv.mu.RUnlock()
+		want := seedV1Response(t, models, body)
 		if !bytes.Equal(got, want) {
 			t.Errorf("case %d: v1 response diverged from seed\n got: %s\nwant: %s", i, got, want)
 		}
@@ -536,6 +539,7 @@ func TestV2TablesHotSwap(t *testing.T) {
 	if status.Machine != "swapped" || status.Generators != 2 || status.Languages != 3 {
 		t.Errorf("swap status = %+v", status)
 	}
+	//litmus:float-eq-ok differential: the same request priced before and after the swap
 	if after := priceOf(); after == before {
 		t.Error("hot-swapped tables did not change pricing")
 	}

@@ -169,6 +169,7 @@ func TestV3UsageStreamIdempotency(t *testing.T) {
 			t.Fatalf("conflicting keys = %+v", out)
 		}
 		first := postStream(t, ts2.URL, "", ndLine("ref", 128, 0, "")+"\n")
+		//litmus:float-eq-ok differential: both bills derive from the same priced line
 		if out.Tenants[0].Billed != first.Tenants[0].Billed {
 			t.Fatalf("same-key conflict billed the later line: %v != %v (run %d)",
 				out.Tenants[0].Billed, first.Tenants[0].Billed, i)
@@ -590,6 +591,7 @@ func TestMeterAndUsageStreamBillIdentically(t *testing.T) {
 	}
 	after := statements(tsStream.URL)
 	for _, tenant := range tenants {
+		//litmus:float-eq-ok differential: replay must reproduce the exact statement
 		if after[tenant].Invocations != viaStream[tenant].Invocations || after[tenant].Billed != viaStream[tenant].Billed {
 			t.Errorf("%s: replay changed the statement: %+v != %+v", tenant, after[tenant], viaStream[tenant])
 		}

@@ -156,6 +156,7 @@ func TestLitmusSingleRate(t *testing.T) {
 	if q.Discount() <= 0 {
 		t.Errorf("single-rate discount = %v", q.Discount())
 	}
+	//litmus:float-eq-ok both rates are copied from one configured value; exact match is the invariant
 	if q.RPrivate != q.RShared {
 		t.Error("single-rate pricer must use one rate")
 	}

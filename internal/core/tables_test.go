@@ -137,6 +137,7 @@ func TestCalibrationEncodeDecodeRoundTrip(t *testing.T) {
 	if back.SharePerCore != cal.SharePerCore || len(back.Generators) != 2 {
 		t.Errorf("round trip lost fields: %+v", back)
 	}
+	//litmus:float-eq-ok round trip: encode/decode must preserve the value bit-for-bit
 	if back.Generators[0].Rows[3].RefTotalSlow != cal.Generators[0].Rows[3].RefTotalSlow {
 		t.Error("row values changed across round trip")
 	}
@@ -154,6 +155,7 @@ func TestDecodeCalibrationRejectsGarbage(t *testing.T) {
 
 func TestSoloStartupTotal(t *testing.T) {
 	s := SoloStartup{TPrivate: 0.01, TShared: 0.002}
+	//litmus:float-eq-ok asserts Total is the plain float64 sum of the two literals, nothing cleverer
 	if got := s.Total(); got != 0.012 {
 		t.Errorf("Total = %v", got)
 	}

@@ -126,6 +126,7 @@ func TestDeterminism(t *testing.T) {
 	}
 	tp1, ts1, l31 := run()
 	tp2, ts2, l32 := run()
+	//litmus:float-eq-ok determinism: the same seed must reproduce bit-identical results
 	if tp1 != tp2 || ts1 != ts2 || l31 != l32 {
 		t.Errorf("same seed diverged: (%v,%v,%v) vs (%v,%v,%v)", tp1, ts1, l31, tp2, ts2, l32)
 	}
@@ -272,6 +273,7 @@ func TestSwitchPenaltyCurve(t *testing.T) {
 		}
 		prev = p
 	}
+	//litmus:float-eq-ok saturation returns the configured cap value itself
 	if got := m.switchPenalty(25); got != m.cfg.SwitchPenaltyMax {
 		t.Errorf("penalty must saturate at SwitchPenaltySat, got %v", got)
 	}

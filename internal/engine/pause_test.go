@@ -19,6 +19,7 @@ func TestPausedContextMakesNoProgress(t *testing.T) {
 	}
 	m.SetPaused(ctx.ID, true)
 	m.Run(5e-3)
+	//litmus:float-eq-ok a paused context must not advance at all; exact equality is the point
 	if got := ctx.Counters().Instructions; got != before {
 		t.Errorf("paused context progressed: %v -> %v", before, got)
 	}
@@ -52,6 +53,7 @@ func TestPauseAllExceptAndResume(t *testing.T) {
 	}
 	m.Run(2e-3)
 	for i, c := range others {
+		//litmus:float-eq-ok a paused context must not advance at all; exact equality is the point
 		if c.Counters().Instructions != snaps[i] {
 			t.Errorf("paused context %d progressed", i)
 		}

@@ -77,6 +77,7 @@ func TestConfigValidate(t *testing.T) {
 	if got := (Config{Scale: 0.01}).reps(3); got != 1 {
 		t.Errorf("reps floor = %d, want 1", got)
 	}
+	//litmus:float-eq-ok the floor clamps to this exact literal constant
 	if got := (Config{Scale: 0.01}).bodyScale(); got != 0.05 {
 		t.Errorf("bodyScale floor = %v, want 0.05", got)
 	}

@@ -64,6 +64,7 @@ func TestPlatformConfigStartupFloor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//litmus:float-eq-ok the floor clamps to this exact literal constant
 	if pcfg.StartupScale != 0.15 {
 		t.Errorf("startup scale floor = %v, want 0.15", pcfg.StartupScale)
 	}
@@ -71,6 +72,7 @@ func TestPlatformConfigStartupFloor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//litmus:float-eq-ok the configured scale passes through unchanged
 	if pcfg.StartupScale != 0.8 {
 		t.Errorf("startup scale = %v, want 0.8", pcfg.StartupScale)
 	}

@@ -83,6 +83,7 @@ func TestLatencyMonotoneInLoad(t *testing.T) {
 func TestLatencyCapped(t *testing.T) {
 	cfg := testCfg()
 	atCap := LatencyAt(cfg, cfg.MaxUtilization)
+	//litmus:float-eq-ok differential: above the cap both calls take the identical clamped path
 	if got := LatencyAt(cfg, 5); got != atCap {
 		t.Errorf("latency above cap = %v, want capped %v", got, atCap)
 	}

@@ -47,6 +47,7 @@ func TestPrivateSharedSplit(t *testing.T) {
 	if got := c.SharedCycles(); got != 500 {
 		t.Errorf("SharedCycles = %v, want 500", got)
 	}
+	//litmus:float-eq-ok the split is computed by exact subtraction from the total
 	if c.PrivateCycles()+c.SharedCycles() != c.Cycles {
 		t.Error("private + shared must equal total cycles")
 	}

@@ -122,7 +122,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer l.Close()
+			defer mustClose(b, l)
 			var worker atomic.Int64
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -182,7 +182,7 @@ func BenchmarkRecover(b *testing.B) {
 					b.Fatalf("replayed %d records, want %d", got, n)
 				}
 				b.StopTimer()
-				r.Close()
+				mustClose(b, r)
 				b.StartTimer()
 			}
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
@@ -198,7 +198,7 @@ func BenchmarkSnapshot(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer l.Close()
+	defer mustClose(b, l)
 	for i := 0; i < 20_000; i++ {
 		l.Accrue(Entry{Tenant: tenants[i%len(tenants)], Pricer: "litmus", Minute: i % 64, Commercial: 2, Price: 1})
 	}

@@ -305,6 +305,7 @@ func (l *Ledger) openDurable() error {
 	// The tenant cap's atomic is the sum of recovered accounts.
 	total := int64(0)
 	for _, sh := range l.shards {
+		//litmus:guarded-by recovery owns the unpublished ledger exclusively
 		total += int64(len(sh.accounts))
 	}
 	l.tenants.Store(total)
@@ -400,6 +401,7 @@ func (d *durable) closeAll() error {
 		d.snapMu.Lock()
 		defer d.snapMu.Unlock()
 		for _, w := range d.wals {
+			//litmus:sync-under-lock-ok snapMu is the snapshot/teardown lock, never on the append path
 			if err := w.close(); err != nil && d.closeErr == nil {
 				d.closeErr = err
 			}

@@ -59,7 +59,7 @@ func TestDurableRecover(t *testing.T) {
 			}
 
 			r := mustNew(t, cfg)
-			defer r.Close()
+			defer mustClose(t, r)
 			rec := r.Durability().Recovery
 			if !rec.Recovered || rec.RecordsReplayed != 4 || rec.SnapshotGen != 0 || rec.TornSegments != 0 {
 				t.Fatalf("recovery = %+v", rec)
@@ -89,7 +89,7 @@ func TestDurableRecoverFromSnapshotPlusTail(t *testing.T) {
 	}
 
 	r := mustNew(t, cfg)
-	defer r.Close()
+	defer mustClose(t, r)
 	rec := r.Durability().Recovery
 	if rec.SnapshotGen != 1 || rec.RecordsReplayed != 3 {
 		t.Fatalf("recovery = %+v", rec)
@@ -133,7 +133,7 @@ func TestDurableSnapshotCompactsWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := mustNew(t, cfg)
-	defer r.Close()
+	defer mustClose(t, r)
 	st := r.Stats()
 	if st.Accrued != 51 || st.Tenants != 7 {
 		t.Fatalf("recovered stats = %+v", st)
@@ -175,10 +175,12 @@ func TestDurableTornTailTruncated(t *testing.T) {
 	if _, err := f.Write([]byte{42, 0, 0, 0, 7, 7}); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	r := mustNew(t, cfg)
-	defer r.Close()
+	defer mustClose(t, r)
 	rec := r.Durability().Recovery
 	if rec.TornSegments != 1 || rec.TornBytesTruncated != 6 || rec.RecordsReplayed != 4 {
 		t.Fatalf("recovery = %+v", rec)
@@ -190,7 +192,7 @@ func TestDurableMetaMismatchRefused(t *testing.T) {
 	dir := t.TempDir()
 	l := mustNew(t, Config{Dir: dir, Shards: 4})
 	driveSmall(t, l)
-	l.Close()
+	mustClose(t, l)
 	for name, cfg := range map[string]Config{
 		"shards": {Dir: dir, Shards: 8},
 		"window": {Dir: dir, Shards: 4, WindowMinutes: 5},
@@ -205,7 +207,7 @@ func TestDurableMetaMismatchRefused(t *testing.T) {
 	if err != nil {
 		t.Fatalf("MaxTenants change refused: %v", err)
 	}
-	r.Close()
+	mustClose(t, r)
 }
 
 func TestDurableCorruptSnapshot(t *testing.T) {
@@ -241,7 +243,7 @@ func TestDurableCorruptSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.Close()
+	defer mustClose(t, r)
 	rec := r.Durability().Recovery
 	if rec.SnapshotGen != 0 || rec.SnapshotsSkipped != 1 || rec.RecordsReplayed != 5 {
 		t.Fatalf("recovery = %+v", rec)
@@ -261,10 +263,10 @@ func TestDurableTenantCapRecovered(t *testing.T) {
 	if out, err := l.Accrue(Entry{Tenant: "c", Pricer: "litmus", Commercial: 1, Price: 1}); err != nil || out != Dropped {
 		t.Fatalf("over cap = %v, %v", out, err)
 	}
-	l.Close()
+	mustClose(t, l)
 
 	r := mustNew(t, cfg)
-	defer r.Close()
+	defer mustClose(t, r)
 	// The cap state survived: existing tenants bill, a third is dropped,
 	// and the logged drop outcome was replayed into the counters.
 	if out, err := r.Accrue(Entry{Tenant: "a", Pricer: "litmus", Commercial: 1, Price: 1}); err != nil || out != Accrued {
@@ -321,7 +323,7 @@ func TestDurableArchiveKeepsHistory(t *testing.T) {
 	if err := l.Snapshot(); err != nil {
 		t.Fatal(err)
 	}
-	l.Close()
+	mustClose(t, l)
 	segs, _ := ListWALSegments(dir)
 	seqs := map[uint64]bool{}
 	for _, seg := range segs {
@@ -395,7 +397,7 @@ func TestDurableSnapshotFailureDoesNotWedge(t *testing.T) {
 	os.RemoveAll(snapshotPath(dir, 1))
 
 	r := mustNew(t, cfg)
-	defer r.Close()
+	defer mustClose(t, r)
 	if rec := r.Durability().Recovery; rec.SnapshotGen != 2 {
 		t.Fatalf("recovery = %+v", rec)
 	}
@@ -448,7 +450,7 @@ func TestAccrueRejectsHugeMinute(t *testing.T) {
 	}
 
 	r := mustNew(t, cfg)
-	defer r.Close()
+	defer mustClose(t, r)
 	rec := r.Durability().Recovery
 	if rec.RecordsReplayed != 2 || rec.TornSegments != 0 {
 		t.Fatalf("recovery = %+v", rec)
@@ -476,7 +478,7 @@ func TestDurableRecoveryCollectsStaleSegments(t *testing.T) {
 	// like when the GC never ran. Reopen WITHOUT Archive.
 	cfg.Archive = false
 	r := mustNew(t, cfg)
-	defer r.Close()
+	defer mustClose(t, r)
 	segs, err := ListWALSegments(dir)
 	if err != nil {
 		t.Fatal(err)

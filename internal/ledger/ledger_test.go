@@ -16,6 +16,15 @@ func mustNew(t *testing.T, cfg Config) *Ledger {
 	return l
 }
 
+// mustClose fails the test if Close errors: on a durable ledger Close is
+// the final WAL sync, and a silent failure there could mask durability bugs.
+func mustClose(t testing.TB, l *Ledger) {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Errorf("ledger close: %v", err)
+	}
+}
+
 func accrue(t *testing.T, l *Ledger, e Entry) {
 	t.Helper()
 	out, err := l.Accrue(e)

@@ -70,11 +70,11 @@ func CloneDirTruncated(src, dst string, truncate map[string]int64) error {
 		}
 		out, err := os.Create(filepath.Join(dst, e.Name()))
 		if err != nil {
-			in.Close()
+			_ = in.Close()
 			return err
 		}
 		_, cerr := io.Copy(out, r)
-		in.Close()
+		_ = in.Close() // read side; the copy error above is the one that matters
 		if err := out.Close(); cerr == nil {
 			cerr = err
 		}

@@ -9,6 +9,15 @@ import (
 	"repro/internal/ledger"
 )
 
+// mustClose fails the test if Close errors: on a durable ledger Close is
+// the final WAL sync, and a silent failure there could mask durability bugs.
+func mustClose(t testing.TB, l *ledger.Ledger) {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Errorf("ledger close: %v", err)
+	}
+}
+
 // crashStream is the workload behind the kill-at-every-offset tests: small
 // enough that every truncation point of every shard is affordable under
 // -race, rich enough to exercise keys, retries and multiple windows. The
@@ -27,7 +36,7 @@ func recoverAndDiff(t *testing.T, dir string, cfg ledger.Config, wantRecovered i
 	if err != nil {
 		t.Fatalf("recover %s: %v", dir, err)
 	}
-	defer recovered.Close()
+	defer mustClose(t, recovered)
 	oracle, n, err := OracleFromWAL(dir, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -221,6 +230,6 @@ func TestRecoveredEqualsVolatile(t *testing.T) {
 		if err := Diff(volatile, recovered); err != nil {
 			t.Fatalf("shards=%d: post-recovery ingest diverged: %v", shards, err)
 		}
-		recovered.Close()
+		mustClose(t, recovered)
 	}
 }

@@ -64,7 +64,7 @@ func TestSnapshotDuringConcurrentIngest(t *testing.T) {
 		if err := Diff(volatile, recovered); err != nil {
 			t.Fatalf("seed %d: recovery after %d interleaved snapshots (%+v) diverged: %v", seed, snaps, d, err)
 		}
-		recovered.Close()
+		mustClose(t, recovered)
 		t.Logf("seed %d: %d snapshots interleaved with %d concurrent accruals (recovery: snapshot gen %d + %d tail records)",
 			seed, snaps, stream.Len(), d.SnapshotGen, d.RecordsReplayed)
 	}
@@ -95,7 +95,7 @@ func TestSnapshotEveryShardCount(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			defer recovered.Close()
+			defer mustClose(t, recovered)
 			if err := Diff(volatile, recovered); err != nil {
 				t.Fatalf("shards=%d: %v", shards, err)
 			}

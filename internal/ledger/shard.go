@@ -28,7 +28,11 @@ type shard struct {
 	dropped     uint64
 	keysEvicted uint64
 
-	// wal is the shard's append-only log; nil on a volatile ledger.
+	// wal is the shard's append-only log; nil on a volatile ledger. Set
+	// once before the ledger is published and immutable after, so readers
+	// need no lock; the walFile synchronises itself internally.
+	//
+	//litmus:unguarded immutable after construction/recovery
 	wal *walFile
 }
 
@@ -46,6 +50,8 @@ func newShard(maxKeys int) *shard {
 // and WAL replay, so a recovered shard is bit-identical to the shard that
 // logged the records. Callers hold mu (live) or own the ledger exclusively
 // (recovery).
+//
+//litmus:guarded-by caller holds mu, or recovery owns the ledger exclusively
 func (sh *shard) apply(e Entry, key string, outcome Outcome, windowMinutes int) {
 	switch outcome {
 	case Duplicate:
@@ -93,6 +99,8 @@ func (sh *shard) apply(e Entry, key string, outcome Outcome, windowMinutes int) 
 }
 
 // insertName keeps the shard's name index sorted on insert; callers hold mu.
+//
+//litmus:guarded-by caller holds mu
 func (sh *shard) insertName(tenant string) {
 	i := sort.SearchStrings(sh.names, tenant)
 	sh.names = append(sh.names, "")

@@ -78,6 +78,8 @@ func listSnapshots(dir string) ([]uint64, error) {
 }
 
 // captureShard serialises one shard's state; callers hold sh.mu.
+//
+//litmus:guarded-by caller holds sh.mu
 func captureShard(sh *shard) shardSnapshot {
 	ss := shardSnapshot{
 		Accrued:     sh.accrued,
@@ -113,6 +115,8 @@ func captureShard(sh *shard) shardSnapshot {
 
 // restoreShard rebuilds one shard from its snapshot; the ledger is not yet
 // published, so no locking.
+//
+//litmus:guarded-by recovery owns the unpublished ledger exclusively
 func restoreShard(sh *shard, ss shardSnapshot) {
 	sh.accrued = ss.Accrued
 	sh.duplicates = ss.Duplicates
@@ -228,6 +232,9 @@ func (l *Ledger) Snapshot() error {
 	for i, sh := range l.shards {
 		sh.mu.Lock()
 		ss := captureShard(sh)
+		// Rotating under the shard lock is the snapshot's consistency
+		// point: the captured state and the segment boundary agree exactly.
+		//litmus:sync-under-lock-ok snapshot consistency point; rotation must exclude appends on this shard
 		old, err := sh.wal.rotate(gen)
 		sh.mu.Unlock()
 		if err != nil {

@@ -245,8 +245,8 @@ func segmentPath(dir string, shard int, seq uint64) string {
 // slow fsync never blocks appends — that is what turns FsyncAlways into
 // group commit instead of one fsync per record.
 type walFile struct {
-	shard int
-	dir   string
+	shard int    //litmus:unguarded immutable after construction
+	dir   string //litmus:unguarded immutable after construction
 
 	// mu guards the file handle and the append-side counters.
 	mu       sync.Mutex
@@ -270,6 +270,8 @@ type walFile struct {
 // watermark to hand to syncTo. Callers hold the owning shard's lock. A
 // failed write poisons the file: the WAL tail may be torn, and appending
 // past a tear would orphan every later record at recovery.
+//
+//litmus:appends
 func (w *walFile) append(rec WALRecord) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -300,6 +302,8 @@ func (w *walFile) append(rec WALRecord) (uint64, error) {
 // syncTo makes every byte appended before watermark target durable. Group
 // commit: one fsync covers all records appended before it started, so
 // concurrent callers mostly return on the fast path without a syscall.
+//
+//litmus:syncs
 func (w *walFile) syncTo(target uint64) error {
 	if w.synced.Load() >= target {
 		return nil
@@ -316,6 +320,7 @@ func (w *walFile) syncTo(target uint64) error {
 		return nil
 	}
 	// Rotation needs syncMu, so f cannot be swapped or closed mid-sync.
+	//litmus:sync-under-lock-ok syncMu only serialises fsyncs; the append path never takes it
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("wal shard %d: fsync: %w", w.shard, err)
 	}
@@ -329,6 +334,8 @@ func (w *walFile) syncTo(target uint64) error {
 // rotate syncs and closes the active segment and opens a fresh one at
 // newSeq, returning the paths of the segments the pending snapshot will
 // cover. Callers hold the owning shard's lock, so no append is in flight.
+//
+//litmus:syncs
 func (w *walFile) rotate(newSeq uint64) ([]string, error) {
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
@@ -347,12 +354,15 @@ func (w *walFile) rotate(newSeq uint64) ([]string, error) {
 		return nil, fmt.Errorf("wal shard %d: rotate: %w", w.shard, err)
 	}
 	syncDir(w.dir) // make the new segment's dirent durable before records land in it
+	//litmus:sync-under-lock-ok rotation is a cold path; it must exclude appends while it seals the segment
 	if err := w.f.Sync(); err != nil {
-		f.Close()
-		os.Remove(segmentPath(w.dir, w.shard, newSeq))
+		_ = f.Close()
+		_ = os.Remove(segmentPath(w.dir, w.shard, newSeq))
 		return nil, fmt.Errorf("wal shard %d: sync before rotate: %w", w.shard, err)
 	}
-	w.f.Close()
+	// The sync above succeeded, so a close failure cannot lose acknowledged
+	// records; the dying descriptor's segment is sealed either way.
+	_ = w.f.Close()
 	covered := append(w.tail, segmentPath(w.dir, w.shard, w.seq))
 	w.f, w.seq, w.size = f, newSeq, 0
 	w.tail, w.tailSize = nil, 0
@@ -375,6 +385,8 @@ func (w *walFile) readdTail(paths []string) {
 }
 
 // close syncs and closes the active segment.
+//
+//litmus:syncs
 func (w *walFile) close() error {
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
@@ -383,6 +395,7 @@ func (w *walFile) close() error {
 	if w.f == nil {
 		return nil
 	}
+	//litmus:sync-under-lock-ok final sync at close; both locks are held so no append or sync races the teardown
 	err := w.f.Sync()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
@@ -428,12 +441,12 @@ func writeFileAtomic(path string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}

@@ -175,6 +175,7 @@ func TestSoloDeterministicAcrossCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//litmus:float-eq-ok determinism: the same measurement must reproduce bit-identically
 	if a.TPrivate != b.TPrivate || a.TShared != b.TShared {
 		t.Errorf("solo baseline not reproducible: %+v vs %+v", a, b)
 	}
@@ -193,6 +194,7 @@ func TestJitterVariesInvocations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//litmus:float-eq-ok asserts inequality: jitter must change the result
 	if r1.Total() == r2.Total() {
 		t.Error("jittered invocations should differ")
 	}

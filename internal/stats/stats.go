@@ -271,6 +271,7 @@ func LogInterp(x, lo, hi float64) float64 {
 	if x <= 0 || lo <= 0 || hi <= 0 {
 		return 0
 	}
+	//litmus:float-eq-ok degenerate-interval guard: only exact equality makes the log ratio below divide by zero
 	if lo == hi {
 		return 0
 	}

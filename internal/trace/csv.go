@@ -54,7 +54,7 @@ func (t *Trace) WriteCSVFile(path string) error {
 		return err
 	}
 	if err := t.WriteCSV(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -126,6 +126,7 @@ func LoadCSVFile(path string) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	//litmus:close-ok read-only file; close cannot lose data
 	defer f.Close()
 	t, err := LoadCSV(f)
 	if err != nil {

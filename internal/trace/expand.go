@@ -108,6 +108,7 @@ func Expand(t *Trace, cfg ExpandConfig) ([]Arrival, error) {
 	}
 	sort.SliceStable(arrivals, func(i, j int) bool {
 		a, b := arrivals[i], arrivals[j]
+		//litmus:float-eq-ok sort tie-break: exact equality is what "same key" means to SliceStable
 		if a.TimeSec != b.TimeSec {
 			return a.TimeSec < b.TimeSec
 		}

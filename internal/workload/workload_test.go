@@ -207,11 +207,13 @@ func TestSpecValidateErrors(t *testing.T) {
 func TestWithBodyScale(t *testing.T) {
 	s := ByAbbr()["pager-py"]
 	half := s.WithBodyScale(0.5)
+	//litmus:float-eq-ok differential: scaling must leave the startup term untouched
 	if half.StartupInstr() != s.StartupInstr() {
 		t.Error("scaling must not touch the startup (probe window)")
 	}
 	wantBody := s.TotalInstr() - s.StartupInstr()
 	gotBody := half.TotalInstr() - half.StartupInstr()
+	//litmus:float-eq-ok scaling by 0.5 is exact in binary floating point
 	if gotBody != wantBody/2 {
 		t.Errorf("scaled body = %v, want %v", gotBody, wantBody/2)
 	}
