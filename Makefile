@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-baseline bench-wal cover recovery-smoke fmt vet \
-	litmusvet lint lint-tools
+.PHONY: build test race bench bench-baseline bench-wal bench-cluster cover \
+	recovery-smoke failover-smoke fmt vet litmusvet lint lint-tools
 
 build:
 	go build ./...
@@ -27,6 +27,12 @@ bench-baseline:
 bench-wal:
 	./scripts/bench-wal.sh BENCH_wal.json
 
+# Record the cluster-mode baseline as BENCH_cluster.json: ring lookup,
+# ring-aware client and router stream throughput, follower catch-up rate
+# (see scripts/bench-cluster.sh; BENCHTIME overrides the default 20x).
+bench-cluster:
+	./scripts/bench-cluster.sh BENCH_cluster.json
+
 # Coverage gate for the billing subsystem: every test in internal/ledger/...
 # (unit, durability, crash harness) counts toward internal/ledger coverage,
 # which must stay >= $(COVER_MIN)%. The profile lands in cover_ledger.out
@@ -43,6 +49,12 @@ cover:
 # prove the restarted daemon serves identical statements.
 recovery-smoke:
 	./scripts/recovery-smoke.sh
+
+# Process-level failover smoke: replicate a primary into a hot standby,
+# SIGKILL the primary with an unreplicated tail, promote, replay — the
+# promoted node must bill exactly like an uninterrupted one.
+failover-smoke:
+	./scripts/failover-smoke.sh
 
 fmt:
 	gofmt -l .

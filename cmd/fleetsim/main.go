@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/platform"
@@ -127,7 +128,7 @@ func main() {
 	flag.Float64Var(&o.startupScale, "startup-scale", o.startupScale, "language startup scale in [0,1]")
 	flag.Int64Var(&o.seed, "seed", o.seed, "seed for synthesis, arrivals and machines")
 	flag.StringVar(&o.format, "format", o.format, "output format: table, csv or json")
-	flag.StringVar(&o.remote, "remote", o.remote, "pricing-service base URL; stream usage to it and read statements back")
+	flag.StringVar(&o.remote, "remote", o.remote, "pricing-service base URL, or a comma-separated cluster node list (url or name=url): usage then streams to each tenant's ring owner")
 	flag.StringVar(&o.runID, "run-id", o.runID, "idempotency run ID for -remote (default: time-derived; reuse to make retries replay-safe)")
 	flag.IntVar(&o.retries, "retries", o.retries, "re-sends per failed -remote batch: with run-ID keys the run survives a mid-stream service restart without double-billing")
 	flag.BoolVar(&o.quiet, "q", o.quiet, "suppress progress logging")
@@ -227,11 +228,14 @@ func run(w, errw io.Writer, o options) error {
 
 	// --- remote service --------------------------------------------------
 	ctx := context.Background()
-	var client *api.Client
+	var client pricingService
 	var sink *fleet.RemoteSink
 	runID := o.runID
 	if o.remote != "" {
-		client = api.NewClient(o.remote)
+		client, err = dialRemote(o.remote)
+		if err != nil {
+			return err
+		}
 		if err := client.Health(ctx); err != nil {
 			return fmt.Errorf("remote %s: %w", o.remote, err)
 		}
@@ -323,11 +327,35 @@ func run(w, errw io.Writer, o options) error {
 	return nil
 }
 
+// pricingService is the remote surface fleetsim drives: one pricingd node
+// or a ring-aware cluster client — the simulator cannot tell the difference
+// (the cluster tests prove the bills are identical either way).
+type pricingService interface {
+	Health(ctx context.Context) error
+	TablesWithETag(ctx context.Context) (*core.Calibration, string, error)
+	SwapTablesIfMatch(ctx context.Context, cal *core.Calibration, ifMatch string) (api.TablesStatus, string, error)
+	TenantSummary(ctx context.Context, tenant string) (api.TenantSummary, error)
+	StreamUsage(ctx context.Context, key string, records []api.UsageRecord) (api.UsageStreamResponse, error)
+}
+
+// dialRemote resolves -remote: one node speaks to it directly, several form
+// a consistent-hash ring and every tenant-scoped call goes to its owner.
+func dialRemote(list string) (pricingService, error) {
+	nodes, err := cluster.ParseNodes(list)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 1 {
+		return api.NewClient(nodes[0].URL), nil
+	}
+	return cluster.NewClient(nodes, 0)
+}
+
 // collectRemote reads back the service-side summaries of exactly the
 // tenants this run billed. A long-lived service may hold other clients'
 // tenants — and, across runs, cumulative accruals for ours — so the
 // listing is scoped to the run rather than paged wholesale.
-func collectRemote(ctx context.Context, client *api.Client, baseURL, runID string, sink *fleet.RemoteSink, rep *fleet.Report) (*remoteOutput, error) {
+func collectRemote(ctx context.Context, client pricingService, baseURL, runID string, sink *fleet.RemoteSink, rep *fleet.Report) (*remoteOutput, error) {
 	out := &remoteOutput{BaseURL: baseURL, RunID: runID, Delivery: sink.Stats()}
 	for _, bill := range rep.Tenants {
 		sum, err := client.TenantSummary(ctx, bill.Tenant)

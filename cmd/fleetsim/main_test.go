@@ -167,6 +167,73 @@ func TestRunRemote(t *testing.T) {
 	}
 }
 
+// TestRunRemoteCluster repeats the fleet→service smoke against a 3-node
+// partitioned cluster: -remote gets a node list, usage streams to each
+// tenant's ring owner, and the merged remote statements must still equal
+// the local bills exactly — and dedup on replay — just like one node.
+func TestRunRemoteCluster(t *testing.T) {
+	urls := make([]string, 3)
+	for i := range urls {
+		srv, err := api.New(api.Config{Calibration: apitest.Calibration()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+
+	var out, errw bytes.Buffer
+	o := smallOptions()
+	o.tenants = 4 // enough tenants that the ring splits them across nodes
+	o.format = "json"
+	o.remote = strings.Join(urls, ",")
+	o.runID = "cluster-run"
+	if err := run(&out, &errw, o); err != nil {
+		t.Fatalf("run: %v (progress: %s)", err, errw.String())
+	}
+	var doc output
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Remote == nil {
+		t.Fatal("no remote section in output")
+	}
+	d := doc.Remote.Delivery
+	if d.Records != doc.Result.Completed || d.Accepted != d.Records || d.Rejected != 0 || d.Dropped != 0 {
+		t.Fatalf("delivery = %+v, completed %d", d, doc.Result.Completed)
+	}
+	for i, sum := range doc.Remote.Tenants {
+		local := doc.Report.Tenants[i]
+		if sum.Tenant != local.Tenant || sum.Invocations != int64(local.Invocations) {
+			t.Errorf("tenant %d: remote %+v, local %s/%d", i, sum, local.Tenant, local.Invocations)
+		}
+		want := local.Bills[doc.Report.Primary]
+		if math.Abs(sum.Billed-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("%s: cluster billed %v, local %s %v", sum.Tenant, sum.Billed, doc.Report.Primary, want)
+		}
+	}
+
+	// Same run ID again: every node must dedup its share of the replay.
+	var out2, errw2 bytes.Buffer
+	if err := run(&out2, &errw2, o); err != nil {
+		t.Fatalf("replay run: %v (progress: %s)", err, errw2.String())
+	}
+	var doc2 output
+	if err := json.Unmarshal(out2.Bytes(), &doc2); err != nil {
+		t.Fatal(err)
+	}
+	d2 := doc2.Remote.Delivery
+	if d2.Duplicates != d2.Records || d2.Accepted != 0 {
+		t.Fatalf("replay delivery = %+v, want all duplicates", d2)
+	}
+	for i, sum := range doc2.Remote.Tenants {
+		if sum != doc.Remote.Tenants[i] {
+			t.Errorf("replay changed remote statement: %+v != %+v", sum, doc.Remote.Tenants[i])
+		}
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	var out, errw bytes.Buffer
 	o := smallOptions()

@@ -24,6 +24,17 @@
 //	GET  /v3/tenants/{tenant}/statement — windowed per-tenant bill
 //	GET|PUT /v3/tables                — versioned tables (ETag / If-Match)
 //
+// With -data-dir the node is also a replication primary: its WAL and
+// snapshots are served to hot standbys under /cluster/ (see
+// internal/cluster). Two further modes scale past one process:
+//
+//	pricingd -cluster http://n0:8080,http://n1:8080   # thin router over a
+//	         consistent-hash ring of pricingd nodes (tenants partition by
+//	         ring owner; listings merge-paginate; tables broadcast)
+//	pricingd -follow http://primary:8080              # hot standby: tails
+//	         the primary's WAL into a write-gated replica, POST
+//	         /cluster/promote (or -auto-promote) takes over after a failure
+//
 // A quote request carries exactly what a real agent would read from perf:
 // the billed T_private/T_shared, the sandbox memory size, and the Litmus
 // probe readings from the function's startup:
@@ -37,8 +48,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -47,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/platform"
@@ -68,8 +82,25 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "ledger data directory: WAL + snapshots for crash-safe billing (empty = volatile, bills die with the process)")
 		fsync      = flag.String("fsync", "always", "WAL sync policy with -data-dir: always (acknowledged accruals survive a crash), interval or never")
 		snapEvery  = flag.Int("snapshot-every", 0, "accruals between compacting ledger snapshots with -data-dir (0 = default, negative = disabled)")
+		version    = flag.Bool("version", false, "print the build identity (VCS revision, toolchain) and exit")
+		clusterArg = flag.String("cluster", "", "run as a cluster router over this comma-separated node list (url or name=url; node 0 coordinates table swaps) instead of pricing locally")
+		follow     = flag.String("follow", "", "run as a hot standby replicating this primary pricingd's WAL; POST /cluster/promote (or -auto-promote) takes over")
+		autoProm   = flag.Bool("auto-promote", false, "with -follow: promote automatically after -probe-failures consecutive failed primary health probes")
+		probeEvery = flag.Duration("probe-interval", 2*time.Second, "with -follow -auto-promote: primary health-probe interval")
+		probeFails = flag.Int("probe-failures", 5, "with -follow -auto-promote: consecutive probe failures before promotion")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("pricingd " + api.Version().String())
+		return
+	}
+	if *clusterArg != "" {
+		if err := runRouter(*addr, *clusterArg, *maxBody); err != nil {
+			log.Fatalf("pricingd: %v", err)
+		}
+		return
+	}
 
 	cal, err := loadOrCalibrate(*tables, *scale, *seed)
 	if err != nil {
@@ -94,6 +125,18 @@ func main() {
 		cfg.Sharing = sharing
 		cfg.CoRunnersPerCore = *shareK
 	}
+
+	if *follow != "" {
+		if err := runFollower(*addr, *follow, cfg, followerOptions{
+			AutoPromote:   *autoProm,
+			ProbeInterval: *probeEvery,
+			ProbeFailures: *probeFails,
+		}); err != nil {
+			log.Fatalf("pricingd: %v", err)
+		}
+		return
+	}
+
 	srv, err := api.New(cfg)
 	if err != nil {
 		log.Fatalf("pricingd: %v", err)
@@ -102,24 +145,45 @@ func main() {
 		log.Printf("pricingd: durable ledger at %s (fsync %s): recovered snapshot gen %d + %d WAL records (%d torn bytes truncated)",
 			d.Dir, d.Fsync, d.Recovery.SnapshotGen, d.Recovery.RecordsReplayed, d.Recovery.TornBytesTruncated)
 	}
+	handler := primaryHandler(srv)
 	log.Printf("pricingd: serving on %s (tables: %d generators, share %d, ledger shards %d)",
 		*addr, len(cal.Generators), cal.SharePerCore, *shards)
-	s := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
 
 	// Graceful shutdown: drain in-flight requests, then flush and close the
 	// ledger so even fsync=interval/never lose nothing on a clean stop. A
 	// SIGKILL skips all of this — that is what the WAL is for.
+	err = serve(*addr, handler, nil, func() error {
+		if err := srv.Close(); err != nil {
+			return fmt.Errorf("closing ledger: %w", err)
+		}
+		log.Printf("pricingd: ledger flushed, bye")
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("pricingd: %v", err)
+	}
+}
+
+// serve runs handler on addr until the listener fails or SIGINT/SIGTERM
+// arrives, then drains in-flight requests and runs cleanup. The background
+// ctx is cancelled at shutdown so long-lived loops (replication tails,
+// health probes) stop with the listener.
+func serve(addr string, handler http.Handler, background func(ctx context.Context), cleanup func() error) error {
+	s := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if background != nil {
+		go background(ctx)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- s.ListenAndServe() }()
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		return err
 	case <-ctx.Done():
 		stop()
 		log.Printf("pricingd: shutting down…")
@@ -128,10 +192,147 @@ func main() {
 		if err := s.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("pricingd: draining: %v", err)
 		}
-		if err := srv.Close(); err != nil {
-			log.Fatalf("pricingd: closing ledger: %v", err)
+		if cleanup != nil {
+			return cleanup()
 		}
-		log.Printf("pricingd: ledger flushed, bye")
+		return nil
+	}
+}
+
+// primaryHandler wraps the pricing server for serving: a durable node is
+// also a replication primary, so its WAL and snapshots are served to hot
+// standbys (pricingd -follow) under /cluster/.
+func primaryHandler(srv *api.Server) http.Handler {
+	d := srv.Durability()
+	if !d.Enabled {
+		return srv
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/", cluster.NewSource(d.Dir, cluster.SourceConfig{}))
+	mux.Handle("/", srv)
+	return mux
+}
+
+// runRouter serves the thin cluster router: every request is routed to the
+// tenant's ring owner, so the router needs no calibration and holds no
+// billing state of its own.
+func runRouter(addr, list string, maxBody int64) error {
+	nodes, err := cluster.ParseNodes(list)
+	if err != nil {
+		return err
+	}
+	cc, err := cluster.NewClient(nodes, 0)
+	if err != nil {
+		return err
+	}
+	router := cluster.NewRouter(cc, cluster.RouterConfig{MaxBodyBytes: maxBody})
+	log.Printf("pricingd: routing for %d nodes on %s (coordinator %s)", len(nodes), addr, nodes[0].Name)
+	return serve(addr, router, nil, nil)
+}
+
+// followerOptions configures the standby's takeover behaviour.
+type followerOptions struct {
+	AutoPromote   bool
+	ProbeInterval time.Duration
+	ProbeFailures int
+}
+
+// runFollower serves a hot standby: the primary's WAL replicates into a
+// volatile ledger the API reads, writes answer 503 until promotion, and
+// POST /cluster/promote — or the -auto-promote health prober — opens the
+// gate after the primary dies.
+func runFollower(addr, primary string, cfg api.Config, opts followerOptions) error {
+	f := cluster.NewFollower(primary, cluster.FollowerConfig{MaxTenants: cfg.MaxTenants})
+	log.Printf("pricingd: bootstrapping standby from %s…", primary)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		return err
+	}
+	cfg.Ledger = f.Ledger()
+	cfg.Standby = true
+	cfg.DataDir = "" // the standby's durability is the primary's WAL
+	srv, err := api.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("pricingd: hot standby on %s replicating %s (auto-promote %v)", addr, primary, opts.AutoPromote)
+	return serve(addr, followerHandler(f, srv), func(ctx context.Context) {
+		go func() { _ = f.Run(ctx) }()
+		if opts.AutoPromote {
+			probePrimary(ctx, primary, opts, func() {
+				promoteFollower(ctx, f, srv, "primary health probes failed")
+			})
+		}
+	}, nil)
+}
+
+// promoteFollower runs both promotion halves in order: replication stops
+// (no replicated frame can land after this) and only then the API write
+// gate opens. Returns false when the standby was already promoted.
+func promoteFollower(ctx context.Context, f *cluster.Follower, srv *api.Server, why string) bool {
+	f.Promote(ctx)
+	if !srv.Promote() {
+		return false
+	}
+	log.Printf("pricingd: promoted to primary (%s); clients replay their runs to close the tail", why)
+	return true
+}
+
+// followerHandler mounts the standby's control surface next to the pricing
+// API: POST /cluster/promote opens the write gate, GET /cluster/follower
+// reports the replication positions.
+func followerHandler(f *cluster.Follower, srv *api.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		promoted := promoteFollower(r.Context(), f, srv, "operator request")
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]bool{"promoted": promoted})
+	})
+	mux.HandleFunc("/cluster/follower", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(f.Status())
+	})
+	mux.Handle("/", srv)
+	return mux
+}
+
+// probePrimary polls the primary's /healthz and calls takeover after
+// ProbeFailures consecutive failures. A single healthy probe resets the
+// count — a flapping primary is not a dead one.
+func probePrimary(ctx context.Context, primary string, opts followerOptions, takeover func()) {
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 2 * time.Second
+	}
+	if opts.ProbeFailures <= 0 {
+		opts.ProbeFailures = 5
+	}
+	client := api.NewClient(primary)
+	ticker := time.NewTicker(opts.ProbeInterval)
+	defer ticker.Stop()
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		probeCtx, cancel := context.WithTimeout(ctx, opts.ProbeInterval)
+		err := client.Health(probeCtx)
+		cancel()
+		if err == nil {
+			fails = 0
+			continue
+		}
+		fails++
+		log.Printf("pricingd: primary probe %d/%d failed: %v", fails, opts.ProbeFailures, err)
+		if fails >= opts.ProbeFailures {
+			takeover()
+			return
+		}
 	}
 }
 

@@ -2,15 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/api/apitest"
+	"repro/internal/cluster"
+	"repro/internal/ledger"
 )
 
 func TestLoadOrCalibrateFromFile(t *testing.T) {
@@ -115,5 +119,127 @@ func TestServerWiring(t *testing.T) {
 		if q.Price <= 0 || q.Discount <= 0 {
 			t.Errorf("POST %s: degenerate quote %+v", path, q)
 		}
+	}
+}
+
+// TestClusterWiring smoke-tests the daemon's cluster plumbing: a durable
+// node serves its replication source under /cluster/, a follower stack
+// mirrors it, and POST /cluster/promote opens the standby's write gate
+// exactly once.
+func TestClusterWiring(t *testing.T) {
+	primarySrv, err := api.New(api.Config{
+		Calibration: apitest.Calibration(), Shards: 2,
+		DataDir: t.TempDir(), Fsync: "never", SnapshotEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = primarySrv.Close() })
+	primary := httptest.NewServer(primaryHandler(primarySrv))
+	t.Cleanup(primary.Close)
+
+	// The durable node exposes the replication protocol.
+	var meta ledger.Meta
+	resp, err := http.Get(primary.URL + "/cluster/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if meta.Shards != 2 {
+		t.Fatalf("primary /cluster/meta = %+v, want 2 shards", meta)
+	}
+
+	// A follower stack, wired the way runFollower wires it.
+	f := cluster.NewFollower(primary.URL, cluster.FollowerConfig{Poll: 2 * time.Millisecond})
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	standbySrv, err := api.New(api.Config{Calibration: apitest.Calibration(), Ledger: f.Ledger(), Standby: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = f.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	standby := httptest.NewServer(followerHandler(f, standbySrv))
+	t.Cleanup(standby.Close)
+
+	// Bill one record on the primary and wait for it to replicate.
+	nd := `{"tenant":"acme","language":"py","memoryMB":512,"tPrivate":0.08,"tShared":0.02,` +
+		`"probe":{"tPrivate":0.0195,"tShared":0.0076,"machineL3Misses":1.2e7}}` + "\n"
+	resp, err = http.Post(primary.URL+"/v3/usage", "application/x-ndjson", strings.NewReader(nd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Ledger().Stats().Accrued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("record never replicated: follower %+v", f.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The standby reports its positions and refuses writes until promoted.
+	resp, err = http.Get(standby.URL + "/cluster/follower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st cluster.FollowerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Promoted || len(st.Shards) != 2 {
+		t.Fatalf("follower status = %+v", st)
+	}
+	var health api.HealthResponse
+	resp, err = http.Get(standby.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.Standby {
+		t.Fatal("standby /healthz does not report standby")
+	}
+
+	// Promote: true once, false on replay; the gate is open afterwards.
+	promoteOnce := func() bool {
+		t.Helper()
+		resp, err := http.Post(standby.URL+"/cluster/promote", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]bool
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out["promoted"]
+	}
+	if !promoteOnce() {
+		t.Fatal("first promote did not open the gate")
+	}
+	if promoteOnce() {
+		t.Fatal("second promote claimed to open the gate again")
+	}
+	resp, err = http.Post(standby.URL+"/v3/usage", "application/x-ndjson", strings.NewReader(nd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed api.UsageStreamResponse
+	if err := json.NewDecoder(resp.Body).Decode(&streamed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if streamed.Accepted != 1 {
+		t.Fatalf("promoted standby refused ingest: %+v", streamed)
 	}
 }

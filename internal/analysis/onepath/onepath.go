@@ -11,9 +11,15 @@
 //   - _test.go files, which exercise the ledger directly by design;
 //   - call sites annotated //litmus:allow-accrue <why>.
 //
-// Everything else is a diagnostic: a new caller of Accrue is a new billing
-// path and must either route through the API's pricing path or earn an
-// explicit annotation in review.
+// Calls to (*ledger.Ledger).ApplyReplica — the replication side door that
+// applies a primary's already-decided outcomes — are gated the same way,
+// minus the priceAndAccrue sanction: only the ledger subsystem, test files,
+// and annotated sites (the cluster follower's tail loop carries one) may
+// call it. A standby that both replicated and priced would double-bill.
+//
+// Everything else is a diagnostic: a new caller of either method is a new
+// billing path and must either route through the API's pricing path or earn
+// an explicit annotation in review.
 package onepath
 
 import (
@@ -27,7 +33,7 @@ import (
 // Analyzer is the onepath analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "onepath",
-	Doc:  "ledger.Accrue is called only from the sanctioned pricing paths",
+	Doc:  "ledger.Accrue and ledger.ApplyReplica are called only from the sanctioned billing paths",
 	Run:  run,
 }
 
@@ -52,20 +58,26 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			allowedFunc := fn.Name.Name == sanctionedFunc
 			if _, ok := analysis.FuncDirective(fn, "allow-accrue"); ok {
-				allowedFunc = true
-			}
-			if allowedFunc {
 				continue
 			}
+			inSanctioned := fn.Name.Name == sanctionedFunc
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
 				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "Accrue" {
+				if !ok {
+					return true
+				}
+				method := sel.Sel.Name
+				if method != "Accrue" && method != "ApplyReplica" {
+					return true
+				}
+				// priceAndAccrue sanctions pricing, not replication: a path
+				// that both prices and replicates would double-bill.
+				if method == "Accrue" && inSanctioned {
 					return true
 				}
 				if !isLedgerMethod(pass, sel) {
@@ -74,8 +86,14 @@ func run(pass *analysis.Pass) error {
 				if pass.SuppressedAt(call.Pos(), "allow-accrue") {
 					return true
 				}
-				pass.Reportf(call.Pos(), "ledger.Accrue outside the sanctioned pricing path; bill through api.(*Server).%s or annotate %sallow-accrue with a reason",
-					sanctionedFunc, analysis.DirectivePrefix)
+				switch method {
+				case "Accrue":
+					pass.Reportf(call.Pos(), "ledger.Accrue outside the sanctioned pricing path; bill through api.(*Server).%s or annotate %sallow-accrue with a reason",
+						sanctionedFunc, analysis.DirectivePrefix)
+				case "ApplyReplica":
+					pass.Reportf(call.Pos(), "ledger.ApplyReplica outside the replication path; only a WAL-tailing follower may apply primary outcomes — annotate %sallow-accrue with a reason",
+						analysis.DirectivePrefix)
+				}
 				return true
 			})
 		}

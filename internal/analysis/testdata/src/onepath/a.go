@@ -7,8 +7,9 @@ func sideDoor(l *ledger.Ledger, e ledger.Entry) {
 	l.Accrue(e) // want `ledger\.Accrue outside the sanctioned pricing path`
 }
 
-func priceAndAccrue(l *ledger.Ledger, e ledger.Entry) {
-	l.Accrue(e) // the sanctioned path is matched by name
+func priceAndAccrue(l *ledger.Ledger, e ledger.Entry, rec ledger.WALRecord) {
+	l.Accrue(e)         // the sanctioned path is matched by name
+	l.ApplyReplica(rec) // want `ledger\.ApplyReplica outside the replication path`
 }
 
 // replayTool re-bills from a trace during offline replay.
@@ -23,11 +24,33 @@ func annotatedSite(l *ledger.Ledger, e ledger.Entry) {
 	l.Accrue(e)
 }
 
+// sideDoorReplica re-applies primary outcomes from outside the replication
+// path: a second money entrance, flagged like a stray Accrue.
+func sideDoorReplica(l *ledger.Ledger, rec ledger.WALRecord) {
+	l.ApplyReplica(rec) // want `ledger\.ApplyReplica outside the replication path`
+}
+
+// walTailer is the follower's apply loop, annotated with its reason.
+//
+//litmus:allow-accrue WAL tailing applies the primary's decided outcomes
+func walTailer(l *ledger.Ledger, rec ledger.WALRecord) {
+	l.ApplyReplica(rec)
+}
+
+func annotatedReplicaSite(l *ledger.Ledger, rec ledger.WALRecord) {
+	//litmus:allow-accrue replaying a captured WAL during a support dump
+	l.ApplyReplica(rec)
+}
+
 type other struct{}
 
-// Accrue on an unrelated type is not the ledger's Accrue.
+// Accrue on an unrelated type is not the ledger's Accrue; same for
+// ApplyReplica.
 func (other) Accrue(ledger.Entry) {}
 
-func unrelated(o other, e ledger.Entry) {
+func (other) ApplyReplica(ledger.WALRecord) {}
+
+func unrelated(o other, e ledger.Entry, rec ledger.WALRecord) {
 	o.Accrue(e)
+	o.ApplyReplica(rec)
 }

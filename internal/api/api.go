@@ -218,6 +218,14 @@ type TenantSummary struct {
 // instead of losing them silently.
 type HealthResponse struct {
 	OK bool `json:"ok"`
+	// Standby is true while the node is a write-gated replication follower:
+	// reads serve the replicated state, ingest answers 503 until promotion.
+	Standby bool `json:"standby,omitempty"`
+	// Version identifies the build (VCS revision et al.) — in a cluster the
+	// only external way to tell nodes apart; UptimeSec is the seconds since
+	// the server was constructed.
+	Version   *VersionInfo `json:"version,omitempty"`
+	UptimeSec int64        `json:"uptimeSec"`
 	// Tenants is the current ledger account count; MaxTenants its cap.
 	Tenants    int `json:"tenants"`
 	MaxTenants int `json:"maxTenants"`

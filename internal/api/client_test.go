@@ -397,6 +397,56 @@ func TestClientServerClosedConnection(t *testing.T) {
 	}
 }
 
+// TestClientTenantsConnectionDrop: the connection dies mid-body on the
+// paginated listing — after a committed 200 and half a page. The client
+// must surface an error, never a short page a caller could mistake for the
+// end of the listing (cluster merge-pagination trusts every per-node page).
+func TestClientTenantsConnectionDrop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, rw, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rw.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 200\r\n\r\n" +
+			`{"tenants":[{"tenant":"acme","invocations":3`)
+		rw.Flush()
+		conn.Close()
+	}))
+	t.Cleanup(ts.Close)
+	page, err := NewClient(ts.URL).Tenants(context.Background(), "", 10)
+	if err == nil {
+		t.Fatalf("dropped connection yielded a page: %+v", page)
+	}
+	if !strings.Contains(err.Error(), "decoding response") {
+		t.Errorf("err = %v, want decode failure", err)
+	}
+}
+
+// TestClientStatementConnectionDrop: same drop on the windowed statement —
+// a truncated bill must fail loudly, not come back zero-valued.
+func TestClientStatementConnectionDrop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, rw, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rw.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 150\r\n\r\n" +
+			`{"tenant":"acme","billed":12.5,"windows":[{"fromMinute":0`)
+		rw.Flush()
+		conn.Close()
+	}))
+	t.Cleanup(ts.Close)
+	stmt, err := NewClient(ts.URL).Statement(context.Background(), "acme", 0, -1)
+	if err == nil {
+		t.Fatalf("dropped connection yielded a statement: %+v", stmt)
+	}
+	if !strings.Contains(err.Error(), "decoding response") {
+		t.Errorf("err = %v, want decode failure", err)
+	}
+}
+
 func TestClientMeterBatchErrors(t *testing.T) {
 	c, _ := newClientPair(t)
 	ctx := context.Background()

@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ledger"
@@ -56,6 +58,15 @@ type Config struct {
 	// accruals; 0 selects the ledger default, negative disables automatic
 	// snapshots. Ignored without DataDir.
 	SnapshotEvery int
+	// Ledger, when non-nil, is used as the billing store instead of building
+	// one from the fields above (which are then ignored). Cluster followers
+	// inject the standby ledger replication fills, so the API surface reads
+	// the exact store the replication stream writes.
+	Ledger *ledger.Ledger
+	// Standby starts the server write-gated: every ingest path answers 503
+	// ("standby") while reads — statements, listings, health — serve the
+	// replicated state. Promote clears the gate.
+	Standby bool
 }
 
 // Server is the reusable pricing service. It is an http.Handler; calibration
@@ -80,6 +91,15 @@ type Server struct {
 	//
 	//litmus:unguarded frozen by New before the server is shared
 	ledger *ledger.Ledger
+
+	// standby gates every write path with a 503 while the server mirrors a
+	// primary; Promote clears it. Reads always serve.
+	standby atomic.Bool
+
+	// startUnix is the process-relative start time backing /healthz uptime.
+	//
+	//litmus:unguarded frozen by New before the server is shared
+	start time.Time
 }
 
 // New builds a server from cfg, fitting models from the calibration.
@@ -112,20 +132,23 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	fsync, err := ledger.ParseFsyncMode(cfg.Fsync)
-	if err != nil {
-		return nil, err
-	}
-	led, err := ledger.New(ledger.Config{
-		MaxTenants:    cfg.MaxTenants,
-		WindowMinutes: cfg.WindowMinutes,
-		Shards:        cfg.Shards,
-		Dir:           cfg.DataDir,
-		Fsync:         fsync,
-		SnapshotEvery: cfg.SnapshotEvery,
-	})
-	if err != nil {
-		return nil, err
+	led := cfg.Ledger
+	if led == nil {
+		fsync, err := ledger.ParseFsyncMode(cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		led, err = ledger.New(ledger.Config{
+			MaxTenants:    cfg.MaxTenants,
+			WindowMinutes: cfg.WindowMinutes,
+			Shards:        cfg.Shards,
+			Dir:           cfg.DataDir,
+			Fsync:         fsync,
+			SnapshotEvery: cfg.SnapshotEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		cfg:       cfg,
@@ -133,7 +156,9 @@ func New(cfg Config) (*Server, error) {
 		models:    models,
 		tablesGen: 1,
 		ledger:    led,
+		start:     time.Now(),
 	}
+	s.standby.Store(cfg.Standby)
 	s.pricers = s.buildPricers(models)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -192,6 +217,18 @@ func (s *Server) Durability() ledger.DurabilityStats {
 	return s.ledger.Durability()
 }
 
+// Standby reports whether the server is write-gated (see Config.Standby).
+func (s *Server) Standby() bool { return s.standby.Load() }
+
+// Promote clears the standby write gate: the server starts accepting
+// accruals into the (now authoritative) replicated ledger. Idempotent; it
+// returns whether this call performed the transition. The caller must stop
+// replication into the ledger before promoting — two writers would fork the
+// history.
+func (s *Server) Promote() bool {
+	return s.standby.CompareAndSwap(true, false)
+}
+
 // --- shared plumbing -------------------------------------------------------
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -246,8 +283,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Recovery:          d.Recovery,
 		}
 	}
+	v := Version()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		OK:                true,
+		Standby:           s.standby.Load(),
+		Version:           &v,
+		UptimeSec:         int64(time.Since(s.start) / time.Second),
 		Tenants:           st.Tenants,
 		MaxTenants:        st.MaxTenants,
 		Accrued:           st.Accrued,
@@ -341,6 +382,13 @@ func (s *Server) priceAndAccrue(pricers map[string]core.Pricer, req QuoteRequest
 //
 //litmus:allow-accrue priceAndAccrue's delegate: the one builder of ledger entries
 func (s *Server) accrue(resp *QuoteResponse, tenant string, minute int, key string) (ledger.Outcome, *Error) {
+	// The standby gate lives here — the single accrual funnel — so no ingest
+	// path can bill into a ledger that replication owns. Clients retry
+	// against the primary (or wait for promotion); nothing is billed.
+	if s.standby.Load() {
+		return ledger.Dropped, &Error{Status: http.StatusServiceUnavailable,
+			Message: "standby: writes go to the primary"}
+	}
 	outcome, err := s.ledger.Accrue(ledger.Entry{
 		Tenant:     tenant,
 		Pricer:     resp.Pricer,

@@ -1,0 +1,75 @@
+package api
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// VersionInfo identifies the running build: the VCS revision baked in by the
+// Go toolchain, whether the working tree was dirty, and the toolchain that
+// built it. In a cluster it is the only way to tell nodes apart from the
+// outside — /healthz carries it, and pricingd -version prints it.
+type VersionInfo struct {
+	// Revision is the VCS commit the binary was built from; "" when the
+	// build carried no VCS stamp (e.g. go test binaries or a non-git tree).
+	Revision string `json:"revision,omitempty"`
+	// CommitTime is the commit's RFC3339 timestamp, when stamped.
+	CommitTime string `json:"commitTime,omitempty"`
+	// Dirty reports uncommitted changes in the tree the build saw.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Main is the main module's path@version, when available.
+	Main string `json:"main,omitempty"`
+}
+
+// String renders the info for -version output.
+func (v VersionInfo) String() string {
+	rev := v.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	s := rev
+	if v.Dirty {
+		s += "-dirty"
+	}
+	if v.CommitTime != "" {
+		s += " (" + v.CommitTime + ")"
+	}
+	if v.GoVersion != "" {
+		s += " " + v.GoVersion
+	}
+	return s
+}
+
+var versionOnce = sync.OnceValue(func() VersionInfo {
+	info := VersionInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	if bi.Main.Path != "" {
+		info.Main = bi.Main.Path
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			info.Main += "@" + bi.Main.Version
+		}
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.CommitTime = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Version reports the running binary's build identity, read once from
+// runtime/debug.ReadBuildInfo.
+func Version() VersionInfo {
+	return versionOnce()
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/api"
+	"repro/internal/core"
+)
+
+// Client is the ring-aware face of a partitioned cluster: it exposes the
+// same operations as api.Client but routes every tenant-scoped call to the
+// tenant's owner node, so callers (fleet.RemoteSink, pricingcli, the
+// router) talk to an N-node cluster exactly as they would to one node.
+//
+// Tenant-scoped reads and writes go to the ring owner; the calibration
+// tables are cluster-wide state coordinated through node 0 (the ETag
+// handshake runs there, then the accepted tables are broadcast); tenant
+// listings merge the per-node sorted pages back into one sorted page with
+// the same cursor semantics a single node's ledger produces.
+type Client struct {
+	//litmus:unguarded immutable after NewClient
+	ring *Ring
+	//litmus:unguarded immutable after NewClient
+	clients map[string]*api.Client
+	//litmus:unguarded immutable after NewClient
+	nodes []Node
+}
+
+// NewClient builds a ring-aware client over nodes (vnodes 0 selects
+// DefaultVirtualNodes). Node order matters: node 0 coordinates table swaps.
+func NewClient(nodes []Node, vnodes int) (*Client, error) {
+	ring, err := NewRing(nodes, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{ring: ring, clients: make(map[string]*api.Client, len(nodes)), nodes: ring.Nodes()}
+	for _, n := range c.nodes {
+		c.clients[n.Name] = api.NewClient(n.URL)
+	}
+	return c, nil
+}
+
+// Ring exposes the client's ring (the router shares it).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// owner returns the api.Client for a tenant's owner node.
+func (c *Client) owner(tenant string) *api.Client {
+	return c.clients[c.ring.Owner(tenant).Name]
+}
+
+// Health probes every node; the cluster is healthy only when all are.
+func (c *Client) Health(ctx context.Context) error {
+	for _, n := range c.nodes {
+		if err := c.clients[n.Name].Health(ctx); err != nil {
+			return fmt.Errorf("cluster: node %s: %w", n.Name, err)
+		}
+	}
+	return nil
+}
+
+// TenantSummary fetches a tenant's summary from its owner node.
+func (c *Client) TenantSummary(ctx context.Context, tenant string) (api.TenantSummary, error) {
+	return c.owner(tenant).TenantSummary(ctx, tenant)
+}
+
+// Statement fetches a tenant's statement from its owner node.
+func (c *Client) Statement(ctx context.Context, tenant string, fromMinute, toMinute int) (api.StatementResponse, error) {
+	return c.owner(tenant).Statement(ctx, tenant, fromMinute, toMinute)
+}
+
+// TablesWithETag reads the calibration tables from the coordinator
+// (node 0). Swaps are broadcast, so every node serves the same tables.
+func (c *Client) TablesWithETag(ctx context.Context) (*core.Calibration, string, error) {
+	return c.clients[c.nodes[0].Name].TablesWithETag(ctx)
+}
+
+// SwapTablesIfMatch hot-swaps the calibration tables cluster-wide: the
+// ETag handshake runs against the coordinator — a version conflict stops
+// the swap before any node changed — and the accepted tables are then
+// broadcast unconditionally to the rest (they carry no independent
+// versions; the coordinator's ETag is the cluster's). An error mid-
+// broadcast leaves nodes split and is returned loudly: re-running the swap
+// converges them.
+func (c *Client) SwapTablesIfMatch(ctx context.Context, cal *core.Calibration, ifMatch string) (api.TablesStatus, string, error) {
+	status, etag, err := c.clients[c.nodes[0].Name].SwapTablesIfMatch(ctx, cal, ifMatch)
+	if err != nil {
+		return status, etag, err
+	}
+	for _, n := range c.nodes[1:] {
+		if _, _, berr := c.clients[n.Name].SwapTablesIfMatch(ctx, cal, "*"); berr != nil {
+			return status, etag, fmt.Errorf("cluster: tables swapped on %s but broadcast to %s failed (re-run to converge): %w",
+				c.nodes[0].Name, n.Name, berr)
+		}
+	}
+	return status, etag, nil
+}
+
+// StreamUsage partitions records across their owner nodes and merges the
+// per-node accounting. Billing is byte-identical to streaming the same
+// records to one node (the cluster tests prove it):
+//
+//   - Keys are derived BEFORE partitioning. A single node derives a
+//     keyless line's idempotency key from the stream key and the line's
+//     physical position, so the derived key depends on where the record
+//     sits in the original stream — the partitioner materialises
+//     "key#position" itself and sends the sub-streams keyless.
+//   - A tenant's records all land on one node in original order, so
+//     same-key dedup and window accounting see the sequence a single node
+//     would.
+//
+// Per-line errors are remapped to original line numbers, merged in line
+// order and capped exactly like a single node's response.
+func (c *Client) StreamUsage(ctx context.Context, key string, records []api.UsageRecord) (api.UsageStreamResponse, error) {
+	parts := make(map[string]*partition, len(c.nodes))
+	order := make([]string, 0, len(c.nodes))
+	for i, rec := range records {
+		if rec.Key == "" && key != "" {
+			// Line numbers are 1-based; api.Client encodes one record per
+			// line, so record i is physical line i+1 on a single node.
+			rec.Key = fmt.Sprintf("%s#%d", key, i+1)
+		}
+		name := c.ring.Owner(rec.Tenant).Name
+		p := parts[name]
+		if p == nil {
+			p = &partition{}
+			parts[name] = p
+			order = append(order, name)
+		}
+		p.records = append(p.records, rec)
+		p.lines = append(p.lines, i+1)
+	}
+
+	var merged api.UsageStreamResponse
+	var sums []api.TenantSummary
+	for _, name := range order {
+		p := parts[name]
+		resp, err := c.clients[name].StreamUsage(ctx, "", p.records)
+		if err != nil {
+			return merged, fmt.Errorf("cluster: streaming to node %s: %w", name, err)
+		}
+		merged.Lines += resp.Lines
+		merged.Accepted += resp.Accepted
+		merged.Duplicates += resp.Duplicates
+		merged.Rejected += resp.Rejected
+		merged.Dropped += resp.Dropped
+		for _, le := range resp.Errors {
+			// The node numbered lines within its sub-stream; map back to the
+			// caller's record positions.
+			if le.Line >= 1 && le.Line <= len(p.lines) {
+				le.Line = p.lines[le.Line-1]
+			}
+			merged.Errors = append(merged.Errors, le)
+		}
+		if resp.StreamError != "" && merged.StreamError == "" {
+			merged.StreamError = fmt.Sprintf("node %s: %s", name, resp.StreamError)
+		}
+		sums = append(sums, resp.Tenants...)
+	}
+	sort.Slice(merged.Errors, func(i, j int) bool { return merged.Errors[i].Line < merged.Errors[j].Line })
+	if len(merged.Errors) > api.DefaultMaxStreamErrors {
+		merged.Errors = merged.Errors[:api.DefaultMaxStreamErrors]
+	}
+	// Tenants are disjoint across nodes (each lives wholly on its owner), so
+	// the merged summary list is just the concatenation, re-sorted.
+	sort.Slice(sums, func(i, j int) bool { return sums[i].Tenant < sums[j].Tenant })
+	merged.Tenants = sums
+	return merged, nil
+}
+
+// partition is one owner node's slice of a StreamUsage call: the records
+// plus their 1-based positions in the original stream.
+type partition struct {
+	records []api.UsageRecord
+	lines   []int
+}
+
+// Tenants fetches one page of the cluster-wide tenant listing by merging
+// the per-node sorted pages: each node reports its first `limit` tenants
+// past the cursor, the merge keeps the `limit` smallest, and the cursor
+// semantics match a single node's ledger (NextCursor = last returned tenant
+// when anything remains).
+func (c *Client) Tenants(ctx context.Context, cursor string, limit int) (api.TenantPage, error) {
+	if limit <= 0 {
+		limit = api.DefaultTenantPageLimit
+	}
+	limit = min(limit, api.MaxTenantPageLimit)
+	var all []api.TenantSummary
+	more := false
+	for _, n := range c.nodes {
+		page, err := c.clients[n.Name].Tenants(ctx, cursor, limit)
+		if err != nil {
+			return api.TenantPage{}, fmt.Errorf("cluster: listing tenants on %s: %w", n.Name, err)
+		}
+		all = append(all, page.Tenants...)
+		if page.NextCursor != "" {
+			more = true
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Tenant < all[j].Tenant })
+	page := api.TenantPage{}
+	if len(all) > limit {
+		all = all[:limit]
+		more = true
+	}
+	page.Tenants = all
+	if more && len(all) > 0 {
+		page.NextCursor = all[len(all)-1].Tenant
+	}
+	return page, nil
+}

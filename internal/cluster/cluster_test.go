@@ -1,0 +1,340 @@
+package cluster_test
+
+// Equivalence proof at the HTTP layer: an N-node cluster fronted by the
+// ring-aware client or by the thin router answers byte-identically to one
+// node fed the same stream — counters, per-line errors, derived idempotency
+// keys, tenant listings, statements.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/api/apitest"
+	"repro/internal/cluster"
+	"repro/internal/ledger"
+)
+
+// newNode spins up one pricing node. When led is non-nil it is injected as
+// the node's billing store.
+func newNode(t *testing.T, led *ledger.Ledger, standby bool) (*api.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := api.New(api.Config{
+		Calibration: apitest.Calibration(),
+		Shards:      4,
+		Ledger:      led,
+		Standby:     standby,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// newCluster spins up n independent nodes and returns their ring list.
+func newCluster(t *testing.T, n int) []cluster.Node {
+	t.Helper()
+	nodes := make([]cluster.Node, n)
+	for i := range nodes {
+		_, ts := newNode(t, nil, false)
+		nodes[i] = cluster.Node{Name: fmt.Sprintf("node%d", i), URL: ts.URL}
+	}
+	return nodes
+}
+
+// usageLine renders one NDJSON usage line at the fixture's congested
+// reading (the same shape the internal/api tests use).
+func usageLine(tenant string, mem, minute int, key string) string {
+	var extra strings.Builder
+	if minute >= 0 {
+		fmt.Fprintf(&extra, `,"minute":%d`, minute)
+	}
+	if key != "" {
+		fmt.Fprintf(&extra, `,"key":%q`, key)
+	}
+	return fmt.Sprintf(`{"tenant":%q,"language":"py","memoryMB":%d,"tPrivate":0.08,"tShared":0.02,"probe":{"tPrivate":%g,"tShared":%g,"machineL3Misses":1.2e7}%s}`,
+		tenant, mem, apitest.SoloTPrivate*1.3, apitest.SoloTShared*1.9, extra.String())
+}
+
+// usageRecord parses a usage line into the client-side record type.
+func usageRecord(t testing.TB, tenant string, mem, minute int, key string) api.UsageRecord {
+	t.Helper()
+	var rec api.UsageRecord
+	if err := json.Unmarshal([]byte(usageLine(tenant, mem, minute, key)), &rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// testRecords builds a deterministic mixed workload: many tenants, repeated
+// idempotency keys (retries), keyless records (the stream key derives
+// theirs), spread over minutes.
+func testRecords(t testing.TB, tenants, count int) []api.UsageRecord {
+	t.Helper()
+	recs := make([]api.UsageRecord, 0, count)
+	for i := 0; i < count; i++ {
+		tenant := fmt.Sprintf("tenant-%03d", i%tenants)
+		key := ""
+		if i%3 == 0 {
+			key = fmt.Sprintf("key-%d", i%17) // collides across records: retries
+		}
+		recs = append(recs, usageRecord(t, tenant, 128+(i%4)*64, i%7, key))
+	}
+	return recs
+}
+
+// jsonEq compares two values by marshalled bytes.
+func jsonEq(t *testing.T, what string, a, b any) {
+	t.Helper()
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Errorf("%s diverged:\n cluster: %s\n single:  %s", what, aj, bj)
+	}
+}
+
+// walkTenants pages through a listing via pager and returns every page.
+func walkTenants(t *testing.T, pager func(cursor string, limit int) (api.TenantPage, error), limit int) []api.TenantPage {
+	t.Helper()
+	var pages []api.TenantPage
+	cursor := ""
+	for {
+		page, err := pager(cursor, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, page)
+		if page.NextCursor == "" {
+			return pages
+		}
+		if len(pages) > 100 {
+			t.Fatal("pagination does not terminate")
+		}
+		cursor = page.NextCursor
+	}
+}
+
+func TestClusterClientMatchesSingleNode(t *testing.T) {
+	ctx := context.Background()
+	_, single := newNode(t, nil, false)
+	nodes := newCluster(t, 3)
+
+	cc, err := cluster.NewClient(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := api.NewClient(single.URL)
+
+	records := testRecords(t, 24, 300)
+	// Two calls with the same stream key: the second replays the first —
+	// every line must come back Duplicate on both sides.
+	for round := 0; round < 2; round++ {
+		cres, err := cc.StreamUsage(ctx, "run-1", records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := sc.StreamUsage(ctx, "run-1", records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonEq(t, fmt.Sprintf("StreamUsage round %d", round), cres, sres)
+		if round == 1 && cres.Accepted != 0 {
+			t.Errorf("replay round accepted %d records, want 0 (all duplicates)", cres.Accepted)
+		}
+	}
+
+	// The full tenant listing, at page sizes that do and do not divide the
+	// tenant count, must paginate identically.
+	for _, limit := range []int{7, 24, 1000} {
+		cpages := walkTenants(t, func(cur string, lim int) (api.TenantPage, error) {
+			return cc.Tenants(ctx, cur, lim)
+		}, limit)
+		spages := walkTenants(t, func(cur string, lim int) (api.TenantPage, error) {
+			return sc.Tenants(ctx, cur, lim)
+		}, limit)
+		jsonEq(t, fmt.Sprintf("Tenants(limit=%d)", limit), cpages, spages)
+	}
+
+	// Every tenant's statement and summary.
+	for i := 0; i < 24; i++ {
+		tenant := fmt.Sprintf("tenant-%03d", i)
+		cst, err := cc.Statement(ctx, tenant, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sst, err := sc.Statement(ctx, tenant, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonEq(t, "Statement "+tenant, cst, sst)
+		csum, err := cc.TenantSummary(ctx, tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssum, err := sc.TenantSummary(ctx, tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonEq(t, "TenantSummary "+tenant, csum, ssum)
+	}
+
+	if err := cc.Health(ctx); err != nil {
+		t.Errorf("Health: %v", err)
+	}
+}
+
+func TestClusterClientTableSwapBroadcast(t *testing.T) {
+	ctx := context.Background()
+	nodes := newCluster(t, 3)
+	cc, err := cluster.NewClient(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, etag, err := cc.TablesWithETag(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal.SharePerCore = cal.SharePerCore * 2
+	if _, _, err := cc.SwapTablesIfMatch(ctx, cal, etag); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	// A stale tag must be refused by the coordinator before any node swaps.
+	if _, _, err := cc.SwapTablesIfMatch(ctx, cal, etag); err == nil {
+		t.Fatal("stale If-Match accepted")
+	}
+	// Every node now serves the swapped tables.
+	for _, n := range nodes {
+		got, _, err := api.NewClient(n.URL).TablesWithETag(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SharePerCore != cal.SharePerCore {
+			t.Errorf("node %s SharePerCore = %v, want %v", n.Name, got.SharePerCore, cal.SharePerCore)
+		}
+	}
+}
+
+func TestRouterMatchesSingleNode(t *testing.T) {
+	_, single := newNode(t, nil, false)
+	nodes := newCluster(t, 3)
+	cc, err := cluster.NewClient(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny batch size forces many partial flushes mid-stream: the merged
+	// response must still be identical to one node's single sequential pass.
+	router := httptest.NewServer(cluster.NewRouter(cc, cluster.RouterConfig{BatchSize: 8}))
+	t.Cleanup(router.Close)
+
+	var lines []string
+	for i := 0; i < 120; i++ {
+		tenant := fmt.Sprintf("tenant-%03d", i%15)
+		key := ""
+		if i%4 == 0 {
+			key = fmt.Sprintf("key-%d", i%11)
+		}
+		lines = append(lines, usageLine(tenant, 128+(i%3)*128, i%5, key))
+		if i%17 == 0 {
+			lines = append(lines, "") // blank lines skip but count in numbering
+		}
+		if i == 40 {
+			lines = append(lines, "{not json")                // malformed: router-local reject
+			lines = append(lines, `{"language":"py"}`)        // no tenant: router-local reject
+			lines = append(lines, usageLine("bad", 0, 0, "")) // invalid usage: owner-node reject
+		}
+	}
+	body := strings.Join(lines, "\n") + "\n"
+
+	post := func(url string) api.UsageStreamResponse {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, url+"/v3/usage", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Idempotency-Key", "run-7") // keyless lines derive keys
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+		}
+		var out api.UsageStreamResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	rres := post(router.URL)
+	sres := post(single.URL)
+	jsonEq(t, "usage stream", rres, sres)
+	if rres.Rejected != 3 {
+		t.Errorf("Rejected = %d, want 3", rres.Rejected)
+	}
+
+	// Listing via the router == listing via a single node, page by page.
+	listVia := func(base string) func(string, int) (api.TenantPage, error) {
+		c := api.NewClient(base)
+		return func(cur string, lim int) (api.TenantPage, error) {
+			return c.Tenants(context.Background(), cur, lim)
+		}
+	}
+	jsonEq(t, "tenant pages", walkTenants(t, listVia(router.URL), 6), walkTenants(t, listVia(single.URL), 6))
+
+	// Statements and summaries proxy to the owner byte-for-byte.
+	rc, sc := api.NewClient(router.URL), api.NewClient(single.URL)
+	for i := 0; i < 15; i++ {
+		tenant := fmt.Sprintf("tenant-%03d", i)
+		rst, err := rc.Statement(context.Background(), tenant, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sst, err := sc.Statement(context.Background(), tenant, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonEq(t, "statement "+tenant, rst, sst)
+	}
+
+	// Error surfaces must match the single node's wording and status.
+	for _, path := range []string{
+		"/v3/tenants?limit=bogus",
+		"/v3/tenants/unknown-tenant/statement",
+	} {
+		rr, err := http.Get(router.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := http.Get(single.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rbody, sbody map[string]any
+		if err := json.NewDecoder(rr.Body).Decode(&rbody); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(sr.Body).Decode(&sbody); err != nil {
+			t.Fatal(err)
+		}
+		rr.Body.Close()
+		sr.Body.Close()
+		if rr.StatusCode != sr.StatusCode || !reflect.DeepEqual(rbody, sbody) {
+			t.Errorf("%s: router %d %v, single %d %v", path, rr.StatusCode, rbody, sr.StatusCode, sbody)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+// errResync tells the supervisor a shard's WAL position was compacted away
+// on the primary: every tailer stops and the follower re-bootstraps from the
+// primary's newest snapshot.
+var errResync = errors.New("cluster: replication position compacted; re-bootstrapping from snapshot")
+
+// FollowerConfig parameterises a Follower; zero values select the defaults.
+type FollowerConfig struct {
+	// MaxTenants is the standby ledger's tenant cap for traffic it serves
+	// AFTER promotion (default ledger.DefaultMaxTenants — pass the
+	// primary's value to keep post-failover admission identical).
+	// Replication itself never consults the cap: replicated records carry
+	// the primary's decided outcome, and the follower applies outcomes.
+	MaxTenants int
+	// Poll is the pause between reconnect attempts when a stream ends or
+	// the primary is briefly unreachable (default 50ms).
+	Poll time.Duration
+	// Client is the HTTP client used against the primary (default
+	// http.DefaultClient). Streams are long-lived: a client with an overall
+	// request Timeout would cut tails short — prefer one without.
+	Client *http.Client
+}
+
+// tailPos is one shard's replication position: the next byte to pull is
+// offset Off of segment (shard, Seq).
+type tailPos struct {
+	Seq uint64
+	Off int64
+}
+
+// Follower replicates a primary pricingd's ledger into a volatile hot
+// standby by tailing its WAL segments over /cluster/wal. Lifecycle:
+//
+//	f := NewFollower(primaryURL, cfg)
+//	f.Bootstrap(ctx)            // build the standby ledger from meta+snapshot
+//	srv := api.New(api.Config{Ledger: f.Ledger(), Standby: true, ...})
+//	go f.Run(ctx)               // tail every shard until ctx ends or Promote
+//	...primary dies...
+//	f.Promote(ctx)              // stop replicating; the ledger is now live
+//	srv.Promote()               // open the write gate
+//
+// The standby ledger is volatile on purpose: its durability is the
+// primary's WAL. After promotion the operator restarts it as a durable
+// primary when convenient; the failover window itself is covered by the
+// idempotent client replay (RunID#seq keys) that closes the unreplicated
+// tail.
+type Follower struct {
+	//litmus:unguarded immutable after NewFollower
+	primary string
+	//litmus:unguarded immutable after NewFollower
+	cfg FollowerConfig
+	//litmus:unguarded set once by Bootstrap before Run/Ledger are called
+	led *ledger.Ledger
+
+	// mu guards the replication positions and error/lifecycle state below.
+	mu       sync.Mutex
+	pos      map[int]*tailPos   //litmus:guarded-by mu
+	lastErr  error              //litmus:guarded-by mu
+	promoted bool               //litmus:guarded-by mu
+	cancel   context.CancelFunc //litmus:guarded-by mu
+	done     chan struct{}      //litmus:guarded-by mu (swapped per Run)
+}
+
+// NewFollower builds a follower replicating from the pricingd at primary
+// (base URL, e.g. "http://host:8080").
+func NewFollower(primary string, cfg FollowerConfig) *Follower {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	return &Follower{primary: trimURL(primary), cfg: cfg, pos: map[int]*tailPos{}}
+}
+
+// Bootstrap fetches the primary's ledger shape and newest snapshot and
+// builds the standby ledger. It must complete before Run, Ledger or Promote.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	var meta ledger.Meta
+	if err := getJSON(ctx, f.cfg.Client, f.primary+"/cluster/meta", &meta); err != nil {
+		return fmt.Errorf("cluster: fetching primary meta: %w", err)
+	}
+	led, err := ledger.New(ledger.Config{
+		Shards:        meta.Shards,
+		WindowMinutes: meta.WindowMinutes,
+		MaxKeys:       meta.MaxKeys,
+		MaxTenants:    f.cfg.MaxTenants,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: building standby ledger: %w", err)
+	}
+	f.led = led
+	return f.resync(ctx)
+}
+
+// resync (re)loads the standby from the primary's newest snapshot and
+// resets every shard's tail position to the snapshot generation. With no
+// snapshot yet, the standby restarts empty at generation 0. Callers must
+// ensure no tailer is applying concurrently.
+func (f *Follower) resync(ctx context.Context) error {
+	data, gen, ok, err := f.fetchSnapshot(ctx)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if _, err := f.led.RestoreSnapshot(data); err != nil {
+			return fmt.Errorf("cluster: restoring primary snapshot: %w", err)
+		}
+	} else if _, err := f.led.RestoreSnapshot(nil); err != nil {
+		return fmt.Errorf("cluster: resetting standby: %w", err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pos = map[int]*tailPos{}
+	for shard := 0; shard < f.led.Shards(); shard++ {
+		f.pos[shard] = &tailPos{Seq: gen}
+	}
+	return nil
+}
+
+// fetchSnapshot pulls the primary's newest snapshot; ok is false when the
+// primary has none yet.
+func (f *Follower) fetchSnapshot(ctx context.Context) (data []byte, gen uint64, ok bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.primary+"/cluster/snapshot", nil)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("cluster: fetching snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return nil, 0, false, nil
+	case http.StatusOK:
+	default:
+		return nil, 0, false, fmt.Errorf("cluster: fetching snapshot: %s", readError(resp))
+	}
+	if _, err := fmt.Sscanf(resp.Header.Get("X-Snapshot-Gen"), "%d", &gen); err != nil {
+		return nil, 0, false, fmt.Errorf("cluster: snapshot response has no generation header")
+	}
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("cluster: reading snapshot body: %w", err)
+	}
+	return data, gen, true, nil
+}
+
+// Ledger returns the standby ledger (valid after Bootstrap).
+func (f *Follower) Ledger() *ledger.Ledger { return f.led }
+
+// Run tails every shard's WAL until ctx ends or Promote is called,
+// re-bootstrapping from the snapshot whenever a tail position is compacted
+// away. Transient primary outages are retried forever — an unreachable
+// primary is exactly when a standby must hold its state and wait.
+func (f *Follower) Run(ctx context.Context) error {
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	f.cancel = cancel
+	done := make(chan struct{})
+	f.done = done
+	f.mu.Unlock()
+	defer close(done)
+
+	for {
+		err := f.tailAll(ctx)
+		switch {
+		case ctx.Err() != nil:
+			return nil
+		case errors.Is(err, errResync):
+			f.setErr(err)
+			if rerr := f.resync(ctx); rerr != nil {
+				f.setErr(rerr)
+				if !f.sleep(ctx) {
+					return nil
+				}
+			}
+		default:
+			f.setErr(err)
+			if !f.sleep(ctx) {
+				return nil
+			}
+		}
+	}
+}
+
+// tailAll runs one tailer per shard and returns the first failure (every
+// other tailer is cancelled). errResync aborts the round for re-bootstrap.
+func (f *Follower) tailAll(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errc := make(chan error, f.led.Shards())
+	var wg sync.WaitGroup
+	for shard := 0; shard < f.led.Shards(); shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			errc <- f.tailShard(ctx, shard)
+		}(shard)
+	}
+	err := <-errc
+	cancel()
+	wg.Wait()
+	return err
+}
+
+// tailShard pulls one shard's WAL frames forever: stream from the current
+// position, apply every complete frame, hop to the next segment when the
+// current one is sealed and drained. It returns only on ctx cancellation,
+// errResync, or corrupt bytes (also errResync — the snapshot is authority).
+func (f *Follower) tailShard(ctx context.Context, shard int) error {
+	var tail []byte // undecoded remainder of the current segment
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		pos := f.getPos(shard)
+		n, status, err := f.pullOnce(ctx, shard, pos, &tail)
+		if err != nil && ctx.Err() == nil && !errors.Is(err, errResync) {
+			f.setErr(err)
+		}
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case errors.Is(err, errResync):
+			return errResync
+		case status == http.StatusGone:
+			return errResync
+		}
+		// The stream ended (cleanly or not). If the segment is sealed and
+		// fully drained, hop to the successor; a leftover partial frame at a
+		// seal is corruption (segments end on frame boundaries).
+		if n == 0 || status == http.StatusNotFound {
+			next, sealed, serr := f.nextSegment(ctx, shard, pos.Seq)
+			if serr == nil && sealed {
+				if len(tail) != 0 {
+					return errResync
+				}
+				f.setPos(shard, tailPos{Seq: next})
+				continue
+			}
+			if !sleepCtx(ctx, f.cfg.Poll) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// pullOnce opens one /cluster/wal stream at pos and applies frames until the
+// stream ends, advancing the shard position as complete frames decode. It
+// returns the bytes consumed (applied) and the HTTP status.
+//
+//litmus:allow-accrue the WAL tail applies the primary's already-decided outcomes; nothing is re-priced
+func (f *Follower) pullOnce(ctx context.Context, shard int, pos tailPos, tail *[]byte) (consumed int64, status int, err error) {
+	u := fmt.Sprintf("%s/cluster/wal?shard=%d&seq=%d&off=%d",
+		f.primary, shard, pos.Seq, pos.Off+int64(len(*tail)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: pulling wal shard %d: %w", shard, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10)) //nolint:errcheck
+		return 0, resp.StatusCode, nil
+	}
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			*tail = append(*tail, buf[:n]...)
+			recs, used, derr := ledger.DecodeWAL(*tail)
+			for _, rec := range recs {
+				if aerr := f.led.ApplyReplica(rec); aerr != nil {
+					return consumed, resp.StatusCode, fmt.Errorf("%w (apply: %v)", errResync, aerr)
+				}
+			}
+			if used > 0 {
+				*tail = append((*tail)[:0], (*tail)[used:]...)
+				consumed += used
+				f.setPos(shard, tailPos{Seq: pos.Seq, Off: pos.Off + consumed})
+			}
+			if derr != nil && tailCorrupt(*tail) {
+				return consumed, resp.StatusCode, fmt.Errorf("%w (decode: %v)", errResync, derr)
+			}
+		}
+		if rerr == io.EOF {
+			return consumed, resp.StatusCode, nil
+		}
+		if rerr != nil {
+			return consumed, resp.StatusCode, fmt.Errorf("cluster: wal stream shard %d: %w", shard, rerr)
+		}
+	}
+}
+
+// tailCorrupt reports whether an undecodable remainder can no longer be
+// completed by more bytes: its frame header declares an impossible length,
+// or the full declared frame is present yet still failed to decode. Either
+// way the bytes are damaged, not merely truncated.
+func tailCorrupt(tail []byte) bool {
+	if len(tail) < 8 {
+		return false
+	}
+	length := binary.LittleEndian.Uint32(tail)
+	if length > uint32(ledger.MaxEntryBytes+64) {
+		return true
+	}
+	return int64(len(tail)) >= 8+int64(length)
+}
+
+// nextSegment asks the primary whether segment (shard, seq) is sealed (a
+// newer segment exists) and returns the successor's seq.
+func (f *Follower) nextSegment(ctx context.Context, shard int, seq uint64) (next uint64, sealed bool, err error) {
+	var list SegmentList
+	if err := getJSON(ctx, f.cfg.Client, f.primary+"/cluster/segments", &list); err != nil {
+		return 0, false, err
+	}
+	for _, seg := range list.Segments {
+		if seg.Shard != shard || seg.Seq <= seq {
+			continue
+		}
+		if !sealed || seg.Seq < next {
+			next, sealed = seg.Seq, true
+		}
+	}
+	return next, sealed, nil
+}
+
+// Promote stops replication and returns the standby ledger, now live. It
+// blocks until every tailer has stopped, so no replicated frame can apply
+// concurrently with — or after — promoted traffic. Idempotent.
+func (f *Follower) Promote(ctx context.Context) *ledger.Ledger {
+	f.mu.Lock()
+	f.promoted = true
+	if f.cancel != nil {
+		f.cancel()
+	}
+	done := f.done
+	f.mu.Unlock()
+	if done != nil {
+		select {
+		case <-done:
+		case <-ctx.Done():
+		}
+	}
+	return f.led
+}
+
+// Promoted reports whether Promote has been called.
+func (f *Follower) Promoted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promoted
+}
+
+// FollowerShard is one shard's applied replication position.
+type FollowerShard struct {
+	Shard int    `json:"shard"`
+	Seq   uint64 `json:"seq"`
+	Off   int64  `json:"off"`
+}
+
+// FollowerStatus is the follower-side replication gauge.
+type FollowerStatus struct {
+	Primary  string          `json:"primary"`
+	Promoted bool            `json:"promoted"`
+	Shards   []FollowerShard `json:"shards"`
+	LastErr  string          `json:"lastErr,omitempty"`
+}
+
+// Status snapshots the follower's replication positions.
+func (f *Follower) Status() FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FollowerStatus{Primary: f.primary, Promoted: f.promoted}
+	if f.lastErr != nil {
+		st.LastErr = f.lastErr.Error()
+	}
+	for shard, pos := range f.pos {
+		st.Shards = append(st.Shards, FollowerShard{Shard: shard, Seq: pos.Seq, Off: pos.Off})
+	}
+	sort.Slice(st.Shards, func(i, j int) bool { return st.Shards[i].Shard < st.Shards[j].Shard })
+	return st
+}
+
+func (f *Follower) getPos(shard int) tailPos {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p := f.pos[shard]; p != nil {
+		return *p
+	}
+	return tailPos{}
+}
+
+func (f *Follower) setPos(shard int, p tailPos) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pos[shard] = &p
+}
+
+func (f *Follower) setErr(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lastErr = err
+}
+
+// sleep pauses for the poll interval; false means ctx ended.
+func (f *Follower) sleep(ctx context.Context) bool { return sleepCtx(ctx, f.cfg.Poll) }
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

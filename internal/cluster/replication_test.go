@@ -1,0 +1,307 @@
+package cluster_test
+
+// Replication and failover over real HTTP: a durable primary serves its WAL
+// through cluster.Source, a Follower tails it into a volatile standby, and
+// the standby is proven byte-identical (ledgertest.Diff) — including after
+// compaction forces a snapshot re-bootstrap, and after a promotion closes
+// the unreplicated tail via idempotent client replay (ledgertest.DiffBills
+// against a single-ledger oracle).
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cluster"
+	"repro/internal/ledger"
+	"repro/internal/ledger/ledgertest"
+)
+
+// primaryCfg is the durable primary shape every replication test uses.
+func primaryCfg(dir string) ledger.Config {
+	return ledger.Config{
+		MaxTenants:    64,
+		WindowMinutes: 2,
+		MaxKeys:       1 << 12,
+		Shards:        3,
+		Dir:           dir,
+		Fsync:         ledger.FsyncNever,
+		SnapshotEvery: -1,
+	}
+}
+
+// newPrimary builds a durable-ledger pricing node with its replication
+// source mounted under /cluster/.
+func newPrimary(t *testing.T, cfg ledger.Config) (*ledger.Ledger, *httptest.Server) {
+	t.Helper()
+	led, err := ledger.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = led.Close() })
+	srv, _ := newNode(t, led, false)
+	src := cluster.NewSource(cfg.Dir, cluster.SourceConfig{MaxWait: 200 * time.Millisecond, Poll: 2 * time.Millisecond})
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/", src)
+	mux.Handle("/", srv)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return led, ts
+}
+
+// newFollower bootstraps a follower against primary and starts it tailing.
+// The returned cancel pauses replication (and is safe to call twice).
+func newFollower(t *testing.T, primaryURL string) (*cluster.Follower, context.CancelFunc) {
+	t.Helper()
+	f := cluster.NewFollower(primaryURL, cluster.FollowerConfig{MaxTenants: 64, Poll: 2 * time.Millisecond})
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = f.Run(ctx)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return f, func() { cancel(); <-done }
+}
+
+// waitCaughtUp polls until the follower's applied positions reach the end
+// of every live WAL segment (the primary must be quiescent).
+func waitCaughtUp(t *testing.T, f *cluster.Follower, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var list cluster.SegmentList
+		resp, err := http.Get(base + "/cluster/segments")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		// The head position per shard: the newest segment and its size.
+		head := map[int]cluster.SegmentPosition{}
+		for _, seg := range list.Segments {
+			if cur, ok := head[seg.Shard]; !ok || seg.Seq > cur.Seq {
+				head[seg.Shard] = seg
+			}
+		}
+		st := f.Status()
+		caught := len(st.Shards) > 0
+		for _, sh := range st.Shards {
+			want, ok := head[sh.Shard]
+			if !ok {
+				continue // shard never written: nothing to catch up on
+			}
+			if sh.Seq != want.Seq || sh.Off != want.Size {
+				caught = false
+				break
+			}
+		}
+		if caught {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: status %+v, segments %+v", st, list)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func streamRecords(t *testing.T, base, key string, records []api.UsageRecord) api.UsageStreamResponse {
+	t.Helper()
+	resp, err := api.NewClient(base).StreamUsage(context.Background(), key, records)
+	if err != nil {
+		t.Fatalf("StreamUsage(%s): %v", key, err)
+	}
+	return resp
+}
+
+func TestFollowerMirrorsPrimary(t *testing.T) {
+	led, ts := newPrimary(t, primaryCfg(t.TempDir()))
+	f, _ := newFollower(t, ts.URL)
+
+	streamRecords(t, ts.URL, "run-A", testRecords(t, 16, 240))
+	waitCaughtUp(t, f, ts.URL)
+
+	// The standby is observably identical — counters included.
+	if err := ledgertest.Diff(led, f.Ledger()); err != nil {
+		t.Fatalf("standby diverged from primary: %v", err)
+	}
+
+	// The primary-side lag gauge drains to zero once the tailers have
+	// pulled everything.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st cluster.SourceStatus
+		resp, err := http.Get(ts.URL + "/cluster/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.TotalLagBytes == 0 && len(st.Shards) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication lag never drained: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// More traffic while the follower keeps tailing: still identical.
+	streamRecords(t, ts.URL, "run-B", testRecords(t, 16, 120))
+	waitCaughtUp(t, f, ts.URL)
+	if err := ledgertest.Diff(led, f.Ledger()); err != nil {
+		t.Fatalf("standby diverged after second stream: %v", err)
+	}
+}
+
+func TestFollowerResyncAfterCompaction(t *testing.T) {
+	led, ts := newPrimary(t, primaryCfg(t.TempDir()))
+	f, pause := newFollower(t, ts.URL)
+
+	streamRecords(t, ts.URL, "run-A", testRecords(t, 12, 150))
+	waitCaughtUp(t, f, ts.URL)
+
+	// Pause replication, then move the primary past the follower's horizon:
+	// new traffic plus a snapshot that compacts the segments the follower
+	// was tailing.
+	pause()
+	streamRecords(t, ts.URL, "run-B", testRecords(t, 12, 150))
+	if err := led.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: the stale positions come back 410 Gone, the follower
+	// re-bootstraps from the snapshot and catches up.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = f.Run(ctx)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+
+	streamRecords(t, ts.URL, "run-C", testRecords(t, 12, 60))
+	waitCaughtUp(t, f, ts.URL)
+	if err := ledgertest.Diff(led, f.Ledger()); err != nil {
+		t.Fatalf("standby diverged after resync: %v", err)
+	}
+	st := f.Status()
+	for _, sh := range st.Shards {
+		if sh.Seq == 0 {
+			t.Fatalf("shard %d still at seq 0 after compaction resync: %+v", sh.Shard, st)
+		}
+	}
+}
+
+// TestFailoverEndToEnd is the full story: replicate, lose the primary with
+// an unreplicated tail, promote the standby, and let the client's
+// idempotent replay close the tail exactly once. The promoted node must
+// bill byte-identically to a single node that simply saw the whole run.
+func TestFailoverEndToEnd(t *testing.T) {
+	cfg := primaryCfg(t.TempDir())
+	led, ts := newPrimary(t, cfg)
+	f, pause := newFollower(t, ts.URL)
+	standbySrv, standbyTS := newNode(t, f.Ledger(), true)
+
+	recordsA := testRecords(t, 20, 200)
+	recordsB := testRecords(t, 20, 90)
+
+	respA := streamRecords(t, ts.URL, "run-A", recordsA)
+	waitCaughtUp(t, f, ts.URL)
+
+	// The write gate: a standby refuses ingest (503 per line, counted as
+	// Dropped) while serving replicated reads.
+	gate := streamRecords(t, standbyTS.URL, "", recordsA[:5])
+	if gate.Accepted != 0 || gate.Dropped != 5 {
+		t.Fatalf("standby gate: %+v", gate)
+	}
+	if len(gate.Errors) == 0 || gate.Errors[0].Error.Status != http.StatusServiceUnavailable {
+		t.Fatalf("standby gate errors: %+v", gate.Errors)
+	}
+	var health api.HealthResponse
+	resp, err := http.Get(standbyTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.Standby {
+		t.Fatal("standby /healthz does not report standby")
+	}
+
+	// Replicated reads serve the primary's state.
+	sumP, err := api.NewClient(ts.URL).TenantSummary(context.Background(), "tenant-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumS, err := api.NewClient(standbyTS.URL).TenantSummary(context.Background(), "tenant-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonEq(t, "standby read", sumS, sumP)
+
+	// Pause replication, land an unreplicated tail on the primary, then
+	// lose it.
+	pause()
+	streamRecords(t, ts.URL, "run-B", recordsB)
+	ts.Close()
+
+	// Promote: replication is down, the gate opens exactly once.
+	f.Promote(context.Background())
+	if !standbySrv.Promote() {
+		t.Fatal("Promote returned false on a standby")
+	}
+	if standbySrv.Promote() {
+		t.Fatal("second Promote returned true")
+	}
+
+	// The client replays its whole run against the promoted node. Batch A
+	// was fully replicated: every line must come back Duplicate. Batch B
+	// never replicated: it bills now, exactly once.
+	replayA := streamRecords(t, standbyTS.URL, "run-A", recordsA)
+	if replayA.Accepted != 0 {
+		t.Fatalf("replay of replicated batch accepted %d records, want 0: %+v", replayA.Accepted, replayA)
+	}
+	if replayA.Duplicates != respA.Accepted+respA.Duplicates {
+		t.Fatalf("replay duplicates = %d, want %d", replayA.Duplicates, respA.Accepted+respA.Duplicates)
+	}
+	streamRecords(t, standbyTS.URL, "run-B", recordsB)
+
+	// Oracle: one node that saw the run once, no failover.
+	oracle, err := ledger.New(ledgertest.Volatile(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oracleTS := newNode(t, oracle, false)
+	streamRecords(t, oracleTS.URL, "run-A", recordsA)
+	streamRecords(t, oracleTS.URL, "run-B", recordsB)
+
+	if err := ledgertest.DiffBills(f.Ledger(), oracle); err != nil {
+		t.Fatalf("promoted node diverged from the no-failover oracle: %v", err)
+	}
+
+	// A second full replay is a no-op: nothing can bill twice.
+	replayA2 := streamRecords(t, standbyTS.URL, "run-A", recordsA)
+	replayB2 := streamRecords(t, standbyTS.URL, "run-B", recordsB)
+	if replayA2.Accepted != 0 || replayB2.Accepted != 0 {
+		t.Fatalf("second replay billed: A=%+v B=%+v", replayA2, replayB2)
+	}
+	if err := ledgertest.DiffBills(f.Ledger(), oracle); err != nil {
+		t.Fatalf("second replay moved the bills: %v", err)
+	}
+	_ = led // closed via ts teardown; the ledger Cleanup closes the WAL
+}

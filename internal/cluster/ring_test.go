@@ -1,0 +1,131 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := cluster.ParseNodes("http://a:1/, b=http://b:2, c=https://c.example:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cluster.Node{
+		{Name: "a:1", URL: "http://a:1"},
+		{Name: "b", URL: "http://b:2"},
+		{Name: "c", URL: "https://c.example:443"},
+	}
+	if len(nodes) != len(want) {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("node %d = %+v, want %+v", i, nodes[i], want[i])
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"   ,  ",
+		"not-a-url",
+		"a=http://x:1,a=http://y:2",
+		"http://x:1,http://x:1",
+	} {
+		if _, err := cluster.ParseNodes(bad); err == nil {
+			t.Errorf("ParseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func ringNodes(n int) []cluster.Node {
+	nodes := make([]cluster.Node, n)
+	for i := range nodes {
+		nodes[i] = cluster.Node{Name: fmt.Sprintf("node%d", i), URL: fmt.Sprintf("http://n%d:80", i)}
+	}
+	return nodes
+}
+
+// TestRingDeterministic proves ownership is a pure function of the node
+// names: two independently-built rings agree on every tenant, which is what
+// lets routers and clients route without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a, err := cluster.NewRing(ringNodes(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cluster.NewRing(ringNodes(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		if a.Owner(tenant) != b.Owner(tenant) {
+			t.Fatalf("rings disagree on %s", tenant)
+		}
+	}
+}
+
+// TestRingBalance checks virtual nodes spread tenants roughly evenly.
+func TestRingBalance(t *testing.T) {
+	r, err := cluster.NewRing(ringNodes(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30_000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("tenant-%d", i)).Name]++
+	}
+	for name, c := range counts {
+		share := float64(c) / n
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of tenants (counts %v)", name, share*100, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("only %d of 3 nodes own tenants", len(counts))
+	}
+}
+
+// TestRingStability: adding a node moves only the tenants it takes over —
+// every tenant that stays owned by an old node keeps the same owner.
+func TestRingStability(t *testing.T) {
+	small, err := cluster.NewRing(ringNodes(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := cluster.NewRing(ringNodes(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		before, after := small.Owner(tenant), big.Owner(tenant)
+		if before.Name == after.Name {
+			continue
+		}
+		moved++
+		if after.Name != "node4" {
+			t.Fatalf("tenant %s moved %s -> %s, not to the new node", tenant, before.Name, after.Name)
+		}
+	}
+	// The new node should take roughly 1/5 of the keyspace.
+	if moved < n/10 || moved > n/2 {
+		t.Errorf("adding a node moved %d of %d tenants", moved, n)
+	}
+}
+
+func TestNewRingRejects(t *testing.T) {
+	if _, err := cluster.NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := cluster.NewRing([]cluster.Node{{Name: "", URL: "http://x"}}, 0); err == nil {
+		t.Error("unnamed node accepted")
+	}
+	if _, err := cluster.NewRing([]cluster.Node{{Name: "a"}, {Name: "a"}}, 0); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}

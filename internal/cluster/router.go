@@ -1,0 +1,422 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/api"
+	"repro/internal/core"
+)
+
+// Router is the server-side face of a partitioned cluster: a thin HTTP
+// front that speaks the single-node /v3 surface and forwards each request
+// to the owner node(s), so existing clients need no ring awareness at all
+// (`pricingd -cluster` serves one). It holds no ledger state — every bill
+// lives on an owner node — which is what keeps it thin enough to run
+// anywhere and restart freely.
+//
+//	POST /v3/usage                        scan NDJSON, scatter lines to
+//	                                      owners, merge the accounting
+//	GET  /v3/tenants                      merge-paginate the per-node pages
+//	GET  /v3/tenants/{tenant}/statement   proxy to the owner node
+//	GET  /v2/tenants/{tenant}/summary     proxy to the owner node
+//	GET|PUT /v3/tables                    coordinator (+ broadcast on PUT)
+//	GET  /healthz                         aggregate node health
+//
+// The usage scatter preserves single-node billing semantics exactly: keys
+// derive from physical line numbers before partitioning, a tenant's lines
+// reach its owner in stream order, and locally-synthesised rejections
+// (malformed JSON, missing tenant) reuse the server's own message text.
+type Router struct {
+	//litmus:unguarded immutable after NewRouter
+	client *Client
+	//litmus:unguarded immutable after NewRouter
+	cfg RouterConfig
+	//litmus:unguarded immutable after NewRouter
+	mux *http.ServeMux
+	//litmus:unguarded immutable after NewRouter
+	httpc *http.Client
+}
+
+// RouterConfig parameterises a Router; zero values select the defaults.
+type RouterConfig struct {
+	// BatchSize is the records-per-forward threshold of the usage scatter
+	// (default fleet.DefaultSinkBatch's 256, stated here literally to avoid
+	// the dependency).
+	BatchSize int
+	// MaxBodyBytes bounds one NDJSON line (default api.DefaultMaxBodyBytes);
+	// MaxStreamLines bounds the physical lines of one stream (default
+	// api.DefaultMaxStreamLines). Both mirror the single-node limits so the
+	// router rejects what a single node would reject.
+	MaxBodyBytes   int64
+	MaxStreamLines int
+	// Client is the HTTP client used for proxied calls (default
+	// http.DefaultClient).
+	Client *http.Client
+}
+
+// NewRouter builds the cluster front over client.
+func NewRouter(client *Client, cfg RouterConfig) *Router {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = api.DefaultMaxBodyBytes
+	}
+	if cfg.MaxStreamLines <= 0 {
+		cfg.MaxStreamLines = api.DefaultMaxStreamLines
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	rt := &Router{client: client, cfg: cfg, mux: http.NewServeMux(), httpc: cfg.Client}
+	rt.mux.HandleFunc("/healthz", rt.handleHealth)
+	rt.mux.HandleFunc("/v3/usage", rt.handleUsage)
+	rt.mux.HandleFunc("/v3/tenants", rt.handleTenants)
+	rt.mux.HandleFunc("/v3/tenants/{tenant}/statement", rt.proxyToOwner)
+	rt.mux.HandleFunc("/v2/tenants/{tenant}/summary", rt.proxyToOwner)
+	rt.mux.HandleFunc("/v3/tables", rt.handleTables)
+	return rt
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// routerError mirrors the single-node error wire shape ({"error": {...}}).
+func routerError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, struct {
+		Err api.Error `json:"error"`
+	}{api.Error{Status: status, Message: fmt.Sprintf(format, args...)}})
+}
+
+// --- GET /healthz -------------------------------------------------------------
+
+// RouterHealth is the router's /healthz body: the cluster is OK when every
+// node answers its own health probe.
+type RouterHealth struct {
+	OK    bool         `json:"ok"`
+	Nodes []NodeHealth `json:"nodes"`
+}
+
+// NodeHealth is one node's probe result.
+type NodeHealth struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	Err  string `json:"err,omitempty"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := RouterHealth{OK: true}
+	for _, n := range rt.client.nodes {
+		nh := NodeHealth{Name: n.Name, OK: true}
+		if err := rt.client.clients[n.Name].Health(r.Context()); err != nil {
+			nh.OK, nh.Err = false, err.Error()
+			resp.OK = false
+		}
+		resp.Nodes = append(resp.Nodes, nh)
+	}
+	status := http.StatusOK
+	if !resp.OK {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// --- POST /v3/usage -----------------------------------------------------------
+
+// ownerBatch accumulates one owner node's pending lines during a scatter.
+type ownerBatch struct {
+	records []api.UsageRecord
+	lines   []int // 1-based physical line numbers, parallel to records
+}
+
+// usageScatter merges per-node responses under original line numbering as
+// batches flush, in a deterministic shape: counters summed, errors sorted
+// by line and capped, tenant summaries last-wins per tenant.
+type usageScatter struct {
+	resp api.UsageStreamResponse
+	sums map[string]api.TenantSummary
+}
+
+func (sc *usageScatter) fold(b *ownerBatch, resp api.UsageStreamResponse, node string) {
+	sc.resp.Accepted += resp.Accepted
+	sc.resp.Duplicates += resp.Duplicates
+	sc.resp.Rejected += resp.Rejected
+	sc.resp.Dropped += resp.Dropped
+	for _, le := range resp.Errors {
+		if le.Line >= 1 && le.Line <= len(b.lines) {
+			le.Line = b.lines[le.Line-1]
+		}
+		sc.resp.Errors = append(sc.resp.Errors, le)
+	}
+	if resp.StreamError != "" && sc.resp.StreamError == "" {
+		sc.resp.StreamError = fmt.Sprintf("node %s: %s", node, resp.StreamError)
+	}
+	for _, sum := range resp.Tenants {
+		// A tenant flushed twice gets its summary twice; the later one
+		// reflects every accrual so far — keep it.
+		sc.sums[sum.Tenant] = sum
+	}
+}
+
+func (rt *Router) handleUsage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		routerError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ctx := r.Context()
+	streamKey := r.Header.Get("Idempotency-Key")
+	scatter := &usageScatter{sums: map[string]api.TenantSummary{}}
+	batches := map[string]*ownerBatch{}
+
+	flush := func(name string) error {
+		b := batches[name]
+		if b == nil || len(b.records) == 0 {
+			return nil
+		}
+		resp, err := rt.client.clients[name].StreamUsage(ctx, "", b.records)
+		if err != nil {
+			return fmt.Errorf("forwarding to node %s: %v", name, err)
+		}
+		scatter.fold(b, resp, name)
+		b.records = b.records[:0]
+		b.lines = b.lines[:0]
+		return nil
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	initial := 64 << 10
+	if int(rt.cfg.MaxBodyBytes) < initial {
+		initial = int(rt.cfg.MaxBodyBytes)
+	}
+	sc.Buffer(make([]byte, 0, initial), int(rt.cfg.MaxBodyBytes))
+	lineNo := 0
+	streamErr := ""
+	for sc.Scan() {
+		lineNo++
+		if lineNo > rt.cfg.MaxStreamLines {
+			streamErr = fmt.Sprintf("stream exceeds %d lines", rt.cfg.MaxStreamLines)
+			break
+		}
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		scatter.resp.Lines++
+		var rec api.UsageRecord
+		// Only failures a router can decide without pricing state are
+		// synthesised here, with the owner-node message text; everything
+		// else (minute bounds, unknown pricer, the tenant cap) is decided by
+		// the owner so the answer — and the error wording — is the node's.
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			scatter.reject(lineNo, "malformed JSON: %v", err)
+			continue
+		}
+		if rec.Tenant == "" {
+			scatter.reject(lineNo, "usage record requires a tenant")
+			continue
+		}
+		if rec.Key == "" && streamKey != "" {
+			// Same derivation as a single node: the stream key plus the
+			// PHYSICAL line number — so the cluster and a single node agree
+			// on every derived key, blank lines and all.
+			rec.Key = fmt.Sprintf("%s#%d", streamKey, lineNo)
+		}
+		name := rt.client.ring.Owner(rec.Tenant).Name
+		b := batches[name]
+		if b == nil {
+			b = &ownerBatch{}
+			batches[name] = b
+		}
+		b.records = append(b.records, rec)
+		b.lines = append(b.lines, lineNo)
+		if len(b.records) >= rt.cfg.BatchSize {
+			if err := flush(name); err != nil {
+				routerError(w, http.StatusBadGateway, "%s", err)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && streamErr == "" {
+		if err == bufio.ErrTooLong {
+			streamErr = fmt.Sprintf("line %d exceeds %d bytes", lineNo+1, rt.cfg.MaxBodyBytes)
+		} else {
+			streamErr = fmt.Sprintf("reading stream: %v", err)
+		}
+	}
+	// Flush tails in node order for a deterministic response.
+	names := make([]string, 0, len(batches))
+	for name := range batches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := flush(name); err != nil {
+			routerError(w, http.StatusBadGateway, "%s", err)
+			return
+		}
+	}
+	if scatter.resp.StreamError == "" {
+		scatter.resp.StreamError = streamErr
+	}
+	sort.Slice(scatter.resp.Errors, func(i, j int) bool {
+		return scatter.resp.Errors[i].Line < scatter.resp.Errors[j].Line
+	})
+	if len(scatter.resp.Errors) > api.DefaultMaxStreamErrors {
+		scatter.resp.Errors = scatter.resp.Errors[:api.DefaultMaxStreamErrors]
+	}
+	for _, sum := range scatter.sums {
+		scatter.resp.Tenants = append(scatter.resp.Tenants, sum)
+	}
+	sort.Slice(scatter.resp.Tenants, func(i, j int) bool {
+		return scatter.resp.Tenants[i].Tenant < scatter.resp.Tenants[j].Tenant
+	})
+	writeJSON(w, http.StatusOK, scatter.resp)
+}
+
+// reject synthesises one locally-decided line rejection.
+func (sc *usageScatter) reject(line int, format string, args ...any) {
+	sc.resp.Rejected++
+	if len(sc.resp.Errors) < api.DefaultMaxStreamErrors {
+		sc.resp.Errors = append(sc.resp.Errors, api.LineError{
+			Line:  line,
+			Error: api.Error{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)},
+		})
+	}
+}
+
+// --- GET /v3/tenants ----------------------------------------------------------
+
+func (rt *Router) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		routerError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	limit := api.DefaultTenantPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			routerError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", v)
+			return
+		}
+		limit = min(n, api.MaxTenantPageLimit)
+	}
+	page, err := rt.client.Tenants(r.Context(), q.Get("cursor"), limit)
+	if err != nil {
+		routerError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// --- proxied endpoints --------------------------------------------------------
+
+// proxyToOwner forwards a tenant-scoped request verbatim to the tenant's
+// owner node and relays the response bytes back, so status codes, error
+// wording and body shape are exactly the owner's.
+func (rt *Router) proxyToOwner(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	node := rt.client.ring.Owner(tenant)
+	rt.proxy(w, r, node)
+}
+
+// proxy relays one request to a node.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, node Node) {
+	u := node.URL + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, r.Body)
+	if err != nil {
+		routerError(w, http.StatusBadGateway, "forwarding to node %s: %v", node.Name, err)
+		return
+	}
+	for _, h := range []string{"Content-Type", "If-Match", "If-None-Match", "Idempotency-Key", "Accept"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		routerError(w, http.StatusBadGateway, "forwarding to node %s: %v", node.Name, err)
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "ETag"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// --- /v3/tables ---------------------------------------------------------------
+
+// handleTables treats the coordinator (node 0) as the authority for the
+// cluster's calibration tables: GETs proxy there, and an accepted PUT is
+// broadcast to the remaining nodes so every owner prices with the same
+// tables (the coordinator's ETag is the cluster's version).
+func (rt *Router) handleTables(w http.ResponseWriter, r *http.Request) {
+	coord := rt.client.nodes[0]
+	switch r.Method {
+	case http.MethodGet:
+		rt.proxy(w, r, coord)
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
+		if err != nil {
+			routerError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		if int64(len(body)) > rt.cfg.MaxBodyBytes {
+			routerError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", rt.cfg.MaxBodyBytes)
+			return
+		}
+		status, err := rt.swapTables(r.Context(), r, body)
+		if err != nil {
+			// The coordinator's verdict (412 and validation errors included)
+			// passes through with its own status and message.
+			var apiErr *api.Error
+			if asAPIError(err, &apiErr) {
+				w.Header().Set("ETag", status.etag)
+				routerError(w, apiErr.Status, "%s", apiErr.Message)
+				return
+			}
+			routerError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		w.Header().Set("ETag", status.etag)
+		writeJSON(w, http.StatusOK, status.status)
+	default:
+		routerError(w, http.StatusMethodNotAllowed, "GET or PUT only")
+	}
+}
+
+// swapResult carries a broadcast swap's outcome.
+type swapResult struct {
+	status api.TablesStatus
+	etag   string
+}
+
+// swapTables performs the coordinator-then-broadcast table swap from raw
+// request bytes. Shape validation is the coordinator's job — a table it
+// rejects surfaces as its own api.Error.
+func (rt *Router) swapTables(ctx context.Context, r *http.Request, body []byte) (swapResult, error) {
+	var cal core.Calibration
+	if err := json.Unmarshal(body, &cal); err != nil {
+		return swapResult{}, &api.Error{Status: http.StatusBadRequest, Message: fmt.Sprintf("malformed JSON: %v", err)}
+	}
+	status, etag, err := rt.client.SwapTablesIfMatch(ctx, &cal, r.Header.Get("If-Match"))
+	return swapResult{status: status, etag: etag}, err
+}
+
+// asAPIError unwraps an api.Error from an error chain.
+func asAPIError(err error, target **api.Error) bool { return errors.As(err, target) }

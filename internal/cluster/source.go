@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+// Replication protocol — the primary side. A Source serves a durable
+// ledger's data directory to followers over plain HTTP:
+//
+//	GET /cluster/meta     — the ledger's shape (ledger.Meta JSON); the
+//	                        follower builds its standby ledger from it
+//	GET /cluster/snapshot — the newest snapshot document, raw bytes, with
+//	                        its generation in X-Snapshot-Gen (404: none yet)
+//	GET /cluster/segments — the live WAL positions: every segment's
+//	                        (shard, seq, size) plus the snapshot generation
+//	GET /cluster/wal?shard=S&seq=Q&off=O — chunked stream of raw CRC-framed
+//	                        WAL bytes from offset O of segment (S, Q),
+//	                        tail-following the file while it grows; the
+//	                        stream ends when the segment is sealed (a newer
+//	                        seq exists — drain to EOF and move on) or after
+//	                        MaxWait of silence (reconnect to keep tailing).
+//	                        410 Gone: the segment was compacted away —
+//	                        re-bootstrap from the snapshot.
+//	GET /cluster/status   — per-shard acked offsets and lag bytes (the
+//	                        primary-side replication gauge)
+//
+// The WAL files are append-only and every frame is CRC-sealed, so serving
+// raw file bytes while the primary appends is safe: a reader can at worst
+// see a half-written final frame, which the follower's incremental decoder
+// treats as "not yet complete" and finishes on the next read. Nothing here
+// locks the ledger — replication rides entirely on the WAL's own framing.
+//
+// Acked offsets are inferred from the pull protocol itself: a follower
+// requesting (seq Q, off O) has durably applied everything before (Q, O),
+// so the last requested position is the replication watermark — no
+// explicit ack round-trip needed.
+type Source struct {
+	//litmus:unguarded immutable after NewSource
+	dir string
+	// MaxWait bounds how long one /cluster/wal response tail-follows a
+	// quiet segment before closing (the follower reconnects); Poll is the
+	// growth-check interval while following.
+	//
+	//litmus:unguarded immutable after NewSource
+	maxWait time.Duration
+	//litmus:unguarded immutable after NewSource
+	poll time.Duration
+
+	// mu guards acked, the per-shard last-pulled positions.
+	mu    sync.Mutex
+	acked map[int]ackState //litmus:guarded-by mu
+}
+
+// ackState is the last position a follower pulled for one shard.
+type ackState struct {
+	Seq  uint64
+	Off  int64
+	Unix int64
+}
+
+// SourceConfig parameterises a Source; zero values select the defaults.
+type SourceConfig struct {
+	// MaxWait bounds one WAL response's tail-follow (default 2s).
+	MaxWait time.Duration
+	// Poll is the follow loop's growth-check interval (default 20ms).
+	Poll time.Duration
+}
+
+// NewSource serves the durable ledger data directory at dir to replication
+// followers. The ledger keeps owning the directory; the source only reads.
+func NewSource(dir string, cfg SourceConfig) *Source {
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 2 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 20 * time.Millisecond
+	}
+	return &Source{dir: dir, maxWait: cfg.MaxWait, poll: cfg.Poll, acked: map[int]ackState{}}
+}
+
+// ServeHTTP routes the /cluster/* replication endpoints.
+func (s *Source) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	switch r.URL.Path {
+	case "/cluster/meta":
+		s.handleMeta(w, r)
+	case "/cluster/snapshot":
+		s.handleSnapshot(w, r)
+	case "/cluster/segments":
+		s.handleSegments(w, r)
+	case "/cluster/wal":
+		s.handleWAL(w, r)
+	case "/cluster/status":
+		s.handleStatus(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Source) handleMeta(w http.ResponseWriter, r *http.Request) {
+	m, err := ledger.ReadMeta(s.dir)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading meta: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Source) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	path, gen, ok, err := ledger.LatestSnapshot(s.dir)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("listing snapshots: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	if !ok {
+		http.Error(w, "no snapshot yet", http.StatusNotFound)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading snapshot: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Snapshot-Gen", strconv.FormatUint(gen, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// SegmentPosition is one live WAL segment's position on the wire.
+type SegmentPosition struct {
+	Shard int    `json:"shard"`
+	Seq   uint64 `json:"seq"`
+	Size  int64  `json:"size"`
+}
+
+// SegmentList is the /cluster/segments body.
+type SegmentList struct {
+	SnapshotGen uint64            `json:"snapshotGen"`
+	Segments    []SegmentPosition `json:"segments"`
+}
+
+func (s *Source) segmentList() (SegmentList, error) {
+	segs, err := ledger.ListWALSegments(s.dir)
+	if err != nil {
+		return SegmentList{}, err
+	}
+	_, gen, ok, err := ledger.LatestSnapshot(s.dir)
+	if err != nil {
+		return SegmentList{}, err
+	}
+	list := SegmentList{Segments: make([]SegmentPosition, 0, len(segs))}
+	if ok {
+		list.SnapshotGen = gen
+	}
+	for _, seg := range segs {
+		info, err := os.Stat(seg.Path)
+		if err != nil {
+			// Compaction can race the listing; a vanished segment is simply
+			// no longer part of the live positions.
+			continue
+		}
+		list.Segments = append(list.Segments, SegmentPosition{Shard: seg.Shard, Seq: seg.Seq, Size: info.Size()})
+	}
+	return list, nil
+}
+
+func (s *Source) handleSegments(w http.ResponseWriter, r *http.Request) {
+	list, err := s.segmentList()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("listing segments: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// findSegment locates (shard, seq) among the live segments; gone reports a
+// compacted segment (a newer seq for the shard, or a newer snapshot, exists
+// — the bytes are unrecoverable from the WAL and the follower must
+// re-bootstrap from the snapshot).
+func (s *Source) findSegment(shard int, seq uint64) (path string, sealed bool, gone bool, err error) {
+	segs, lerr := ledger.ListWALSegments(s.dir)
+	if lerr != nil {
+		return "", false, false, lerr
+	}
+	for _, seg := range segs {
+		if seg.Shard != shard {
+			continue
+		}
+		switch {
+		case seg.Seq == seq:
+			path = seg.Path
+		case seg.Seq > seq:
+			sealed = true // a newer segment exists, so (shard, seq) stopped growing
+		}
+	}
+	if path != "" {
+		return path, sealed, false, nil
+	}
+	if sealed {
+		return "", false, true, nil
+	}
+	if _, gen, ok, serr := ledger.LatestSnapshot(s.dir); serr == nil && ok && gen > seq {
+		return "", false, true, nil
+	}
+	return "", false, false, nil
+}
+
+func (s *Source) handleWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	shard, err := strconv.Atoi(q.Get("shard"))
+	if err != nil || shard < 0 {
+		http.Error(w, "bad shard", http.StatusBadRequest)
+		return
+	}
+	seq, err := strconv.ParseUint(q.Get("seq"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad seq", http.StatusBadRequest)
+		return
+	}
+	off, err := strconv.ParseInt(q.Get("off"), 10, 64)
+	if err != nil || off < 0 {
+		http.Error(w, "bad off", http.StatusBadRequest)
+		return
+	}
+	s.noteAck(shard, seq, off)
+
+	path, _, gone, err := s.findSegment(shard, seq)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if gone {
+		http.Error(w, "segment compacted; re-bootstrap from snapshot", http.StatusGone)
+		return
+	}
+	if path == "" {
+		http.Error(w, "unknown segment", http.StatusNotFound)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer f.Close() //litmus:close-ok read-only WAL stream; nothing buffered to lose
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Wal-Seq", strconv.FormatUint(seq, 10))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	deadline := time.Now().Add(s.maxWait)
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // follower went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue
+		}
+		if rerr != nil && rerr != io.EOF {
+			return
+		}
+		// EOF: the segment is drained. Stop when it is sealed (the follower
+		// has everything and moves to the next seq) or the follow budget is
+		// spent; otherwise wait for growth.
+		if _, sealed, _, ferr := s.findSegment(shard, seq); ferr != nil || sealed {
+			return
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(s.poll):
+		}
+	}
+}
+
+// noteAck records a follower's pull position for one shard.
+func (s *Source) noteAck(shard int, seq uint64, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acked[shard] = ackState{Seq: seq, Off: off, Unix: time.Now().Unix()}
+}
+
+// ShardReplication is one shard's replication position on /cluster/status.
+type ShardReplication struct {
+	Shard int `json:"shard"`
+	// AckedSeq/AckedOff are the last position a follower pulled from;
+	// LastPullUnix when. All zero when no follower has connected.
+	AckedSeq     uint64 `json:"ackedSeq"`
+	AckedOff     int64  `json:"ackedOff"`
+	LastPullUnix int64  `json:"lastPullUnix,omitempty"`
+	// LagBytes is the live WAL bytes past the acked position — the bounded
+	// replication-lag gauge (everything on disk counts as lag until some
+	// follower pulls it).
+	LagBytes int64 `json:"lagBytes"`
+}
+
+// SourceStatus is the /cluster/status body.
+type SourceStatus struct {
+	SnapshotGen   uint64             `json:"snapshotGen"`
+	Shards        []ShardReplication `json:"shards"`
+	TotalLagBytes int64              `json:"totalLagBytes"`
+}
+
+// Status computes the primary-side replication gauge.
+func (s *Source) Status() (SourceStatus, error) {
+	list, err := s.segmentList()
+	if err != nil {
+		return SourceStatus{}, err
+	}
+	s.mu.Lock()
+	acked := make(map[int]ackState, len(s.acked))
+	for k, v := range s.acked {
+		acked[k] = v
+	}
+	s.mu.Unlock()
+
+	perShard := map[int]*ShardReplication{}
+	order := []int{}
+	for _, seg := range list.Segments {
+		sr := perShard[seg.Shard]
+		if sr == nil {
+			a := acked[seg.Shard]
+			sr = &ShardReplication{Shard: seg.Shard, AckedSeq: a.Seq, AckedOff: a.Off, LastPullUnix: a.Unix}
+			perShard[seg.Shard] = sr
+			order = append(order, seg.Shard)
+		}
+		switch {
+		case seg.Seq > sr.AckedSeq:
+			sr.LagBytes += seg.Size
+		case seg.Seq == sr.AckedSeq && seg.Size > sr.AckedOff:
+			sr.LagBytes += seg.Size - sr.AckedOff
+		}
+	}
+	st := SourceStatus{SnapshotGen: list.SnapshotGen}
+	for _, shard := range order {
+		st.Shards = append(st.Shards, *perShard[shard])
+		st.TotalLagBytes += perShard[shard].LagBytes
+	}
+	return st, nil
+}
+
+func (s *Source) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/api"
@@ -40,16 +41,48 @@ type RemoteSinkConfig struct {
 	// service restart: the sink re-sends into the recovered ledger and the
 	// service's WAL-rebuilt dedup state sorts out what already billed.
 	Retries int
-	// RetryWait is the pause between retries (default DefaultRetryWait).
+	// RetryWait is the base pause before the first re-send (default
+	// DefaultRetryWait). Each further retry doubles it up to MaxRetryWait,
+	// and every pause is jittered to half-to-full of its nominal value, so a
+	// fleet of sinks retrying a restarted service spreads out instead of
+	// stampeding it in lockstep.
 	RetryWait time.Duration
+	// MaxRetryWait caps the exponential growth (default DefaultMaxRetryWait).
+	MaxRetryWait time.Duration
 }
 
 // DefaultSinkBatch is the records-per-call batch size of RemoteSink;
-// DefaultRetryWait the pause between re-sends of a failed batch.
+// DefaultRetryWait the base pause before a failed batch's first re-send;
+// DefaultMaxRetryWait the backoff ceiling.
 const (
-	DefaultSinkBatch = 256
-	DefaultRetryWait = 250 * time.Millisecond
+	DefaultSinkBatch    = 256
+	DefaultRetryWait    = 250 * time.Millisecond
+	DefaultMaxRetryWait = 5 * time.Second
 )
+
+// UsageStreamer is the one client call RemoteSink needs: api.Client
+// implements it against a single node, cluster.Client against a
+// consistent-hash ring of nodes.
+type UsageStreamer interface {
+	StreamUsage(ctx context.Context, key string, records []api.UsageRecord) (api.UsageStreamResponse, error)
+}
+
+// retryDelay computes the jittered exponential pause before retry number
+// attempt (0-based): base<<attempt capped at max, then drawn uniformly from
+// [nominal/2, nominal] via rnd (rand.Int63n in production; injected by
+// tests). "Equal jitter" keeps a floor under the pause — a retry never
+// fires immediately — while desynchronising concurrent retriers.
+func retryDelay(attempt int, base, ceiling time.Duration, rnd func(int64) int64) time.Duration {
+	nominal := base
+	for i := 0; i < attempt && nominal < ceiling; i++ {
+		nominal *= 2
+	}
+	if nominal > ceiling {
+		nominal = ceiling
+	}
+	half := nominal / 2
+	return half + time.Duration(rnd(int64(half)+1))
+}
 
 // RemoteSink forwards metered records to a live pricing service over the
 // /v3 NDJSON usage stream: the fleet→service half of running the simulator
@@ -57,7 +90,7 @@ const (
 // Flush sends the tail and reports lines the service refused.
 type RemoteSink struct {
 	ctx    context.Context
-	client *api.Client
+	client UsageStreamer
 	cfg    RemoteSinkConfig
 
 	buf  []api.UsageRecord
@@ -80,13 +113,20 @@ type RemoteSinkStats struct {
 	Retried int `json:"retried,omitempty"`
 }
 
-// NewRemoteSink builds a sink that streams to the service behind client.
-func NewRemoteSink(ctx context.Context, client *api.Client, cfg RemoteSinkConfig) *RemoteSink {
+// NewRemoteSink builds a sink that streams to the service behind client —
+// one node (*api.Client) or a partitioned cluster (cluster.Client).
+func NewRemoteSink(ctx context.Context, client UsageStreamer, cfg RemoteSinkConfig) *RemoteSink {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = DefaultSinkBatch
 	}
 	if cfg.RetryWait <= 0 {
 		cfg.RetryWait = DefaultRetryWait
+	}
+	if cfg.MaxRetryWait <= 0 {
+		cfg.MaxRetryWait = DefaultMaxRetryWait
+	}
+	if cfg.MaxRetryWait < cfg.RetryWait {
+		cfg.MaxRetryWait = cfg.RetryWait
 	}
 	return &RemoteSink{ctx: ctx, client: client, cfg: cfg}
 }
@@ -148,7 +188,7 @@ func (s *RemoteSink) send() error {
 		s.sent.Retried++
 		select {
 		case <-s.ctx.Done():
-		case <-time.After(s.cfg.RetryWait):
+		case <-time.After(retryDelay(attempt, s.cfg.RetryWait, s.cfg.MaxRetryWait, rand.Int63n)):
 		}
 	}
 	return fmt.Errorf("streaming %d records (%d attempts): %w", len(batch), attempts, lastErr)

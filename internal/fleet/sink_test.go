@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/api/apitest"
@@ -252,5 +254,125 @@ func TestRemoteSinkSurfacesRefusals(t *testing.T) {
 	st := sink.Stats()
 	if st.Accepted != 1 || st.Dropped != 3 || st.Rejected != 0 {
 		t.Errorf("stats = %+v, want 1 accepted / 3 dropped (err: %v)", st, err)
+	}
+}
+
+// flakyStreamer fails the first failures StreamUsage calls, then accepts
+// everything; it records when each call arrived.
+type flakyStreamer struct {
+	failures int
+	calls    []time.Time
+}
+
+func (f *flakyStreamer) StreamUsage(ctx context.Context, key string, records []api.UsageRecord) (api.UsageStreamResponse, error) {
+	f.calls = append(f.calls, time.Now())
+	if len(f.calls) <= f.failures {
+		return api.UsageStreamResponse{}, errors.New("transport boom")
+	}
+	return api.UsageStreamResponse{Lines: len(records), Accepted: len(records)}, nil
+}
+
+// TestRetryDelayBackoff pins the retry pause policy: exponential growth from
+// the base, capped at the ceiling, jittered to half-to-full of the nominal
+// value — never zero, never above nominal.
+func TestRetryDelayBackoff(t *testing.T) {
+	base, ceiling := 100*time.Millisecond, 800*time.Millisecond
+	maxRnd := func(n int64) int64 { return n - 1 } // top of the jitter range
+	minRnd := func(int64) int64 { return 0 }       // bottom
+	wantNominal := []time.Duration{
+		100 * time.Millisecond, // attempt 0
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+		800 * time.Millisecond,
+	}
+	for attempt, nominal := range wantNominal {
+		hi := retryDelay(attempt, base, ceiling, maxRnd)
+		lo := retryDelay(attempt, base, ceiling, minRnd)
+		if hi != nominal {
+			t.Errorf("attempt %d: max-jitter delay = %v, want %v", attempt, hi, nominal)
+		}
+		if lo != nominal/2 {
+			t.Errorf("attempt %d: min-jitter delay = %v, want %v", attempt, lo, nominal/2)
+		}
+	}
+}
+
+// TestRemoteSinkRetriesWithBackoff proves a batch that fails transiently is
+// re-sent until it lands, the Retried stat counts exactly the re-sends, and
+// the pauses actually separate the attempts.
+func TestRemoteSinkRetriesWithBackoff(t *testing.T) {
+	streamer := &flakyStreamer{failures: 3}
+	sink := NewRemoteSink(context.Background(), streamer, RemoteSinkConfig{
+		RunID:     "run",
+		BatchSize: 1,
+		Retries:   5,
+		RetryWait: 10 * time.Millisecond,
+	})
+	if err := sink.Observe(testRecord("acme")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := sink.Stats()
+	if st.Retried != streamer.failures {
+		t.Errorf("Retried = %d, want %d", st.Retried, streamer.failures)
+	}
+	if st.Accepted != 1 {
+		t.Errorf("Accepted = %d, want 1", st.Accepted)
+	}
+	if len(streamer.calls) != streamer.failures+1 {
+		t.Fatalf("%d calls, want %d", len(streamer.calls), streamer.failures+1)
+	}
+	// Jitter floors each pause at nominal/2, so attempt 2 (after two pauses
+	// of >= 5ms and >= 10ms) cannot arrive sooner than 15ms after attempt 0.
+	if gap := streamer.calls[3].Sub(streamer.calls[0]); gap < 15*time.Millisecond {
+		t.Errorf("three backoff pauses took %v, want >= 15ms", gap)
+	}
+}
+
+// failingStreamer always fails, so the sink sits in its backoff pauses.
+type failingStreamer struct{ calls int }
+
+func (f *failingStreamer) StreamUsage(context.Context, string, []api.UsageRecord) (api.UsageStreamResponse, error) {
+	f.calls++
+	return api.UsageStreamResponse{}, errors.New("transport boom")
+}
+
+// TestRemoteSinkBackoffRespectsCancellation proves a context cancelled
+// mid-pause aborts the retry loop promptly and the surfaced error is the
+// transport failure, not the cancellation that merely cut the wait short.
+func TestRemoteSinkBackoffRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	streamer := &failingStreamer{}
+	sink := NewRemoteSink(ctx, streamer, RemoteSinkConfig{
+		// BatchSize > 1 keeps the record buffered so the send happens in
+		// Flush below, concurrent with the cancel timer — a batch-filling
+		// Observe would enter the hour-long pause before cancel is armed.
+		BatchSize: 8,
+		Retries:   1000,
+		RetryWait: time.Hour, // without cancellation this test would hang
+	})
+	if err := sink.Observe(testRecord("acme")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sink.Flush() }()
+	time.AfterFunc(20*time.Millisecond, cancel)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled retry loop reported success")
+		}
+		if !strings.Contains(err.Error(), "transport boom") {
+			t.Errorf("err = %v, want the transport failure preserved", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("retry loop ignored cancellation")
+	}
+	if streamer.calls > 2 {
+		t.Errorf("%d attempts after cancellation, want at most 2", streamer.calls)
 	}
 }

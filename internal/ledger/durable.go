@@ -140,6 +140,20 @@ type ledgerMeta struct {
 	MaxKeys       int `json:"maxKeys"`
 }
 
+// readMetaFile loads one meta.json. Read failures come back unwrapped so
+// os.IsNotExist still distinguishes a fresh directory from a broken one.
+func readMetaFile(path string) (ledgerMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ledgerMeta{}, err
+	}
+	var m ledgerMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return ledgerMeta{}, fmt.Errorf("ledger: corrupt %s: %w", path, err)
+	}
+	return m, nil
+}
+
 // openDurable wires persistence into a freshly constructed ledger: it
 // creates or validates the data directory, loads the latest valid snapshot,
 // replays the WAL tail (truncating a torn final record per shard), opens
@@ -154,11 +168,7 @@ func (l *Ledger) openDurable() error {
 
 	meta := ledgerMeta{Version: 1, Shards: l.cfg.Shards, WindowMinutes: l.cfg.WindowMinutes, MaxKeys: l.cfg.MaxKeys}
 	metaPath := filepath.Join(dir, "meta.json")
-	if data, err := os.ReadFile(metaPath); err == nil {
-		var got ledgerMeta
-		if err := json.Unmarshal(data, &got); err != nil {
-			return fmt.Errorf("ledger: corrupt %s: %w", metaPath, err)
-		}
+	if got, err := readMetaFile(metaPath); err == nil {
 		if got != meta {
 			return fmt.Errorf("ledger: data dir %s was written with shards=%d window=%d maxKeys=%d; config asks shards=%d window=%d maxKeys=%d (re-sharding history is not supported)",
 				dir, got.Shards, got.WindowMinutes, got.MaxKeys, meta.Shards, meta.WindowMinutes, meta.MaxKeys)

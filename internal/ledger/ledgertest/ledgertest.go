@@ -203,8 +203,30 @@ func (s *Stream) DriveConcurrent(l *ledger.Ledger) {
 //     compared as marshalled bytes — byte-identical, not just approximately
 //     equal.
 func Diff(a, b *ledger.Ledger) error {
+	return diff(a, b, true)
+}
+
+// DiffBills compares everything a tenant is ever billed — listings,
+// summaries, statements, tenant-cap occupancy, tracked keys — but not the
+// cumulative outcome counters (accrued/duplicates/dropped/evicted). It is
+// the oracle for failover equivalence: a promoted standby that lost the
+// primary's unreplicated WAL tail and had it replayed by an idempotent
+// client has legitimately seen a different outcome *history* than a ledger
+// that never failed (the replayed records count as duplicates where the
+// originals accrued), but every bill must still be byte-identical.
+func DiffBills(a, b *ledger.Ledger) error {
+	return diff(a, b, false)
+}
+
+func diff(a, b *ledger.Ledger, strictCounters bool) error {
 	sa, sb := a.Stats(), b.Stats()
 	sa.Shards, sb.Shards = nil, nil
+	if !strictCounters {
+		sa.Accrued, sb.Accrued = 0, 0
+		sa.Duplicates, sb.Duplicates = 0, 0
+		sa.Dropped, sb.Dropped = 0, 0
+		sa.KeysEvicted, sb.KeysEvicted = 0, 0
+	}
 	if err := jsonEqual("stats", sa, sb); err != nil {
 		return err
 	}

@@ -1,0 +1,216 @@
+package ledger_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/ledger/ledgertest"
+)
+
+// replayFrames decodes every WAL segment under dir in (shard, seq) order
+// and applies the records to the standby, as a follower would.
+func replayFrames(t *testing.T, dir string, standby *ledger.Ledger, fromSeq uint64) int {
+	t.Helper()
+	segs, err := ledger.ListWALSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, seg := range segs {
+		if seg.Seq < fromSeq {
+			continue
+		}
+		recs, _, derr := ledger.DecodeWALFile(seg.Path)
+		if derr != nil {
+			t.Fatalf("decode %s: %v", seg.Path, derr)
+		}
+		for _, rec := range recs {
+			if err := standby.ApplyReplica(rec); err != nil {
+				t.Fatalf("ApplyReplica: %v", err)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// TestApplyReplicaMirrorsPrimary proves a standby fed the primary's WAL
+// frames is observably identical to the primary — counters included.
+func TestApplyReplicaMirrorsPrimary(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ledger.Config{
+		MaxTenants:    64,
+		WindowMinutes: 2,
+		MaxKeys:       1 << 10,
+		Shards:        4,
+		Dir:           dir,
+		Fsync:         ledger.FsyncNever,
+		SnapshotEvery: -1,
+	}
+	stream := ledgertest.Generate(41, ledgertest.GenConfig{Workers: 3, PerWorker: 120, Tenants: 12})
+	primary, err := ledger.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.DriveSequential(primary)
+
+	standby, err := ledger.New(ledgertest.Volatile(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := replayFrames(t, dir, standby, 0); n != stream.Len() {
+		t.Fatalf("replayed %d frames, stream has %d entries", n, stream.Len())
+	}
+	if err := ledgertest.Diff(primary, standby); err != nil {
+		t.Fatalf("standby diverged from primary: %v", err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreSnapshotBootstrapsStandby proves snapshot restore + WAL tail
+// replay — the follower's re-bootstrap path after falling behind
+// compaction — reproduces the primary exactly.
+func TestRestoreSnapshotBootstrapsStandby(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ledger.Config{
+		MaxTenants:    64,
+		MaxKeys:       1 << 10,
+		Shards:        3,
+		Dir:           dir,
+		Fsync:         ledger.FsyncNever,
+		SnapshotEvery: -1,
+	}
+	primary, err := ledger.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := ledgertest.Generate(42, ledgertest.GenConfig{Workers: 2, PerWorker: 80, Tenants: 10})
+	pre.DriveSequential(primary)
+	if err := primary.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	post := ledgertest.Generate(43, ledgertest.GenConfig{Workers: 2, PerWorker: 60, Tenants: 10})
+	post.DriveSequential(primary)
+
+	path, gen, ok, err := ledger.LatestSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("LatestSnapshot = %q, %d, %v, %v", path, gen, ok, err)
+	}
+	if gen == 0 {
+		t.Fatal("snapshot generation 0 after an explicit Snapshot")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	standby, err := ledger.New(ledgertest.Volatile(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the standby first: RestoreSnapshot must replace, not merge.
+	if err := standby.ApplyReplica(ledger.WALRecord{Entry: ledger.Entry{Tenant: "stale", Price: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := standby.RestoreSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != gen {
+		t.Fatalf("RestoreSnapshot gen = %d, want %d", got, gen)
+	}
+	if _, ok := standby.Summary("stale"); ok {
+		t.Fatal("pre-restore state survived RestoreSnapshot")
+	}
+	replayFrames(t, dir, standby, gen)
+	if err := ledgertest.Diff(primary, standby); err != nil {
+		t.Fatalf("bootstrapped standby diverged: %v", err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaRefusals pins the replication API's guard rails.
+func TestReplicaRefusals(t *testing.T) {
+	dir := t.TempDir()
+	durable, err := ledger.New(ledger.Config{Dir: dir, Shards: 1, Fsync: ledger.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = durable.Close() })
+	rec := ledger.WALRecord{Entry: ledger.Entry{Tenant: "t", Price: 1}}
+	if err := durable.ApplyReplica(rec); err == nil || !strings.Contains(err.Error(), "volatile") {
+		t.Errorf("ApplyReplica on durable ledger: err = %v", err)
+	}
+	if _, err := durable.RestoreSnapshot(nil); err == nil || !strings.Contains(err.Error(), "volatile") {
+		t.Errorf("RestoreSnapshot on durable ledger: err = %v", err)
+	}
+
+	standby, err := ledger.New(ledger.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := standby.ApplyReplica(ledger.WALRecord{}); err == nil {
+		t.Error("tenantless record applied")
+	}
+	if err := standby.ApplyReplica(ledger.WALRecord{Entry: ledger.Entry{Tenant: "t"}, Outcome: ledger.Outcome(7)}); err == nil {
+		t.Error("unknown outcome applied")
+	}
+	if _, err := standby.RestoreSnapshot([]byte("{")); err == nil {
+		t.Error("garbage snapshot restored")
+	}
+	// Shape mismatch: a 2-shard snapshot cannot restore into a 1-shard standby.
+	other, err := ledger.New(ledger.Config{Shards: 2, Dir: t.TempDir(), Fsync: ledger.FsyncNever, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Accrue(ledger.Entry{Tenant: "t", Price: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	path, _, ok, err := ledger.LatestSnapshot(other.Durability().Dir)
+	if err != nil || !ok {
+		t.Fatalf("LatestSnapshot: %v ok=%v", err, ok)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := standby.RestoreSnapshot(data); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Errorf("mismatched snapshot restored: err = %v", err)
+	}
+	if err := other.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadMeta pins the exported meta reader against what openDurable wrote.
+func TestReadMeta(t *testing.T) {
+	dir := t.TempDir()
+	l, err := ledger.New(ledger.Config{Dir: dir, Shards: 5, WindowMinutes: 3, MaxKeys: 77, Fsync: ledger.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ledger.ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ledger.Meta{Shards: 5, WindowMinutes: 3, MaxKeys: 77}
+	if m != want {
+		t.Errorf("ReadMeta = %+v, want %+v", m, want)
+	}
+	if _, err := ledger.ReadMeta(filepath.Join(dir, "nope")); err == nil {
+		t.Error("ReadMeta on a missing directory succeeded")
+	}
+}

@@ -113,10 +113,11 @@ func captureShard(sh *shard) shardSnapshot {
 	return ss
 }
 
-// restoreShard rebuilds one shard from its snapshot; the ledger is not yet
-// published, so no locking.
+// restoreShard rebuilds one shard from its snapshot. Callers either own the
+// ledger exclusively (recovery, before it is published) or hold sh.mu (a
+// standby re-bootstrapping via RestoreSnapshot).
 //
-//litmus:guarded-by recovery owns the unpublished ledger exclusively
+//litmus:guarded-by caller holds sh.mu, or recovery owns the unpublished ledger exclusively
 func restoreShard(sh *shard, ss shardSnapshot) {
 	sh.accrued = ss.Accrued
 	sh.duplicates = ss.Duplicates
@@ -161,20 +162,27 @@ func readSnapshot(path string, shards, windowMinutes, maxKeys int) (*snapshotDoc
 	if err != nil {
 		return nil, err
 	}
+	return parseSnapshot(data, filepath.Base(path), shards, windowMinutes, maxKeys)
+}
+
+// parseSnapshot decodes and validates one snapshot document against the
+// ledger's shape; name labels errors (a file name, or the transfer source
+// when the bytes arrived over replication).
+func parseSnapshot(data []byte, name string, shards, windowMinutes, maxKeys int) (*snapshotDoc, error) {
 	var doc snapshotDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("parsing %s: %w", name, err)
 	}
 	if doc.Version != 1 {
-		return nil, fmt.Errorf("%s: unknown snapshot version %d", filepath.Base(path), doc.Version)
+		return nil, fmt.Errorf("%s: unknown snapshot version %d", name, doc.Version)
 	}
 	if doc.Shards != shards || len(doc.ShardStates) != shards {
 		return nil, fmt.Errorf("%s: snapshot has %d shards (%d states), ledger has %d",
-			filepath.Base(path), doc.Shards, len(doc.ShardStates), shards)
+			name, doc.Shards, len(doc.ShardStates), shards)
 	}
 	if doc.WindowMinutes != windowMinutes || doc.MaxKeys != maxKeys {
 		return nil, fmt.Errorf("%s: snapshot window/keys (%d, %d) mismatch config (%d, %d)",
-			filepath.Base(path), doc.WindowMinutes, doc.MaxKeys, windowMinutes, maxKeys)
+			name, doc.WindowMinutes, doc.MaxKeys, windowMinutes, maxKeys)
 	}
 	return &doc, nil
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench-cluster.sh — record the cluster-mode benchmark baseline.
+#
+# Runs the consistent-hash ring lookup, the ring-aware client's and the thin
+# router's usage-stream throughput (real HTTP round-trips into a 3-node
+# cluster), and the follower catch-up rate (WAL replication over HTTP), and
+# renders the results as JSON next to the BENCH_ledger.json / BENCH_wal.json
+# baselines, so the partitioning and replication tax is a diffable number.
+#
+# Usage:
+#   scripts/bench-cluster.sh [output.json]     (default: BENCH_cluster.json)
+#   BENCHTIME=50x scripts/bench-cluster.sh     (default: 20x — every
+#                                               iteration is hundreds of
+#                                               live HTTP requests)
+#
+# Output shape matches bench-ledger.sh:
+#   {"goos": …, "benchmarks": [{"name": …, "iterations": N, "metrics": {…}}]}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_cluster.json}
+benchtime=${BENCHTIME:-20x}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkRingOwner|BenchmarkClientStreamUsage|BenchmarkRouterStreamUsage|BenchmarkFollowerCatchUp' \
+    -benchtime "$benchtime" ./internal/cluster/ | tee "$raw"
+
+maxprocs=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+awk -v benchtime="$benchtime" -v maxprocs="$maxprocs" '
+    /^goos: /   { goos = $2 }
+    /^goarch: / { goarch = $2 }
+    /^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+    /^Benchmark/ {
+        if (n++) entries = entries ",";
+        entries = entries sprintf("\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", $1, $2);
+        sep = "";
+        for (i = 3; i + 1 <= NF; i += 2) {
+            entries = entries sprintf("%s\"%s\": %s", sep, $(i + 1), $i);
+            sep = ", ";
+        }
+        entries = entries "}}";
+    }
+    END {
+        printf "{\n";
+        printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\",\n", goos, goarch, cpu;
+        printf "  \"maxprocs\": %s, \"benchtime\": \"%s\",\n", maxprocs, benchtime;
+        printf "  \"benchmarks\": [%s\n  ]\n}\n", entries;
+    }
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
