@@ -1,7 +1,8 @@
 # Developer entry points; CI runs the same steps (see .github/workflows/ci.yml).
 
-.PHONY: build test race bench bench-baseline bench-wal bench-cluster cover \
-	recovery-smoke failover-smoke fmt vet litmusvet lint lint-tools
+.PHONY: build test race bench bench-baseline bench-wal bench-cluster \
+	bench-e2e bench-all cover recovery-smoke failover-smoke fmt vet \
+	litmusvet lint lint-tools
 
 build:
 	go build ./...
@@ -32,6 +33,16 @@ bench-wal:
 # (see scripts/bench-cluster.sh; BENCHTIME overrides the default 20x).
 bench-cluster:
 	./scripts/bench-cluster.sh BENCH_cluster.json
+
+# Record the end-to-end latency baseline as BENCH_e2e.json: cmd/loadgen
+# drives a live pricingd open-loop at each arrival rate per fsync mode and
+# records client-observed quantiles (see scripts/bench-e2e.sh; RATES,
+# DURATION and FSYNC_MODES override the defaults).
+bench-e2e:
+	./scripts/bench-e2e.sh BENCH_e2e.json
+
+# Refresh every committed benchmark baseline in one go.
+bench-all: bench-baseline bench-wal bench-cluster bench-e2e
 
 # Coverage gate for the billing subsystem: every test in internal/ledger/...
 # (unit, durability, crash harness) counts toward internal/ledger coverage,

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/api/apitest"
+)
+
+func newTarget(t *testing.T) string {
+	t.Helper()
+	srv, err := api.New(api.Config{Calibration: apitest.Calibration()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRunJSON(t *testing.T) {
+	o := defaultOptions()
+	o.target = newTarget(t)
+	o.rate = 120
+	o.duration = time.Second
+	o.format = "json"
+	o.quiet = true
+	o.runID = "test-run"
+	o.sloP99 = 2 * time.Second // generous: this asserts plumbing, not perf
+	o.check = true
+
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, o); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	if got := strings.Count(strings.TrimSpace(out.String()), "\n"); got != 0 {
+		t.Fatalf("json output is %d lines, want 1", got+1)
+	}
+	var doc output
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Result == nil || doc.Result.Sent != 120 {
+		t.Fatalf("result %+v, want 120 sent", doc.Result)
+	}
+	if doc.Result.Total.Errors != 0 || doc.Result.Total.Timeouts != 0 {
+		t.Fatalf("failures against in-process target: %+v", doc.Result.Total)
+	}
+	if doc.Usage == nil || doc.Usage.Sent == 0 || doc.Usage.Sent != doc.Usage.Accepted {
+		t.Fatalf("usage totals %+v, want sent == accepted > 0", doc.Usage)
+	}
+	if doc.SLOMet == nil || !*doc.SLOMet {
+		t.Fatalf("SLO verdict %+v", doc.SLOMet)
+	}
+}
+
+func TestRunTableAndStages(t *testing.T) {
+	o := defaultOptions()
+	o.target = newTarget(t)
+	o.stages = "60x500ms,120x500ms"
+	o.mix = "quote=1"
+	o.quiet = true
+	o.runID = "test-run"
+
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, o); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	for _, want := range []string{"endpoint", "quote", "p99 ms", "offered 90.0 req/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSearch(t *testing.T) {
+	o := defaultOptions()
+	o.target = newTarget(t)
+	o.search = true
+	o.minRate = 20
+	o.maxRate = 40
+	o.rounds = 1
+	o.probeDur = 300 * time.Millisecond
+	o.mix = "quote=1"
+	o.sloP99 = 2 * time.Second
+	o.format = "json"
+	o.quiet = true
+	o.runID = "test-run"
+
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, o); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errw.String())
+	}
+	var doc output
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// The in-process target trivially sustains 40 req/s under a 2s SLO, so
+	// the search short-circuits at the ceiling with exactly two probes.
+	if doc.Search == nil || len(doc.Search.Probes) != 2 {
+		t.Fatalf("search %+v", doc.Search)
+	}
+	if doc.Search.MaxSustainable < o.maxRate {
+		t.Fatalf("MaxSustainable %v, want %v", doc.Search.MaxSustainable, o.maxRate)
+	}
+}
+
+// TestRunIdempotentRerun pins the -run-id contract: repeating a run under
+// the same ID deduplicates every record instead of double-billing, and
+// the generator counts that as billing exactness, not failure.
+func TestRunIdempotentRerun(t *testing.T) {
+	o := defaultOptions()
+	o.target = newTarget(t)
+	// Keep the default mixed traffic: a shared sequence counter between
+	// the usage op and the read ops once let interleaving shift the
+	// idempotency keys, making reruns bill a few records twice.
+	o.rate = 60
+	o.duration = time.Second
+	o.seed = 9
+	o.format = "json"
+	o.quiet = true
+	o.runID = "rerun"
+
+	ctx := context.Background()
+	var first, second, errw bytes.Buffer
+	if err := run(ctx, &first, &errw, o); err != nil {
+		t.Fatalf("first run: %v (stderr: %s)", err, errw.String())
+	}
+	if err := run(ctx, &second, &errw, o); err != nil {
+		t.Fatalf("rerun: %v (stderr: %s)", err, errw.String())
+	}
+	var d1, d2 output
+	if err := json.Unmarshal(first.Bytes(), &d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second.Bytes(), &d2); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Usage.Accepted != d1.Usage.Sent || d1.Usage.Duplicates != 0 {
+		t.Fatalf("first run usage %+v", d1.Usage)
+	}
+	// Same seed + same run ID → the rerun replays the identical keyed
+	// records, so every one must come back as a duplicate.
+	if d2.Usage.Duplicates != d2.Usage.Sent || d2.Usage.Accepted != 0 {
+		t.Fatalf("rerun usage %+v, want all duplicates", d2.Usage)
+	}
+	if d2.Result.Total.Errors != 0 {
+		t.Fatalf("rerun errors: %+v", d2.Result.Total)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	base := func() options {
+		o := defaultOptions()
+		o.quiet = true
+		return o
+	}
+	for name, mutate := range map[string]func(*options){
+		"no target":   func(o *options) { o.target = "" },
+		"bad format":  func(o *options) { o.target = "http://x"; o.format = "yaml" },
+		"bad mode":    func(o *options) { o.target = "http://x"; o.arrivals = "bursty" },
+		"bad stages":  func(o *options) { o.target = "http://x"; o.stages = "nope" },
+		"dead target": func(o *options) { o.target = "http://127.0.0.1:1" },
+	} {
+		o := base()
+		mutate(&o)
+		if err := run(ctx, &buf, &buf, o); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunRejectsBadMix(t *testing.T) {
+	o := defaultOptions()
+	o.target = newTarget(t)
+	o.quiet = true
+	var buf bytes.Buffer
+	for _, mix := range []string{"usage", "warp=1", "usage=-2", ""} {
+		o.mix = mix
+		if err := run(context.Background(), &buf, &buf, o); err == nil {
+			t.Fatalf("mix %q accepted", mix)
+		}
+	}
+}

@@ -248,6 +248,27 @@ type HealthResponse struct {
 	// Durability reports the ledger's persistence state; omitted when the
 	// server runs a volatile ledger (no data dir).
 	Durability *DurabilityHealth `json:"durability,omitempty"`
+	// Requests is the per-endpoint request accounting: external load
+	// generators corroborate their client-side request counts against it.
+	Requests *RequestHealth `json:"requests,omitempty"`
+}
+
+// RequestHealth is the /healthz request-accounting block.
+type RequestHealth struct {
+	// InFlight gauges requests currently inside a handler; the /healthz
+	// read reporting it counts itself, so an idle server reports 1.
+	InFlight int64 `json:"inFlight"`
+	// Endpoints maps each route pattern (e.g. "/v3/usage") to its
+	// cumulative request and error-response counters since startup.
+	Endpoints map[string]EndpointHealth `json:"endpoints"`
+}
+
+// EndpointHealth is one route's cumulative request accounting.
+type EndpointHealth struct {
+	// Requests counts requests routed to the endpoint; Errors the subset
+	// answered with status ≥ 400.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
 }
 
 // DurabilityHealth is the /healthz durability block of a server backed by a

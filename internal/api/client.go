@@ -17,13 +17,41 @@ import (
 type Client struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient overrides the transport; nil means http.DefaultClient.
+	// HTTPClient overrides the transport; nil means a shared client built
+	// on DefaultTransport (connection reuse sized for high-rate callers).
 	HTTPClient *http.Client
 }
 
 // NewClient returns a client for the service at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// DefaultTransport returns the transport nil-HTTPClient clients use: the
+// stdlib defaults with the idle pool sized for sustained concurrent load
+// against one service. http.DefaultTransport keeps only 2 idle conns per
+// host, so an open-loop generator hammering one pricingd closes and
+// reopens a connection for nearly every request until the ephemeral port
+// range runs dry; a deep per-host pool makes reuse the steady state.
+// Callers needing different knobs clone and adjust the result, then set
+// Client.HTTPClient.
+func DefaultTransport() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 0 // no global idle cap; the per-host cap governs
+	t.MaxIdleConnsPerHost = 256
+	return t
+}
+
+// defaultHTTPClient backs every Client with a nil HTTPClient; sharing one
+// pool across clients is the point (conns are keyed per host anyway).
+var defaultHTTPClient = &http.Client{Transport: DefaultTransport()}
+
+// httpClient resolves the client to issue requests on.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return defaultHTTPClient
 }
 
 // do performs one round trip: marshals in (when non-nil), decodes a 2xx
@@ -61,15 +89,18 @@ func (c *Client) doRaw(ctx context.Context, method, path string, headers map[str
 			req.Header.Set(k, v)
 		}
 	}
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	// Drain before closing: the transport only returns a connection to the
+	// idle pool when the body was read to EOF (json.Decoder stops at the
+	// value's end, leaving at least a trailing newline). Bounded, so a
+	// misbehaving server cannot pin the client on an endless body.
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 256<<10))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		var envelope errorEnvelope

@@ -1,0 +1,152 @@
+package api
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/api/apitest"
+)
+
+func TestHealthzRequestMetrics(t *testing.T) {
+	srv, err := New(Config{Calibration: apitest.Calibration()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	// Three good quotes, one bad (empty usage → 400), two tenant pages.
+	good := QuoteRequest{Usage: usageAt("aes-py", 512, 1.2, 1.5, 2e5)}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Quote(ctx, good); err != nil {
+			t.Fatalf("quote %d: %v", i, err)
+		}
+	}
+	if _, err := c.Quote(ctx, QuoteRequest{}); err == nil {
+		t.Fatal("invalid quote accepted")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Tenants(ctx, "", 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var h HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Requests == nil {
+		t.Fatal("healthz reports no request metrics")
+	}
+	if got := h.Requests.Endpoints["/v2/quote"]; got.Requests != 4 || got.Errors != 1 {
+		t.Fatalf("/v2/quote counters = %+v, want 4 requests / 1 error", got)
+	}
+	if got := h.Requests.Endpoints["/v3/tenants"]; got.Requests != 2 || got.Errors != 0 {
+		t.Fatalf("/v3/tenants counters = %+v, want 2 requests / 0 errors", got)
+	}
+	// The /healthz read counts itself, both in its own route counter and in
+	// the in-flight gauge.
+	if got := h.Requests.Endpoints["/healthz"]; got.Requests != 1 {
+		t.Fatalf("/healthz counter = %+v, want 1 request", got)
+	}
+	if h.Requests.InFlight < 1 {
+		t.Fatalf("inFlight = %d, want >= 1 (the health read itself)", h.Requests.InFlight)
+	}
+	// Untouched routes are present with zero counts, so dashboards see the
+	// full surface without priming.
+	if got, ok := h.Requests.Endpoints["/v3/usage"]; !ok || got.Requests != 0 {
+		t.Fatalf("/v3/usage counter = %+v, want present and zero", got)
+	}
+}
+
+func TestHealthzRequestMetricsConcurrent(t *testing.T) {
+	srv, err := New(Config{Calibration: apitest.Calibration()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Quote(ctx, QuoteRequest{Usage: usageAt("aes-py", 256, 1.1, 1.3, 1e5)}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var h HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Requests.Endpoints["/v2/quote"]; got.Requests != n || got.Errors != 0 {
+		t.Fatalf("/v2/quote counters = %+v, want %d requests / 0 errors", got, n)
+	}
+}
+
+// TestClientConnectionReuse pins the transport satellite: a burst of
+// concurrent requests may dial up to one connection each, but a second
+// burst must be served from the idle pool without dialling again.
+// http.DefaultClient's 2-per-host idle cap — plus response bodies the old
+// client never drained — used to open a fresh connection for nearly every
+// request, which exhausts ephemeral ports under open-loop load.
+func TestClientConnectionReuse(t *testing.T) {
+	srv, err := New(Config{Calibration: apitest.Calibration()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(srv)
+	var conns atomic.Int64
+	ts.Config.ConnState = func(_ net.Conn, state http.ConnState) {
+		if state == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	// A fresh transport, so other tests' idle conns can't help this one.
+	c := NewClient(ts.URL)
+	c.HTTPClient = &http.Client{Transport: DefaultTransport()}
+
+	const burst = 24
+	fire := func() {
+		t.Helper()
+		var wg sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := c.Health(context.Background()); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	fire()
+	after1 := conns.Load()
+	if after1 == 0 || after1 > burst {
+		t.Fatalf("first burst opened %d connections, want 1..%d", after1, burst)
+	}
+	fire()
+	if after2 := conns.Load(); after2 != after1 {
+		t.Fatalf("second burst dialled %d new connections (had %d idle); transport does not reuse",
+			after2-after1, after1)
+	}
+}

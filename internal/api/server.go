@@ -96,6 +96,12 @@ type Server struct {
 	// primary; Promote clears it. Reads always serve.
 	standby atomic.Bool
 
+	// metrics is the per-route request accounting /healthz reports; the map
+	// is frozen by New, the values are atomics.
+	//
+	//litmus:unguarded frozen by New before the server is shared
+	metrics *serverMetrics
+
 	// startUnix is the process-relative start time backing /healthz uptime.
 	//
 	//litmus:unguarded frozen by New before the server is shared
@@ -160,22 +166,89 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.standby.Store(cfg.Standby)
 	s.pricers = s.buildPricers(models)
+	s.metrics = &serverMetrics{routes: map[string]*routeMetrics{}}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/tables", s.handleV1Tables)
-	mux.HandleFunc("/v1/quote", s.handleV1Quote)
-	mux.HandleFunc("/v2/quote", s.handleQuote)
-	mux.HandleFunc("/v2/quotes", s.handleQuoteBatch)
-	mux.HandleFunc("/v2/meter", s.handleMeter)
-	mux.HandleFunc("/v2/pricers", s.handlePricers)
-	mux.HandleFunc("/v2/tables", s.handleTables)
-	mux.HandleFunc("/v2/tenants/{tenant}/summary", s.handleTenantSummary)
-	mux.HandleFunc("/v3/usage", s.handleUsageStream)
-	mux.HandleFunc("/v3/tenants", s.handleTenantList)
-	mux.HandleFunc("/v3/tenants/{tenant}/statement", s.handleStatement)
-	mux.HandleFunc("/v3/tables", s.handleTablesV3)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+	}
+	handle("/healthz", s.handleHealth)
+	handle("/v1/tables", s.handleV1Tables)
+	handle("/v1/quote", s.handleV1Quote)
+	handle("/v2/quote", s.handleQuote)
+	handle("/v2/quotes", s.handleQuoteBatch)
+	handle("/v2/meter", s.handleMeter)
+	handle("/v2/pricers", s.handlePricers)
+	handle("/v2/tables", s.handleTables)
+	handle("/v2/tenants/{tenant}/summary", s.handleTenantSummary)
+	handle("/v3/usage", s.handleUsageStream)
+	handle("/v3/tenants", s.handleTenantList)
+	handle("/v3/tenants/{tenant}/statement", s.handleStatement)
+	handle("/v3/tables", s.handleTablesV3)
 	s.mux = mux
 	return s, nil
+}
+
+// --- request metrics ---------------------------------------------------------
+
+// routeMetrics is one route's request accounting: total requests and error
+// responses (status ≥ 400), both cumulative since startup.
+type routeMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// serverMetrics is the cheap (two atomic adds per request) server-side
+// request accounting /healthz exposes, so an external load generator can
+// corroborate its client-side view against what the server actually saw.
+type serverMetrics struct {
+	// inFlight gauges requests currently inside a handler (a /healthz read
+	// counts itself, so it reports ≥ 1).
+	inFlight atomic.Int64
+	// routes maps mux pattern → counters; frozen once the server is built.
+	routes map[string]*routeMetrics
+}
+
+// instrument wraps a handler with the route's counters.
+func (m *serverMetrics) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	rm := &routeMetrics{}
+	m.routes[pattern] = rm
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		rm.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		if sw.status >= 400 {
+			rm.errors.Add(1)
+		}
+	}
+}
+
+// statusWriter captures the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// requestHealth renders the counters for /healthz.
+func (m *serverMetrics) requestHealth() *RequestHealth {
+	rh := &RequestHealth{
+		InFlight:  m.inFlight.Load(),
+		Endpoints: make(map[string]EndpointHealth, len(m.routes)),
+	}
+	for pattern, rm := range m.routes {
+		rh.Endpoints[pattern] = EndpointHealth{
+			Requests: rm.requests.Load(),
+			Errors:   rm.errors.Load(),
+		}
+	}
+	return rh
 }
 
 // DefaultPricer is the registry entry used when a request names none.
@@ -300,6 +373,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		ShardHealth:       shards,
 		TablesETag:        s.tablesETag(),
 		Durability:        durability,
+		Requests:          s.metrics.requestHealth(),
 	})
 }
 

@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is an HDR-style latency histogram: durations land in
+// logarithmically spaced buckets (histSubBuckets linear sub-buckets per
+// power of two, ≤ ~1.6% relative error), so quantiles over millions of
+// samples cost a fixed few KiB and recording is a single atomic add.
+// Concurrent Record calls are safe; reads (Quantile, Count, …) are
+// designed for after the run — they see a consistent-enough view while
+// recording but make no snapshot guarantee.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds; bounded by count · maxTrackable
+	max    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; 0 means "no samples yet"
+}
+
+const (
+	// histSubBits linear sub-buckets per octave bound the relative
+	// quantization error at 2^-histSubBits.
+	histSubBits    = 6
+	histSubBuckets = 1 << histSubBits
+	// 64 octaves × histSubBuckets sub-buckets covers every int64
+	// nanosecond duration (≈292 years), so no sample is ever dropped.
+	histBuckets = 64 * histSubBuckets
+)
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < histSubBuckets {
+		return int(ns) // exact buckets below one sub-bucket scale
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(ns))
+	// Top histSubBits bits below the leading one select the sub-bucket.
+	sub := int((ns >> (exp - histSubBits)) & (histSubBuckets - 1))
+	return (exp-histSubBits+1)*histSubBuckets + sub
+}
+
+// bucketUpper returns the largest value mapping to bucket i; quantiles
+// report this edge, so they never understate a latency.
+func bucketUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	exp := i/histSubBuckets + histSubBits - 1
+	sub := int64(i % histSubBuckets)
+	lower := (int64(1) << exp) | (sub << (exp - histSubBits))
+	return lower + (1 << (exp - histSubBits)) - 1
+}
+
+// Record folds one latency sample into the histogram.
+func (h *Hist) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if (cur != 0 && ns >= cur) || h.min.CompareAndSwap(cur, ns+1) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples recorded.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of the recorded samples (exact, not
+// bucketed), or 0 with no samples.
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Max returns the largest recorded sample (exact).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Min returns the smallest recorded sample (exact), or 0 with no samples.
+func (h *Hist) Min() time.Duration {
+	m := h.min.Load()
+	if m == 0 {
+		return 0
+	}
+	return time.Duration(m - 1)
+}
+
+// Quantile returns the q-th quantile (0 < q ≤ 1) as the upper edge of the
+// bucket holding the q·N-th sample — within one sub-bucket (≤ ~1.6%) of
+// the true order statistic, never below it. 0 with no samples.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds other's samples into h. Not safe against concurrent Record
+// on either histogram; merge after the run.
+func (h *Hist) Merge(other *Hist) {
+	for i := range other.counts {
+		if n := other.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	if om := other.max.Load(); om > h.max.Load() {
+		h.max.Store(om)
+	}
+	if om := other.min.Load(); om != 0 && (h.min.Load() == 0 || om < h.min.Load()) {
+		h.min.Store(om)
+	}
+}

@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip pins the histogram's accuracy contract: every value
+// maps to a bucket whose upper edge is at or above it, within one
+// sub-bucket (2^-6 ≈ 1.6%) relative error.
+func TestBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(ns int64) {
+		t.Helper()
+		i := bucketIndex(ns)
+		up := bucketUpper(i)
+		if up < ns {
+			t.Fatalf("bucketUpper(%d)=%d understates value %d", i, up, ns)
+		}
+		if ns > 0 && float64(up-ns) > float64(ns)/float64(histSubBuckets)+1 {
+			t.Fatalf("bucket edge %d overstates %d beyond one sub-bucket", up, ns)
+		}
+		// The upper edge must itself land in the same bucket.
+		if bucketIndex(up) != i {
+			t.Fatalf("bucketUpper(%d)=%d maps to bucket %d", i, up, bucketIndex(up))
+		}
+	}
+	for ns := int64(0); ns < 4096; ns++ {
+		check(ns)
+	}
+	for i := 0; i < 100_000; i++ {
+		check(rng.Int63())
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// 1..1000 ms, exactly once each.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want || float64(got) > float64(tc.want)*1.02 {
+			t.Fatalf("q%.3f = %v, want within [%v, %v×1.02]", tc.q, got, tc.want, tc.want)
+		}
+	}
+	if h.Min() != time.Millisecond {
+		t.Fatalf("min %v", h.Min())
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("max %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 500*time.Millisecond || mean > 501*time.Millisecond {
+		t.Fatalf("mean %v, want 500.5ms", mean)
+	}
+}
+
+func TestHistQuantileNeverBelowTrue(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Hist
+	samples := make([]int64, 5000)
+	for i := range samples {
+		samples[i] = rng.Int63n(int64(10 * time.Second))
+		h.Record(time.Duration(samples[i]))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(len(samples))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		truth := samples[rank]
+		if got := int64(h.Quantile(q)); got < truth {
+			t.Fatalf("q%.3f = %d below true order statistic %d", q, got, truth)
+		}
+	}
+}
+
+func TestHistEmptyAndMerge(t *testing.T) {
+	var a, b Hist
+	if a.Quantile(0.99) != 0 || a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	a.Record(5 * time.Millisecond)
+	b.Record(50 * time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Min() != 2*time.Millisecond || a.Max() != 50*time.Millisecond {
+		t.Fatalf("merged min/max %v/%v", a.Min(), a.Max())
+	}
+	var c Hist
+	c.Merge(&a)
+	if c.Count() != 3 || c.Min() != 2*time.Millisecond {
+		t.Fatalf("merge into empty: count %d min %v", c.Count(), c.Min())
+	}
+}

@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// A Stage is one segment of an open-loop rate schedule: fire Rate requests
+// per second for Duration. Ramps are expressed as a sequence of stages, the
+// k6 ramping-arrival-rate idiom.
+type Stage struct {
+	// Rate is the target arrival rate in requests/second (fractional rates
+	// are honoured over the stage as a whole).
+	Rate float64 `json:"rate"`
+	// Duration is the stage's wall-clock length.
+	Duration time.Duration `json:"duration"`
+}
+
+// Schedule is a sequence of stages executed back to back.
+type Schedule []Stage
+
+// Requests returns the total number of arrivals the schedule generates
+// (each stage contributes round(rate · seconds)).
+func (s Schedule) Requests() int {
+	total := 0
+	for _, st := range s {
+		total += int(math.Round(st.Rate * st.Duration.Seconds()))
+	}
+	return total
+}
+
+// Duration returns the schedule's total wall-clock length.
+func (s Schedule) Duration() time.Duration {
+	var d time.Duration
+	for _, st := range s {
+		d += st.Duration
+	}
+	return d
+}
+
+// Validate reports an empty schedule, a non-positive stage duration, or a
+// negative rate (zero-rate stages are valid idle gaps).
+func (s Schedule) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("loadgen: empty schedule")
+	}
+	for i, st := range s {
+		if st.Duration <= 0 {
+			return fmt.Errorf("loadgen: stage %d: non-positive duration %v", i, st.Duration)
+		}
+		if st.Rate < 0 || math.IsNaN(st.Rate) || math.IsInf(st.Rate, 0) {
+			return fmt.Errorf("loadgen: stage %d: invalid rate %v", i, st.Rate)
+		}
+	}
+	return nil
+}
+
+// ParseStages parses a schedule flag like "100x10s,250x30s,400x10s"
+// (rate×duration pairs, comma-separated).
+func ParseStages(s string) (Schedule, error) {
+	var sched Schedule
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rateStr, durStr, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: stage %q: want RATExDURATION (e.g. 200x10s)", part)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: stage %q: bad rate: %v", part, err)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: stage %q: bad duration: %v", part, err)
+		}
+		sched = append(sched, Stage{Rate: rate, Duration: dur})
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+// ScheduleFromTrace converts a recorded trace's aggregate per-minute counts
+// into a rate schedule, with each trace minute mapped onto minuteSec wall
+// seconds (60 replays in real time; smaller compresses). This is how a
+// captured production trace drives the open-loop generator.
+func ScheduleFromTrace(t *trace.Trace, minuteSec float64) (Schedule, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if minuteSec <= 0 {
+		minuteSec = 60
+	}
+	totals := t.PerMinuteTotals()
+	sched := make(Schedule, len(totals))
+	for m, n := range totals {
+		sched[m] = Stage{
+			Rate:     float64(n) / minuteSec,
+			Duration: time.Duration(minuteSec * float64(time.Second)),
+		}
+	}
+	return sched, sched.Validate()
+}
+
+// arrivalSlotSec is the scheduling-slot width handed to the trace expander:
+// each stage is cut into one-second slots, so Poisson draws and uniform
+// pacing happen at second granularity whatever the stage length.
+const arrivalSlotSec = 1.0
+
+// Arrivals expands the schedule into sorted arrival offsets from run
+// start. Each stage is diffused into per-second counts (an error
+// accumulator keeps fractional rates exact over the stage) and expanded
+// through internal/trace's arrival expander, so uniform and Poisson
+// within-slot placement — and their determinism per seed — are exactly the
+// simulator's. The final short slot of a non-integral stage is scaled so
+// arrivals never spill past the stage boundary.
+func (s Schedule) Arrivals(mode trace.Mode, seed int64) ([]time.Duration, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var out []time.Duration
+	var stageStart time.Duration
+	for si, st := range s {
+		secs := st.Duration.Seconds()
+		slots := int(math.Ceil(secs / arrivalSlotSec))
+		counts := make([]int, slots)
+		carry := 0.0
+		emitted := 0
+		want := int(math.Round(st.Rate * secs))
+		for i := 0; i < slots; i++ {
+			slotLen := math.Min(arrivalSlotSec, secs-float64(i)*arrivalSlotSec)
+			carry += st.Rate * slotLen
+			n := int(math.Floor(carry + 1e-9))
+			counts[i] = n
+			carry -= float64(n)
+			emitted += n
+		}
+		// Rounding residue lands in the last slot so the stage emits
+		// exactly round(rate · duration) arrivals.
+		if want > emitted {
+			counts[slots-1] += want - emitted
+		}
+		offsets, err := trace.ExpandCounts(counts, trace.ExpandConfig{
+			Mode:      mode,
+			MinuteSec: arrivalSlotSec,
+			Seed:      seed + int64(si)*1_000_003,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: stage %d: %w", si, err)
+		}
+		for _, off := range offsets {
+			// Clamp the (possibly short) final slot into the stage.
+			if off > secs {
+				off = secs
+			}
+			out = append(out, stageStart+time.Duration(off*float64(time.Second)))
+		}
+		stageStart += st.Duration
+	}
+	return out, nil
+}

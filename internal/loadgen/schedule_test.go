@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestParseStages(t *testing.T) {
+	sched, err := ParseStages("100x10s, 250x30s,0x5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Schedule{
+		{Rate: 100, Duration: 10 * time.Second},
+		{Rate: 250, Duration: 30 * time.Second},
+		{Rate: 0, Duration: 5 * time.Second},
+	}
+	if !reflect.DeepEqual(sched, want) {
+		t.Fatalf("parsed %+v", sched)
+	}
+	if got := sched.Requests(); got != 100*10+250*30 {
+		t.Fatalf("Requests() = %d", got)
+	}
+	if got := sched.Duration(); got != 45*time.Second {
+		t.Fatalf("Duration() = %v", got)
+	}
+	for _, bad := range []string{"", "100", "x10s", "100x", "-5x10s", "100x0s", "100x10"} {
+		if _, err := ParseStages(bad); err == nil {
+			t.Fatalf("ParseStages(%q) accepted", bad)
+		}
+	}
+}
+
+func TestArrivalsExactCountsAndBounds(t *testing.T) {
+	for _, mode := range []trace.Mode{trace.Uniform, trace.Poisson} {
+		sched := Schedule{
+			{Rate: 12.5, Duration: 4 * time.Second},      // fractional rate
+			{Rate: 0, Duration: 2 * time.Second},         // idle gap
+			{Rate: 3, Duration: 2500 * time.Millisecond}, // non-integral length
+		}
+		arr, err := sched.Arrivals(mode, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(arr), sched.Requests(); got != want {
+			t.Fatalf("%v: %d arrivals, want %d", mode, got, want)
+		}
+		if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i] < arr[j] }) {
+			t.Fatalf("%v: arrivals not sorted", mode)
+		}
+		total := sched.Duration()
+		for _, a := range arr {
+			if a < 0 || a > total {
+				t.Fatalf("%v: arrival %v outside [0, %v]", mode, a, total)
+			}
+		}
+		// The idle stage spans [4s, 6s): no arrival may land strictly inside
+		// it (the stage-1 boundary clamp can sit exactly at 4s).
+		for _, a := range arr {
+			if a > 4*time.Second && a < 6*time.Second {
+				t.Fatalf("%v: arrival %v inside zero-rate stage", mode, a)
+			}
+		}
+	}
+}
+
+func TestArrivalsDeterministicPerSeed(t *testing.T) {
+	sched := Schedule{{Rate: 200, Duration: 3 * time.Second}}
+	a, err := sched.Arrivals(trace.Poisson, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sched.Arrivals(trace.Poisson, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different arrivals")
+	}
+	c, err := sched.Arrivals(trace.Poisson, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+func TestArrivalsUniformPacing(t *testing.T) {
+	sched := Schedule{{Rate: 10, Duration: 2 * time.Second}}
+	arr, err := sched.Arrivals(trace.Uniform, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 20 {
+		t.Fatalf("%d arrivals", len(arr))
+	}
+	// Uniform mode spaces arrivals evenly inside each one-second slot, so
+	// consecutive gaps are ~100ms, never more than a slot.
+	for i := 1; i < len(arr); i++ {
+		if gap := arr[i] - arr[i-1]; gap > time.Second {
+			t.Fatalf("gap %v between uniform arrivals %d and %d", gap, i-1, i)
+		}
+	}
+}
+
+func TestScheduleFromTrace(t *testing.T) {
+	tr := &trace.Trace{Functions: []trace.FunctionTrace{
+		{Tenant: "a", Abbr: "f1", PerMinute: []int{120, 0, 60}},
+		{Tenant: "b", Abbr: "f2", PerMinute: []int{60, 0, 0}},
+	}}
+	sched, err := ScheduleFromTrace(tr, 1) // 1 trace minute → 1 wall second
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Schedule{
+		{Rate: 180, Duration: time.Second},
+		{Rate: 0, Duration: time.Second},
+		{Rate: 60, Duration: time.Second},
+	}
+	if !reflect.DeepEqual(sched, want) {
+		t.Fatalf("schedule %+v", sched)
+	}
+	if got := sched.Requests(); got != 240 {
+		t.Fatalf("Requests() = %d", got)
+	}
+}

@@ -1,0 +1,127 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// SearchConfig parameterises the max-sustainable-throughput search: a
+// bisection over arrival rate for the largest rate whose probe run still
+// meets the SLO.
+type SearchConfig struct {
+	// MinRate and MaxRate bracket the search in req/s (MinRate > 0).
+	MinRate, MaxRate float64
+	// Rounds is the number of bisection steps after the two bracket
+	// probes; each halves the uncertainty interval (default 6).
+	Rounds int
+	// SLO is the objective every probe is judged against.
+	SLO SLO
+	// Measure runs one probe at the given rate. Leave nil to probe with
+	// EngineMeasure; tests substitute synthetic servers or pure latency
+	// models here.
+	Measure func(rate float64) (Result, error)
+}
+
+// Probe is one search step: the rate tried, what it measured, and the
+// verdict.
+type Probe struct {
+	Rate   float64 `json:"rate"`
+	Met    bool    `json:"met"`
+	Result Result  `json:"result"`
+}
+
+// SearchResult is the search's outcome.
+type SearchResult struct {
+	// MaxSustainable is the highest probed rate that met the SLO (0 when
+	// even MinRate failed); FirstFailing is the lowest probed rate that
+	// missed it (0 when even MaxRate passed).
+	MaxSustainable float64 `json:"maxSustainable"`
+	FirstFailing   float64 `json:"firstFailing,omitempty"`
+	// Probes is the full trajectory in execution order.
+	Probes []Probe `json:"probes"`
+}
+
+// Search bisects [MinRate, MaxRate] for the maximum arrival rate that
+// still meets the SLO. It first probes the brackets (a failing MinRate or
+// passing MaxRate ends the search immediately), then runs cfg.Rounds
+// bisection steps, keeping the invariant lo met / hi failed. The
+// trajectory — and therefore the result — is deterministic whenever
+// Measure is: probe rates depend only on the bracket and earlier verdicts.
+func Search(cfg SearchConfig) (SearchResult, error) {
+	if cfg.Measure == nil {
+		return SearchResult{}, fmt.Errorf("loadgen: search needs a Measure")
+	}
+	if !(cfg.MinRate > 0) || !(cfg.MaxRate > cfg.MinRate) || math.IsInf(cfg.MaxRate, 0) {
+		return SearchResult{}, fmt.Errorf("loadgen: search needs 0 < MinRate < MaxRate, got [%v, %v]", cfg.MinRate, cfg.MaxRate)
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 6
+	}
+
+	var out SearchResult
+	probe := func(rate float64) (bool, error) {
+		res, err := cfg.Measure(rate)
+		if err != nil {
+			return false, fmt.Errorf("loadgen: probing %.1f req/s: %w", rate, err)
+		}
+		met := cfg.SLO.Met(res)
+		out.Probes = append(out.Probes, Probe{Rate: rate, Met: met, Result: res})
+		return met, nil
+	}
+
+	lowOK, err := probe(cfg.MinRate)
+	if err != nil {
+		return out, err
+	}
+	if !lowOK {
+		// Even the floor misses the SLO: nothing is sustainable.
+		out.FirstFailing = cfg.MinRate
+		return out, nil
+	}
+	highOK, err := probe(cfg.MaxRate)
+	if err != nil {
+		return out, err
+	}
+	if highOK {
+		// The whole bracket passes; the ceiling is beyond MaxRate.
+		out.MaxSustainable = cfg.MaxRate
+		return out, nil
+	}
+
+	lo, hi := cfg.MinRate, cfg.MaxRate
+	for i := 0; i < cfg.Rounds; i++ {
+		mid := (lo + hi) / 2
+		met, err := probe(mid)
+		if err != nil {
+			return out, err
+		}
+		if met {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	out.MaxSustainable = lo
+	out.FirstFailing = hi
+	return out, nil
+}
+
+// EngineMeasure returns a Measure that runs the open-loop engine for
+// probeDur at each probed rate, reusing base's ops, arrival mode, timeout
+// and safety valve. Probe i uses seed base.Seed+i so probes are
+// independent draws yet the whole search stays deterministic per seed.
+func EngineMeasure(ctx context.Context, base Config, probeDur time.Duration, mode trace.Mode) func(rate float64) (Result, error) {
+	probes := 0
+	return func(rate float64) (Result, error) {
+		cfg := base
+		cfg.Mode = mode
+		cfg.Schedule = Schedule{{Rate: rate, Duration: probeDur}}
+		cfg.Seed = base.Seed + int64(probes)
+		probes++
+		return Run(ctx, cfg)
+	}
+}

@@ -1,0 +1,187 @@
+package loadgen_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/api/apitest"
+	"repro/internal/core"
+	"repro/internal/loadgen"
+	"repro/internal/trace"
+)
+
+// TestLoadgenSLOSmoke is the end-to-end latency/correctness smoke CI runs:
+// an open-loop Poisson run against an in-process pricingd across the four
+// benchmark endpoints, asserting (a) p99 under the SLO with zero errors,
+// timeouts or shed arrivals, (b) billing exactness — every usage record the
+// generator sent shows up in a tenant statement, none twice — and (c) the
+// server's /healthz request counters agree with the generator's own
+// accounting, request for request.
+func TestLoadgenSLOSmoke(t *testing.T) {
+	srv, err := api.New(api.Config{Calibration: apitest.Calibration()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	tenants := []string{"smoke-a", "smoke-b", "smoke-c"}
+	record := func(tenant string, key string) api.UsageRecord {
+		return api.UsageRecord{
+			QuoteRequest: api.QuoteRequest{
+				Tenant: tenant,
+				Usage: core.Usage{
+					Abbr:     "aes-py",
+					Language: "py",
+					MemoryMB: 512,
+					TPrivate: 0.08,
+					TShared:  0.02,
+					Probe: &core.ProbeUsage{
+						TPrivate:        apitest.SoloTPrivate * 1.2,
+						TShared:         apitest.SoloTShared * 1.5,
+						MachineL3Misses: 2e5,
+					},
+				},
+			},
+			Key: key,
+		}
+	}
+
+	// Pre-seed one record per tenant so mid-run statement reads never race a
+	// tenant's first accrual.
+	var preseed int64
+	for _, tn := range tenants {
+		resp, err := c.StreamUsage(ctx, "seed-"+tn, []api.UsageRecord{record(tn, "seed-"+tn)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Accepted != 1 {
+			t.Fatalf("pre-seed for %s: %+v", tn, resp)
+		}
+		preseed++
+	}
+
+	var sentRecords, acceptedRecords, seq atomic.Int64
+	ops := []loadgen.Op{
+		{Name: "usage", Weight: 5, Do: func(ctx context.Context) error {
+			n := seq.Add(1)
+			tn := tenants[int(n)%len(tenants)]
+			sentRecords.Add(1)
+			resp, err := c.StreamUsage(ctx, "", []api.UsageRecord{record(tn, fmt.Sprintf("smoke-%d", n))})
+			if err != nil {
+				return err
+			}
+			if resp.Accepted != 1 {
+				return fmt.Errorf("record not accepted: %+v", resp)
+			}
+			acceptedRecords.Add(int64(resp.Accepted))
+			return nil
+		}},
+		{Name: "quote", Weight: 3, Do: func(ctx context.Context) error {
+			// No tenant: quotes must never touch the billing ledger.
+			_, err := c.Quote(ctx, record("", "").QuoteRequest)
+			return err
+		}},
+		{Name: "tenants", Weight: 1, Do: func(ctx context.Context) error {
+			_, err := c.Tenants(ctx, "", 2)
+			return err
+		}},
+		{Name: "statement", Weight: 1, Do: func(ctx context.Context) error {
+			n := seq.Add(1)
+			_, err := c.Statement(ctx, tenants[int(n)%len(tenants)], 0, -1)
+			return err
+		}},
+	}
+
+	const rate, slo = 150.0, 250 * time.Millisecond
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Ops:      ops,
+		Schedule: loadgen.Schedule{{Rate: rate, Duration: 2500 * time.Millisecond}},
+		Mode:     trace.Poisson,
+		Seed:     1,
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Summary())
+
+	// (a) The SLO: p99 under budget, nothing failed, the pacer kept up.
+	if res.Total.Errors != 0 || res.Total.Timeouts != 0 || res.Total.Shed != 0 {
+		t.Fatalf("failures under smoke load: %+v", res.Total)
+	}
+	if !(loadgen.SLO{P99: slo, MaxErrorRate: 0}).Met(res) {
+		t.Fatalf("p99 %.2fms over the %v SLO", res.Total.P99Ms, slo)
+	}
+	if res.Sent != int64(res.OfferedRate*2.5+0.5) {
+		t.Fatalf("sent %d of %d scheduled arrivals", res.Sent, int(res.OfferedRate*2.5+0.5))
+	}
+
+	// (b) Billing exactness: every accepted record is on exactly one
+	// statement; quotes accrued nothing.
+	if sentRecords.Load() != acceptedRecords.Load() {
+		t.Fatalf("sent %d usage records, server accepted %d", sentRecords.Load(), acceptedRecords.Load())
+	}
+	var billed int64
+	for _, tn := range tenants {
+		st, err := c.Statement(ctx, tn, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		billed += st.Invocations
+	}
+	if want := acceptedRecords.Load() + preseed; billed != want {
+		t.Fatalf("statements show %d invocations, want %d (accepted %d + preseed %d)",
+			billed, want, acceptedRecords.Load(), preseed)
+	}
+
+	// (c) Server-side counters agree with the generator's own books.
+	var h api.HealthResponse
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonDecode(hr, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Requests == nil {
+		t.Fatal("healthz reports no request metrics")
+	}
+	byName := map[string]loadgen.OpStats{}
+	for _, op := range res.Ops {
+		byName[op.Name] = op
+	}
+	for _, tc := range []struct {
+		route string
+		want  int64
+	}{
+		{"/v3/usage", byName["usage"].Requests + preseed},
+		{"/v2/quote", byName["quote"].Requests},
+		{"/v3/tenants", byName["tenants"].Requests},
+		// +3: the billing-exactness loop above reads each tenant once more.
+		{"/v3/tenants/{tenant}/statement", byName["statement"].Requests + int64(len(tenants))},
+	} {
+		got := h.Requests.Endpoints[tc.route]
+		if int64(got.Requests) != tc.want || got.Errors != 0 {
+			t.Fatalf("server %s counter = %+v, generator says %d requests / 0 errors",
+				tc.route, got, tc.want)
+		}
+	}
+}
+
+func jsonDecode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -66,6 +66,38 @@ type ExpandConfig struct {
 	Seed int64
 }
 
+// ExpandCounts expands one anonymous row of per-minute counts into sorted
+// arrival offsets in seconds from trace start. It is the schedule-export
+// path of the expander: load generators hand it a rate schedule (one count
+// per scheduling slot, with MinuteSec mapping slots onto wall seconds) and
+// pace real requests at the returned offsets. The same determinism contract
+// as Expand applies: equal counts, mode and seed yield equal offsets.
+func ExpandCounts(counts []int, cfg ExpandConfig) ([]float64, error) {
+	t := &Trace{Functions: []FunctionTrace{{Tenant: "schedule", Abbr: "schedule", PerMinute: counts}}}
+	arrivals, err := Expand(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	offsets := make([]float64, len(arrivals))
+	for i, a := range arrivals {
+		offsets[i] = a.TimeSec
+	}
+	return offsets, nil
+}
+
+// PerMinuteTotals sums the trace's invocation counts across all rows into
+// one count per minute — the aggregate arrival-rate schedule a load
+// generator replays when driving a live service from a recorded trace.
+func (t *Trace) PerMinuteTotals() []int {
+	totals := make([]int, t.Minutes())
+	for _, f := range t.Functions {
+		for m, n := range f.PerMinute {
+			totals[m] += n
+		}
+	}
+	return totals
+}
+
 // Expand turns a trace's per-minute counts into a time-sorted arrival
 // stream. Rows are processed in trace order and minutes in ascending order,
 // so the result is deterministic for a fixed config.

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The expander edge cases the open-loop load generator leans on: zero-rate
+// minutes produce no arrivals (and never panic), every arrival stays inside
+// its own minute (no wraparound into a neighbour, whatever the mode or
+// minute duration), and Poisson output is deterministic per seed.
+
+func TestExpandZeroRateMinutes(t *testing.T) {
+	tr := &Trace{Functions: []FunctionTrace{
+		{Tenant: "t1", Abbr: "f1", PerMinute: []int{0, 3, 0, 0, 2, 0}},
+		{Tenant: "t2", Abbr: "f2", PerMinute: []int{0, 0, 0, 0, 0, 0}},
+	}}
+	for _, mode := range []Mode{Uniform, Poisson} {
+		arrivals, err := Expand(tr, ExpandConfig{Mode: mode, Seed: 9})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(arrivals) != 5 {
+			t.Fatalf("%v: got %d arrivals, want 5", mode, len(arrivals))
+		}
+		for _, a := range arrivals {
+			if a.Minute != 1 && a.Minute != 4 {
+				t.Fatalf("%v: arrival in zero-rate minute %d", mode, a.Minute)
+			}
+		}
+	}
+	// An all-zero schedule is valid and empty, not an error.
+	counts, err := ExpandCounts([]int{0, 0, 0}, ExpandConfig{Mode: Poisson, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 0 {
+		t.Fatalf("all-zero schedule produced %d arrivals", len(counts))
+	}
+}
+
+func TestExpandArrivalsStayInsideTheirMinute(t *testing.T) {
+	tr := &Trace{Functions: []FunctionTrace{
+		{Tenant: "t1", Abbr: "f1", PerMinute: []int{1, 50, 1, 200}},
+	}}
+	for _, mode := range []Mode{Uniform, Poisson} {
+		for _, minuteSec := range []float64{60, 1, 0.25} {
+			arrivals, err := Expand(tr, ExpandConfig{Mode: mode, MinuteSec: minuteSec, Seed: 3})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", mode, minuteSec, err)
+			}
+			for _, a := range arrivals {
+				lo := float64(a.Minute) * minuteSec
+				hi := float64(a.Minute+1) * minuteSec
+				if a.TimeSec < lo || a.TimeSec >= hi {
+					t.Fatalf("%v/%v: arrival at %v wrapped outside minute %d [%v, %v)",
+						mode, minuteSec, a.TimeSec, a.Minute, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestExpandPoissonDeterministicPerSeed(t *testing.T) {
+	tr, err := Synthesize(synthCfg(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Expand(tr, ExpandConfig{Mode: Poisson, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(tr, ExpandConfig{Mode: Poisson, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Poisson expansion is not deterministic for a fixed seed")
+	}
+	c, err := Expand(tr, ExpandConfig{Mode: Poisson, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("Poisson expansion ignored the seed")
+	}
+}
+
+func TestExpandCountsMatchesExpand(t *testing.T) {
+	counts := []int{5, 0, 12, 3}
+	offsets, err := ExpandCounts(counts, ExpandConfig{Mode: Poisson, MinuteSec: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, n := range counts {
+		want += n
+	}
+	if len(offsets) != want {
+		t.Fatalf("got %d offsets, want %d", len(offsets), want)
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			t.Fatalf("offsets not sorted at %d: %v < %v", i, offsets[i], offsets[i-1])
+		}
+	}
+	if _, err := ExpandCounts(nil, ExpandConfig{}); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}
+
+func TestPerMinuteTotals(t *testing.T) {
+	tr := &Trace{Functions: []FunctionTrace{
+		{Tenant: "t1", Abbr: "f1", PerMinute: []int{1, 0, 4}},
+		{Tenant: "t1", Abbr: "f2", PerMinute: []int{2, 0, 1}},
+		{Tenant: "t2", Abbr: "f1", PerMinute: []int{0, 0, 5}},
+	}}
+	got := tr.PerMinuteTotals()
+	if want := []int{3, 0, 10}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("totals %v, want %v", got, want)
+	}
+	var empty Trace
+	if n := len(empty.PerMinuteTotals()); n != 0 {
+		t.Fatalf("empty trace produced %d totals", n)
+	}
+}
+
+// TestExpandPoissonLooksUniform sanity-checks the conditioned-Poisson draw:
+// with many arrivals in one minute, the mean offset approaches mid-minute.
+func TestExpandPoissonLooksUniform(t *testing.T) {
+	const k = 20000
+	offsets, err := ExpandCounts([]int{k}, ExpandConfig{Mode: Poisson, MinuteSec: 60, Seed: rand.Int63n(1 << 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, off := range offsets {
+		sum += off
+	}
+	mean := sum / k
+	if mean < 28 || mean > 32 {
+		t.Fatalf("mean offset %v, want ≈30", mean)
+	}
+}

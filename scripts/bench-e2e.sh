@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# bench-e2e.sh — record the end-to-end service latency baseline.
+#
+# Builds pricingd and loadgen, then for each ledger fsync mode starts a
+# fresh durable daemon and drives it with open-loop load at each arrival
+# rate, recording client-observed latency quantiles (p50/p90/p99/p999),
+# error rates and the generator's billing totals. Unlike the micro
+# baselines (BENCH_ledger/wal/cluster), this one crosses the full stack —
+# HTTP, NDJSON ingest, pricing, ledger accrual, fsync — so the durability
+# tax is visible as tail latency a client would actually see.
+#
+# Usage:
+#   scripts/bench-e2e.sh [output.json]        (default: BENCH_e2e.json)
+#   RATES="150 300" DURATION=3s FSYNC_MODES="never always" \
+#       scripts/bench-e2e.sh                  (the defaults)
+#   ADDR=127.0.0.1:18094 scripts/bench-e2e.sh (port override)
+#
+# Output shape:
+#   {"goos": …, "runs": [{"fsync": …, "targetRate": …, "report": {…}}]}
+# where each report is cmd/loadgen's one-line JSON document (schema in
+# README.md's Benchmarks section).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_e2e.json}
+rates=${RATES:-"150 300"}
+duration=${DURATION:-3s}
+fsync_modes=${FSYNC_MODES:-"never always"}
+addr=${ADDR:-127.0.0.1:18094}
+work=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "==> building"
+go build -o "$work/pricingd" ./cmd/pricingd
+go build -o "$work/loadgen" ./cmd/loadgen
+go run ./cmd/litmuscalib -scale 0.15 -o "$work/tables.json" >/dev/null
+
+start() { # start <fsync-mode> <data-dir>
+    "$work/pricingd" -addr "$addr" -tables "$work/tables.json" \
+        -data-dir "$2" -fsync "$1" >"$work/pricingd.log" 2>&1 &
+    pid=$!
+    disown "$pid" 2>/dev/null || true
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then return; fi
+        sleep 0.1
+    done
+    echo "pricingd did not come up; log:" >&2
+    cat "$work/pricingd.log" >&2
+    exit 1
+}
+
+stop() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    pid=""
+}
+
+runs=""
+n=0
+for fsync in $fsync_modes; do
+    echo "==> pricingd with fsync=$fsync"
+    start "$fsync" "$work/data-$fsync"
+    for rate in $rates; do
+        echo "==> loadgen: $rate req/s for $duration"
+        report=$("$work/loadgen" -target "http://$addr" -rate "$rate" \
+            -duration "$duration" -seed 1 -run-id "bench-$fsync-$rate" \
+            -format json -q)
+        [ $n -gt 0 ] && runs="$runs,"
+        runs="$runs
+    {\"fsync\": \"$fsync\", \"targetRate\": $rate, \"report\": $report}"
+        n=$((n + 1))
+    done
+    stop
+done
+
+goos=$(go env GOOS)
+goarch=$(go env GOARCH)
+cpu=$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)
+maxprocs=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+{
+    printf '{\n'
+    printf '  "goos": "%s", "goarch": "%s", "cpu": "%s",\n' "$goos" "$goarch" "$cpu"
+    printf '  "maxprocs": %s, "duration": "%s",\n' "$maxprocs" "$duration"
+    printf '  "runs": [%s\n  ]\n}\n' "$runs"
+} > "$out"
+
+echo "wrote $out ($n runs)"
