@@ -260,7 +260,7 @@ func runFollower(addr, primary string, cfg api.Config, opts followerOptions) err
 		go func() { _ = f.Run(ctx) }()
 		if opts.AutoPromote {
 			probePrimary(ctx, primary, opts, func() {
-				promoteFollower(ctx, f, srv, "primary health probes failed")
+				promoteFollower(f, srv, "primary health probes failed")
 			})
 		}
 	}, nil)
@@ -268,9 +268,14 @@ func runFollower(addr, primary string, cfg api.Config, opts followerOptions) err
 
 // promoteFollower runs both promotion halves in order: replication stops
 // (no replicated frame can land after this) and only then the API write
-// gate opens. Returns false when the standby was already promoted.
-func promoteFollower(ctx context.Context, f *cluster.Follower, srv *api.Server, why string) bool {
-	f.Promote(ctx)
+// gate opens. The wait runs under context.Background() on purpose: a
+// promotion must not be abandonable mid-way — waiting under a request or
+// shutdown context could return before the tailers have stopped and then
+// open the write gate while a replicated frame is still applying, the
+// two-writer history fork promotion exists to prevent. Returns false when
+// the standby was already promoted.
+func promoteFollower(f *cluster.Follower, srv *api.Server, why string) bool {
+	f.Promote(context.Background())
 	if !srv.Promote() {
 		return false
 	}
@@ -288,7 +293,7 @@ func followerHandler(f *cluster.Follower, srv *api.Server) http.Handler {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		promoted := promoteFollower(r.Context(), f, srv, "operator request")
+		promoted := promoteFollower(f, srv, "operator request")
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]bool{"promoted": promoted})
 	})

@@ -98,6 +98,23 @@ func TestHealthzRequestMetricsConcurrent(t *testing.T) {
 	}
 }
 
+// TestStatusWriterForwardsFlush pins the instrumentation wrapper's
+// transparency: statusWriter must forward http.Flusher to the underlying
+// writer, or instrumenting a streaming handler would silently buffer its
+// response until the handler returns.
+func TestStatusWriterForwardsFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	var w http.ResponseWriter = &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusWriter does not expose http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}
+
 // TestClientConnectionReuse pins the transport satellite: a burst of
 // concurrent requests may dial up to one connection each, but a second
 // burst must be served from the idle pool without dialling again.

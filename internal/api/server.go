@@ -236,6 +236,15 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// Flush forwards http.Flusher to the wrapped writer: instrumenting a
+// handler must not mask its ability to stream incrementally (a masked
+// Flusher silently turns a streaming response into a buffered one).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // requestHealth renders the counters for /healthz.
 func (m *serverMetrics) requestHealth() *RequestHealth {
 	rh := &RequestHealth{

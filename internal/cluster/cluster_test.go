@@ -312,15 +312,87 @@ func TestRouterMatchesSingleNode(t *testing.T) {
 	}
 
 	// Error surfaces must match the single node's wording and status.
+	checkErrorSurfaces(t, router.URL, single.URL)
+}
+
+// TestRouterPartialForwardFailure pins the scatter's failure surface: when
+// an owner node is unreachable mid-stream, the router must still answer
+// 200 with the merged partial accounting — the dead node's lines Dropped
+// with per-line 502s and the failure as StreamError — exactly like a
+// single node whose stream died mid-way. A bare 502 here would hide what
+// the live nodes already billed and invite a double-billing full retry
+// from clients without idempotency keys.
+func TestRouterPartialForwardFailure(t *testing.T) {
+	_, live := newNode(t, nil, false)
+	_, dead := newNode(t, nil, false)
+	dead.Close() // every tenant this node owns now fails to forward
+
+	cc, err := cluster.NewClient([]cluster.Node{
+		{Name: "node0", URL: live.URL},
+		{Name: "node1", URL: dead.URL},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(cluster.NewRouter(cc, cluster.RouterConfig{BatchSize: 8}))
+	t.Cleanup(router.Close)
+
+	var lines []string
+	for i := 0; i < 96; i++ {
+		lines = append(lines, usageLine(fmt.Sprintf("tenant-%03d", i%16), 128, i%5, ""))
+	}
+	req, err := http.NewRequest(http.MethodPost, router.URL+"/v3/usage",
+		strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Idempotency-Key", "run-dead")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with partial accounting", resp.StatusCode)
+	}
+	var out api.UsageStreamResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.StreamError, "forwarding to node node1") {
+		t.Errorf("StreamError = %q, want a node1 forwarding failure", out.StreamError)
+	}
+	if out.Accepted == 0 || out.Dropped == 0 {
+		t.Errorf("partial accounting missing (accepted %d, dropped %d): %+v", out.Accepted, out.Dropped, out)
+	}
+	// Every read line lands in exactly one outcome bucket, failure or not.
+	if got := out.Accepted + out.Duplicates + out.Rejected + out.Dropped; got != out.Lines {
+		t.Errorf("accounting leak: %d lines vs %d outcomes: %+v", out.Lines, got, out)
+	}
+	found := false
+	for _, le := range out.Errors {
+		if le.Error.Status == http.StatusBadGateway {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no per-line 502 for the dead node's lines: %+v", out.Errors)
+	}
+}
+
+// checkErrorSurfaces asserts router and single-node error replies match.
+func checkErrorSurfaces(t *testing.T, routerURL, singleURL string) {
+	t.Helper()
 	for _, path := range []string{
 		"/v3/tenants?limit=bogus",
 		"/v3/tenants/unknown-tenant/statement",
 	} {
-		rr, err := http.Get(router.URL + path)
+		rr, err := http.Get(routerURL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sr, err := http.Get(single.URL + path)
+		sr, err := http.Get(singleURL + path)
 		if err != nil {
 			t.Fatal(err)
 		}

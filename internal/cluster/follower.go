@@ -248,18 +248,34 @@ func (f *Follower) tailShard(ctx context.Context, shard int) error {
 		case status == http.StatusGone:
 			return errResync
 		}
-		// The stream ended (cleanly or not). If the segment is sealed and
-		// fully drained, hop to the successor; a leftover partial frame at a
-		// seal is corruption (segments end on frame boundaries).
-		if n == 0 || status == http.StatusNotFound {
-			next, sealed, serr := f.nextSegment(ctx, shard, pos.Seq)
-			if serr == nil && sealed {
-				if len(tail) != 0 {
+		// Hop to the successor only on positive proof of drainage. A pull
+		// that consumed 0 bytes is NOT that proof by itself: a transport
+		// error or a non-200 also reads nothing yet says nothing about what
+		// remains, and even a clean quiet-timeout pull's evidence is stale
+		// if the primary appends and rotates before the listing is fetched.
+		// So the pull must have ended cleanly, and the primary's listing
+		// must both seal the segment and show every listed byte is already
+		// held here — sealed segments never grow, so off >= size is stable.
+		if n == 0 && err == nil && status == http.StatusOK {
+			view, serr := f.segmentView(ctx, shard, pos.Seq)
+			if serr == nil && view.sealed {
+				switch {
+				case !view.listed:
+					// A successor exists but the segment itself is no
+					// longer listed: compacted mid-tail — same as 410.
 					return errResync
+				case pos.Off+int64(len(tail)) >= view.size:
+					if len(tail) != 0 {
+						// A drained sealed segment ends on a frame
+						// boundary; leftover bytes are corruption.
+						return errResync
+					}
+					f.setPos(shard, tailPos{Seq: view.next})
+					continue
 				}
-				f.setPos(shard, tailPos{Seq: next})
-				continue
 			}
+		}
+		if n == 0 {
 			if !sleepCtx(ctx, f.cfg.Poll) {
 				return ctx.Err()
 			}
@@ -332,27 +348,46 @@ func tailCorrupt(tail []byte) bool {
 	return int64(len(tail)) >= 8+int64(length)
 }
 
-// nextSegment asks the primary whether segment (shard, seq) is sealed (a
-// newer segment exists) and returns the successor's seq.
-func (f *Follower) nextSegment(ctx context.Context, shard int, seq uint64) (next uint64, sealed bool, err error) {
+// segView is what the primary's listing says about one segment: whether
+// it is still listed (size then holds its byte length — final once a
+// successor exists), and the smallest newer seq sealing it.
+type segView struct {
+	listed bool
+	size   int64
+	sealed bool
+	next   uint64
+}
+
+// segmentView fetches the primary's segment listing and reports segment
+// (shard, seq)'s place in it.
+func (f *Follower) segmentView(ctx context.Context, shard int, seq uint64) (segView, error) {
 	var list SegmentList
 	if err := getJSON(ctx, f.cfg.Client, f.primary+"/cluster/segments", &list); err != nil {
-		return 0, false, err
+		return segView{}, err
 	}
+	var v segView
 	for _, seg := range list.Segments {
-		if seg.Shard != shard || seg.Seq <= seq {
+		if seg.Shard != shard {
 			continue
 		}
-		if !sealed || seg.Seq < next {
-			next, sealed = seg.Seq, true
+		switch {
+		case seg.Seq == seq:
+			v.listed, v.size = true, seg.Size
+		case seg.Seq > seq:
+			if !v.sealed || seg.Seq < v.next {
+				v.next, v.sealed = seg.Seq, true
+			}
 		}
 	}
-	return next, sealed, nil
+	return v, nil
 }
 
 // Promote stops replication and returns the standby ledger, now live. It
 // blocks until every tailer has stopped, so no replicated frame can apply
-// concurrently with — or after — promoted traffic. Idempotent.
+// concurrently with — or after — promoted traffic. Idempotent. The wait is
+// bounded by ctx: a caller that goes on to open a write gate must pass a
+// context that cannot be cancelled mid-promotion (context.Background()),
+// or an abandoned wait lets a still-running tailer race promoted writes.
 func (f *Follower) Promote(ctx context.Context) *ledger.Ledger {
 	f.mu.Lock()
 	f.promoted = true

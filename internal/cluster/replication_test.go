@@ -10,8 +10,10 @@ package cluster_test
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -202,6 +204,101 @@ func TestFollowerResyncAfterCompaction(t *testing.T) {
 		if sh.Seq == 0 {
 			t.Fatalf("shard %d still at seq 0 after compaction resync: %+v", sh.Shard, st)
 		}
+	}
+}
+
+// TestFollowerNoHopOnUndrainedSeal pins the segment-hop guard: a pull that
+// consumed 0 bytes is not proof the segment was drained. The proxy here
+// degrades each shard's first WAL pulls — a clean-but-empty 200, then a
+// 503 — while every segment listing advertises a phantom successor, so
+// each pull looks exactly like "the segment is sealed and I read nothing".
+// A follower that hops on that evidence alone silently skips the whole
+// segment and loses its bills; the guard must instead keep pulling until
+// it holds every listed byte, then hop, leaving the standby identical.
+func TestFollowerNoHopOnUndrainedSeal(t *testing.T) {
+	led, ts := newPrimary(t, primaryCfg(t.TempDir()))
+	streamRecords(t, ts.URL, "run-A", testRecords(t, 16, 240))
+
+	pass := func(w http.ResponseWriter, r *http.Request) {
+		u := ts.URL + r.URL.Path
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vv := range resp.Header {
+			for _, v := range vv {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}
+
+	var mu sync.Mutex
+	pulls := map[string]int{}
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/cluster/wal":
+			mu.Lock()
+			n := pulls[r.URL.Query().Get("shard")]
+			pulls[r.URL.Query().Get("shard")] = n + 1
+			mu.Unlock()
+			switch n {
+			case 0:
+				// Indistinguishable from a quiet-timeout pull of a drained
+				// segment — except nothing was delivered.
+				w.WriteHeader(http.StatusOK)
+			case 1:
+				// A transient outage: zero bytes consumed, non-200.
+				http.Error(w, "unavailable", http.StatusServiceUnavailable)
+			default:
+				pass(w, r)
+			}
+		case "/cluster/segments":
+			resp, err := http.Get(ts.URL + "/cluster/segments")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			var list cluster.SegmentList
+			derr := json.NewDecoder(resp.Body).Decode(&list)
+			resp.Body.Close()
+			if derr != nil {
+				http.Error(w, derr.Error(), http.StatusBadGateway)
+				return
+			}
+			// A phantom successor per shard: every real segment always
+			// looks sealed while it still has bytes to give.
+			fake := uint64(0)
+			shards := map[int]bool{}
+			for _, seg := range list.Segments {
+				shards[seg.Shard] = true
+				if seg.Seq >= fake {
+					fake = seg.Seq + 1
+				}
+			}
+			for shard := range shards {
+				list.Segments = append(list.Segments, cluster.SegmentPosition{Shard: shard, Seq: fake})
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(list)
+		default:
+			pass(w, r)
+		}
+	}))
+	t.Cleanup(proxy.Close)
+
+	f, _ := newFollower(t, proxy.URL)
+	// Caught up here means every shard hopped onto the phantom successor —
+	// which the guard only allows after the real segment fully applied.
+	waitCaughtUp(t, f, proxy.URL)
+	if err := ledgertest.Diff(led, f.Ledger()); err != nil {
+		t.Fatalf("standby diverged — a degraded pull hopped past unapplied WAL bytes: %v", err)
 	}
 }
 

@@ -33,8 +33,11 @@ import (
 //
 // The usage scatter preserves single-node billing semantics exactly: keys
 // derive from physical line numbers before partitioning, a tenant's lines
-// reach its owner in stream order, and locally-synthesised rejections
-// (malformed JSON, missing tenant) reuse the server's own message text.
+// reach its owner in stream order, locally-synthesised rejections
+// (malformed JSON, missing tenant) reuse the server's own message text,
+// and an unreachable owner mid-stream surfaces as Dropped lines plus a
+// StreamError in the merged response — never an opaque 502 that would
+// hide what other nodes already billed.
 type Router struct {
 	//litmus:unguarded immutable after NewRouter
 	client *Client
@@ -175,6 +178,7 @@ func (rt *Router) handleUsage(w http.ResponseWriter, r *http.Request) {
 	streamKey := r.Header.Get("Idempotency-Key")
 	scatter := &usageScatter{sums: map[string]api.TenantSummary{}}
 	batches := map[string]*ownerBatch{}
+	streamErr := ""
 
 	flush := func(name string) error {
 		b := batches[name]
@@ -191,6 +195,30 @@ func (rt *Router) handleUsage(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}
 
+	// dropBatch accounts a batch whose forward failed: the owner node never
+	// acknowledged these lines, so they count as Dropped with per-line 502s
+	// and the first failure becomes the StreamError. The caller still gets
+	// the merged partial accounting — mirroring a single node's mid-stream
+	// failure semantics — rather than an opaque 502 that would hide what
+	// other nodes already billed and invite a double-billing full retry.
+	dropBatch := func(name string, ferr error) {
+		if streamErr == "" {
+			streamErr = ferr.Error()
+		}
+		b := batches[name]
+		scatter.resp.Dropped += len(b.records)
+		for _, line := range b.lines {
+			if len(scatter.resp.Errors) < api.DefaultMaxStreamErrors {
+				scatter.resp.Errors = append(scatter.resp.Errors, api.LineError{
+					Line:  line,
+					Error: api.Error{Status: http.StatusBadGateway, Message: ferr.Error()},
+				})
+			}
+		}
+		b.records = b.records[:0]
+		b.lines = b.lines[:0]
+	}
+
 	sc := bufio.NewScanner(r.Body)
 	initial := 64 << 10
 	if int(rt.cfg.MaxBodyBytes) < initial {
@@ -198,7 +226,6 @@ func (rt *Router) handleUsage(w http.ResponseWriter, r *http.Request) {
 	}
 	sc.Buffer(make([]byte, 0, initial), int(rt.cfg.MaxBodyBytes))
 	lineNo := 0
-	streamErr := ""
 	for sc.Scan() {
 		lineNo++
 		if lineNo > rt.cfg.MaxStreamLines {
@@ -239,8 +266,10 @@ func (rt *Router) handleUsage(w http.ResponseWriter, r *http.Request) {
 		b.lines = append(b.lines, lineNo)
 		if len(b.records) >= rt.cfg.BatchSize {
 			if err := flush(name); err != nil {
-				routerError(w, http.StatusBadGateway, "%s", err)
-				return
+				// Stop reading — like a single node whose stream died
+				// mid-way — and report what every node accepted so far.
+				dropBatch(name, err)
+				break
 			}
 		}
 	}
@@ -259,8 +288,7 @@ func (rt *Router) handleUsage(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(names)
 	for _, name := range names {
 		if err := flush(name); err != nil {
-			routerError(w, http.StatusBadGateway, "%s", err)
-			return
+			dropBatch(name, err)
 		}
 	}
 	if scatter.resp.StreamError == "" {
