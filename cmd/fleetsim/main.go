@@ -75,6 +75,7 @@ type options struct {
 	remote        string
 	runID         string
 	retries       int
+	wire          string
 }
 
 func defaultOptions() options {
@@ -131,6 +132,7 @@ func main() {
 	flag.StringVar(&o.remote, "remote", o.remote, "pricing-service base URL, or a comma-separated cluster node list (url or name=url): usage then streams to each tenant's ring owner")
 	flag.StringVar(&o.runID, "run-id", o.runID, "idempotency run ID for -remote (default: time-derived; reuse to make retries replay-safe)")
 	flag.IntVar(&o.retries, "retries", o.retries, "re-sends per failed -remote batch: with run-ID keys the run survives a mid-stream service restart without double-billing")
+	flag.StringVar(&o.wire, "wire", o.wire, "usage-stream wire format for -remote: ndjson (default) or binary")
 	flag.BoolVar(&o.quiet, "q", o.quiet, "suppress progress logging")
 	flag.Parse()
 
@@ -232,7 +234,11 @@ func run(w, errw io.Writer, o options) error {
 	var sink *fleet.RemoteSink
 	runID := o.runID
 	if o.remote != "" {
-		client, err = dialRemote(o.remote)
+		wire, werr := api.ParseWireFormat(o.wire)
+		if werr != nil {
+			return werr
+		}
+		client, err = dialRemote(o.remote, wire)
 		if err != nil {
 			return err
 		}
@@ -340,15 +346,22 @@ type pricingService interface {
 
 // dialRemote resolves -remote: one node speaks to it directly, several form
 // a consistent-hash ring and every tenant-scoped call goes to its owner.
-func dialRemote(list string) (pricingService, error) {
+func dialRemote(list string, wire api.WireFormat) (pricingService, error) {
 	nodes, err := cluster.ParseNodes(list)
 	if err != nil {
 		return nil, err
 	}
 	if len(nodes) == 1 {
-		return api.NewClient(nodes[0].URL), nil
+		c := api.NewClient(nodes[0].URL)
+		c.Wire = wire
+		return c, nil
 	}
-	return cluster.NewClient(nodes, 0)
+	cc, err := cluster.NewClient(nodes, 0)
+	if err != nil {
+		return nil, err
+	}
+	cc.SetWire(wire)
+	return cc, nil
 }
 
 // collectRemote reads back the service-side summaries of exactly the

@@ -57,6 +57,7 @@ type options struct {
 	mix         string
 	tenants     int
 	runID       string
+	wire        string
 	format      string
 	search      bool
 	minRate     float64
@@ -103,6 +104,7 @@ func main() {
 	flag.StringVar(&o.mix, "mix", o.mix, "traffic mix as op=weight pairs over usage, quote, tenants, statement")
 	flag.IntVar(&o.tenants, "tenants", o.tenants, "synthetic tenants usage records are spread over")
 	flag.StringVar(&o.runID, "run-id", o.runID, "idempotency-key prefix for usage records (default: time-derived; reuse to make reruns no-ops)")
+	flag.StringVar(&o.wire, "wire", o.wire, "usage-stream wire format: ndjson (default) or binary")
 	flag.StringVar(&o.format, "format", o.format, "output format: table or json")
 	flag.BoolVar(&o.search, "search", o.search, "bisect [-min-rate, -max-rate] for the max rate meeting the SLO instead of one run")
 	flag.Float64Var(&o.minRate, "min-rate", o.minRate, "search bracket floor (req/s)")
@@ -171,7 +173,12 @@ func run(ctx context.Context, w, errw io.Writer, o options) error {
 		return err
 	}
 
+	wire, err := api.ParseWireFormat(o.wire)
+	if err != nil {
+		return err
+	}
 	client := api.NewClient(o.target)
+	client.Wire = wire
 	if err := client.Health(ctx); err != nil {
 		return fmt.Errorf("target %s: %w", o.target, err)
 	}

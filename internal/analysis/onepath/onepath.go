@@ -2,14 +2,17 @@
 // the system flows through one sanctioned pricing path, so no subsystem can
 // side-door money into the ledger.
 //
-// Calls to (*ledger.Ledger).Accrue are permitted only from:
+// Calls to (*ledger.Ledger).Accrue and its batched counterpart
+// (*ledger.Ledger).AccrueBatch are permitted only from:
 //
 //   - the ledger subsystem itself (repro/internal/ledger and its
 //     subpackages — WAL replay and the differential/crash harnesses);
 //   - api.(*Server).priceAndAccrue, the one function that prices a request
 //     and bills the result (PR 3 made it the single accrual path);
 //   - _test.go files, which exercise the ledger directly by design;
-//   - call sites annotated //litmus:allow-accrue <why>.
+//   - call sites annotated //litmus:allow-accrue <why> (the api stream
+//     collector's batched flush carries one: it is priceAndAccrue's
+//     batched delegate, same entries, same standby gate).
 //
 // Calls to (*ledger.Ledger).ApplyReplica — the replication side door that
 // applies a primary's already-decided outcomes — are gated the same way,
@@ -72,12 +75,12 @@ func run(pass *analysis.Pass) error {
 					return true
 				}
 				method := sel.Sel.Name
-				if method != "Accrue" && method != "ApplyReplica" {
+				if method != "Accrue" && method != "AccrueBatch" && method != "ApplyReplica" {
 					return true
 				}
 				// priceAndAccrue sanctions pricing, not replication: a path
 				// that both prices and replicates would double-bill.
-				if method == "Accrue" && inSanctioned {
+				if (method == "Accrue" || method == "AccrueBatch") && inSanctioned {
 					return true
 				}
 				if !isLedgerMethod(pass, sel) {
@@ -87,9 +90,9 @@ func run(pass *analysis.Pass) error {
 					return true
 				}
 				switch method {
-				case "Accrue":
-					pass.Reportf(call.Pos(), "ledger.Accrue outside the sanctioned pricing path; bill through api.(*Server).%s or annotate %sallow-accrue with a reason",
-						sanctionedFunc, analysis.DirectivePrefix)
+				case "Accrue", "AccrueBatch":
+					pass.Reportf(call.Pos(), "ledger.%s outside the sanctioned pricing path; bill through api.(*Server).%s or annotate %sallow-accrue with a reason",
+						method, sanctionedFunc, analysis.DirectivePrefix)
 				case "ApplyReplica":
 					pass.Reportf(call.Pos(), "ledger.ApplyReplica outside the replication path; only a WAL-tailing follower may apply primary outcomes — annotate %sallow-accrue with a reason",
 						analysis.DirectivePrefix)

@@ -25,8 +25,11 @@
 // tenants are a paginated collection, a statement is a windowed read of a
 // tenant's bill, and the calibration tables are a versioned resource:
 //
-//	POST /v3/usage                    — streaming NDJSON ingest: one usage
-//	                                    record per line, decoded in constant
+//	POST /v3/usage                    — streaming usage ingest in either
+//	                                    wire format — NDJSON (one record per
+//	                                    line) or binary frames (Content-Type
+//	                                    application/x-litmus-frames, see
+//	                                    frames.go) — decoded in constant
 //	                                    memory, per-line errors, idempotent
 //	                                    retries via idempotency keys
 //	GET  /v3/tenants                  — sorted tenant listing with cursor
@@ -56,7 +59,7 @@ import (
 // Limits applied when Config leaves them zero.
 const (
 	// DefaultMaxBodyBytes bounds request bodies (http.MaxBytesReader) and,
-	// on /v3/usage, each NDJSON line.
+	// on /v3/usage, each NDJSON line / binary frame payload.
 	DefaultMaxBodyBytes = 1 << 20
 	// DefaultMaxBatch bounds the number of quotes in one /v2/quotes call.
 	DefaultMaxBatch = 1024

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/api/apitest"
+	"repro/internal/core"
 )
 
 // benchServer builds a server on the synthetic fixture for the ingest
@@ -75,6 +76,91 @@ func BenchmarkUsageStream(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(lines*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// benchUsageRecord is benchRecord as a typed record for the binary encoder:
+// the same congested usage, so the two wire formats price identical streams.
+func benchUsageRecord(tenant string, mem int) UsageRecord {
+	return UsageRecord{QuoteRequest: QuoteRequest{
+		Usage: core.Usage{
+			Language: "py",
+			MemoryMB: mem,
+			TPrivate: 0.08,
+			TShared:  0.02,
+			Probe: &core.ProbeUsage{
+				TPrivate:        apitest.SoloTPrivate * 1.3,
+				TShared:         apitest.SoloTShared * 1.9,
+				MachineL3Misses: 1.2e7,
+			},
+		},
+		Tenant: tenant,
+	}}
+}
+
+// benchFrameBody renders the binary-frame twin of the NDJSON bench stream.
+func benchFrameBody(lines, tenants int) []byte {
+	var body []byte
+	for i := 0; i < lines; i++ {
+		rec := benchUsageRecord(fmt.Sprintf("t%d", i%tenants), 128+64*(i%8))
+		body = AppendUsageFrame(body, &rec)
+	}
+	return body
+}
+
+// BenchmarkUsageStreamBinary measures the binary-frame /v3/usage ingest loop
+// over the same records as BenchmarkUsageStream: the NDJSON-vs-binary delta
+// is the wire format's, nothing else. The ≥2M records/s fast-path target in
+// BENCH_ledger.json comes from this benchmark.
+func BenchmarkUsageStreamBinary(b *testing.B) {
+	srv := benchServer(b)
+	const lines = 512
+	body := benchFrameBody(lines, 8)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v3/usage", bytes.NewReader(body))
+		req.Header.Set("Content-Type", ContentTypeFrames)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportMetric(float64(lines*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkUsageStreamBinarySharded is BenchmarkUsageStreamSharded's binary
+// twin: the frame pipeline across ledger shard counts.
+func BenchmarkUsageStreamBinarySharded(b *testing.B) {
+	const lines = 2048
+	const tenants = 64
+	var body []byte
+	for i := 0; i < lines; i++ {
+		rec := benchUsageRecord(fmt.Sprintf("t%02d", i%tenants), 128+64*(i%8))
+		body = AppendUsageFrame(body, &rec)
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv, err := New(Config{Calibration: apitest.Calibration(), Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(body)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v3/usage", bytes.NewReader(body))
+				req.Header.Set("Content-Type", ContentTypeFrames)
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			b.ReportMetric(float64(lines*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
 }
 
 // BenchmarkUsageStreamSharded measures the parallel /v3/usage pipeline —

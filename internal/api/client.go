@@ -20,6 +20,49 @@ type Client struct {
 	// HTTPClient overrides the transport; nil means a shared client built
 	// on DefaultTransport (connection reuse sized for high-rate callers).
 	HTTPClient *http.Client
+	// Wire selects the encoding StreamUsage sends /v3/usage records in;
+	// the zero value is NDJSON, WireFrames the binary frame format. Either
+	// way the server's response is identical record for record.
+	Wire WireFormat
+}
+
+// WireFormat names a /v3/usage stream encoding.
+type WireFormat int
+
+const (
+	// WireNDJSON streams one JSON record per line (the default).
+	WireNDJSON WireFormat = iota
+	// WireFrames streams length-prefixed CRC-framed binary records
+	// (Content-Type: application/x-litmus-frames); see frames.go.
+	WireFrames
+)
+
+// ParseWireFormat parses a wire-format flag value: "", "ndjson" or "json"
+// select NDJSON; "binary" or "frames" select the binary frame format.
+func ParseWireFormat(s string) (WireFormat, error) {
+	switch strings.ToLower(s) {
+	case "", "ndjson", "json":
+		return WireNDJSON, nil
+	case "binary", "frames":
+		return WireFrames, nil
+	}
+	return WireNDJSON, fmt.Errorf("unknown wire format %q (want ndjson or binary)", s)
+}
+
+// String returns the canonical flag spelling of the format.
+func (f WireFormat) String() string {
+	if f == WireFrames {
+		return "binary"
+	}
+	return "ndjson"
+}
+
+// ContentType returns the Content-Type the format is streamed under.
+func (f WireFormat) ContentType() string {
+	if f == WireFrames {
+		return ContentTypeFrames
+	}
+	return ContentTypeNDJSON
 }
 
 // NewClient returns a client for the service at baseURL.
@@ -203,28 +246,60 @@ func (c *Client) TenantSummary(ctx context.Context, tenant string) (TenantSummar
 
 // --- /v3 ---------------------------------------------------------------------
 
-// StreamUsage appends records to the usage stream (POST /v3/usage) as
-// NDJSON. A non-empty key is sent as the Idempotency-Key header: lines
-// without their own key inherit a derived one, so retrying the exact same
-// call with the same key cannot double-bill (the retry comes back counted
-// under Duplicates). Per-line failures are reported in the response, not as
-// a call error.
+// StreamUsage appends records to the usage stream (POST /v3/usage) in the
+// client's wire format — NDJSON by default, binary frames when Wire is
+// WireFrames; the server's per-record semantics are identical either way.
+// A non-empty key is sent as the Idempotency-Key header: records without
+// their own key inherit a derived one, so retrying the exact same call with
+// the same key cannot double-bill (the retry comes back counted under
+// Duplicates). Per-record failures are reported in the response, not as a
+// call error.
 func (c *Client) StreamUsage(ctx context.Context, key string, records []UsageRecord) (UsageStreamResponse, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf) // Encode terminates each value with '\n': NDJSON
-	for _, rec := range records {
-		if err := enc.Encode(rec); err != nil {
-			return UsageStreamResponse{}, fmt.Errorf("api: encoding usage record: %w", err)
-		}
+	body, err := EncodeUsageStream(c.Wire, records)
+	if err != nil {
+		return UsageStreamResponse{}, err
 	}
-	var resp UsageStreamResponse
-	_, err := c.doRaw(ctx, http.MethodPost, "/v3/usage",
-		map[string]string{"Idempotency-Key": key}, "application/x-ndjson", &buf, &resp)
+	resp, err := c.StreamUsageBody(ctx, key, c.Wire.ContentType(), body)
 	if err != nil {
 		return UsageStreamResponse{}, err
 	}
 	if resp.Lines != len(records) {
 		return resp, fmt.Errorf("api: stream answered %d of %d records", resp.Lines, len(records))
+	}
+	return resp, nil
+}
+
+// EncodeUsageStream renders records as a /v3/usage request body in the
+// given wire format — one JSON line per record, or one binary frame each.
+func EncodeUsageStream(wire WireFormat, records []UsageRecord) ([]byte, error) {
+	if wire == WireFrames {
+		var body []byte
+		for i := range records {
+			body = AppendUsageFrame(body, &records[i])
+		}
+		return body, nil
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // Encode terminates each value with '\n': NDJSON
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			return nil, fmt.Errorf("api: encoding usage record: %w", err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// StreamUsageBody posts an already-encoded /v3/usage body under the given
+// Content-Type and returns the stream response verbatim — no record-count
+// check, so a caller forwarding someone else's stream (the cluster router)
+// can see a partial response for what it is and account the unprocessed
+// tail itself rather than discarding the server's partial accounting.
+func (c *Client) StreamUsageBody(ctx context.Context, key, contentType string, body []byte) (UsageStreamResponse, error) {
+	var resp UsageStreamResponse
+	_, err := c.doRaw(ctx, http.MethodPost, "/v3/usage",
+		map[string]string{"Idempotency-Key": key}, contentType, bytes.NewReader(body), &resp)
+	if err != nil {
+		return UsageStreamResponse{}, err
 	}
 	return resp, nil
 }

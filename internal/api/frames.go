@@ -1,0 +1,300 @@
+package api
+
+// The binary ingest wire format for POST /v3/usage: length-prefixed,
+// CRC-framed usage records, content-negotiated via Content-Type
+// (application/x-litmus-frames). It exists because NDJSON ingest is
+// decode-bound — JSON unmarshalling dominates the per-record cost by an
+// order of magnitude — while the frame decoder reuses one record, one
+// probe and one string-intern table across the whole stream, so the warm
+// path allocates nothing per record.
+//
+// Framing reuses the WAL idiom from internal/ledger/wal.go: every record is
+//
+//	[payloadLen u32 LE][crc32 u32 LE][payload]
+//
+// where payloadLen counts the payload bytes and the CRC (IEEE) covers the
+// payload. The payload itself is
+//
+//	version u8 | flags u8 (bit0: probe present) |
+//	minute varint (zigzag) | memoryMB varint (zigzag) |
+//	tPrivate f64 LE | tShared f64 LE |
+//	[probe: tPrivate f64 LE | tShared f64 LE | machineL3Misses f64 LE] |
+//	tenant | pricer | key | abbr | language   (each uvarint-len + bytes)
+//
+// A frame whose payload fails the CRC or does not parse exactly is rejected
+// individually — the length prefix keeps the stream in sync — while a torn
+// header/payload at EOF or an oversized declared length aborts the stream,
+// mirroring the NDJSON path's oversized-line semantics.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+const (
+	// ContentTypeFrames selects the binary frame ingest path on
+	// POST /v3/usage; ContentTypeNDJSON (and anything else) selects NDJSON.
+	ContentTypeFrames = "application/x-litmus-frames"
+	ContentTypeNDJSON = "application/x-ndjson"
+
+	frameHeaderLen    = 8
+	usageFrameVersion = 1
+	frameFlagProbe    = 1 << 0
+)
+
+// ErrFrameTooLarge marks a frame whose declared payload length exceeds the
+// reader's limit; the stream cannot be resynced past it.
+var ErrFrameTooLarge = errors.New("frame payload exceeds limit")
+
+// AppendUsageFrame appends rec's framed binary encoding to dst and returns
+// the extended slice.
+func AppendUsageFrame(dst []byte, rec *UsageRecord) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	flags := byte(0)
+	if rec.Probe != nil {
+		flags |= frameFlagProbe
+	}
+	dst = append(dst, usageFrameVersion, flags)
+	// Zigzag varints: minute and memoryMB are validated server-side, so the
+	// encoding must carry the invalid negatives a JSON line could — the two
+	// formats have to reject exactly the same records.
+	dst = binary.AppendVarint(dst, int64(rec.Minute))
+	dst = binary.AppendVarint(dst, int64(rec.MemoryMB))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.TPrivate))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.TShared))
+	if rec.Probe != nil {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.Probe.TPrivate))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.Probe.TShared))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(rec.Probe.MachineL3Misses))
+	}
+	for _, s := range [...]string{rec.Tenant, rec.Pricer, rec.Key, rec.Abbr, rec.Language} {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	payload := dst[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// internTable deduplicates the strings a stream repeats on every record
+// (tenant, pricer, language, abbr): the map lookup with a []byte key
+// compiles to no allocation, so a warm stream decodes its strings for free.
+// Interned strings are immutable and safe to retain past the decoder.
+type internTable struct {
+	m map[string]string
+}
+
+const (
+	// maxInternEntries bounds the table so an adversarial stream of unique
+	// strings cannot grow it without limit; maxInternBytes keeps oversized
+	// one-off strings out of it entirely.
+	maxInternEntries = 4096
+	maxInternBytes   = 256
+)
+
+func (t *internTable) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > maxInternBytes {
+		return string(b)
+	}
+	if t.m == nil {
+		t.m = make(map[string]string, 64)
+	}
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(t.m) < maxInternEntries {
+		t.m[s] = s
+	}
+	return s
+}
+
+// strCached is str behind a one-entry memo: a given field in a usage stream
+// repeats heavily (one producer, one language), so the common case becomes a
+// length check plus memcmp instead of a map probe.
+func (t *internTable) strCached(last *string, b []byte) string {
+	if len(b) == len(*last) && string(b) == *last {
+		return *last
+	}
+	s := t.str(b)
+	*last = s
+	return s
+}
+
+// FrameDecoder decodes usage frames with zero steady-state allocations: the
+// record, its probe and the intern table are reused across Decode calls.
+// The returned record is only valid until the next Decode — callers copy
+// out what they keep (the interned strings themselves are stable).
+type FrameDecoder struct {
+	rec   UsageRecord
+	probe core.ProbeUsage
+	in    internTable
+	// Per-field intern memos (see internTable.strCached).
+	lastTenant, lastPricer, lastAbbr, lastLang string
+}
+
+// Decode verifies the payload against crc and parses it into the reused
+// record. Failures come back as a per-frame *Error with the same status the
+// NDJSON path gives a malformed line; the caller decides stream-level
+// consequences (there are none — the length prefix keeps the offset in
+// sync).
+func (d *FrameDecoder) Decode(payload []byte, crc uint32) (*UsageRecord, *Error) {
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, &Error{Status: http.StatusBadRequest, Message: "frame crc mismatch"}
+	}
+	if err := d.decodePayload(payload); err != nil {
+		return nil, &Error{Status: http.StatusBadRequest, Message: fmt.Sprintf("malformed frame: %v", err)}
+	}
+	return &d.rec, nil
+}
+
+// decodePayload parses one frame payload into the reused record. It must
+// consume every byte — trailing garbage inside a CRC-valid frame is still a
+// corrupt record (the WAL decoder draws the same line).
+func (d *FrameDecoder) decodePayload(b []byte) error {
+	if len(b) < 2 {
+		return fmt.Errorf("payload truncated at %d bytes", len(b))
+	}
+	if b[0] != usageFrameVersion {
+		return fmt.Errorf("unknown frame version %d", b[0])
+	}
+	flags := b[1]
+	if flags&^frameFlagProbe != 0 {
+		return fmt.Errorf("unknown frame flags %#x", flags)
+	}
+	b = b[2:]
+	minute, n := binary.Varint(b)
+	if n <= 0 {
+		return fmt.Errorf("bad minute varint")
+	}
+	b = b[n:]
+	mem, n := binary.Varint(b)
+	if n <= 0 {
+		return fmt.Errorf("bad memoryMB varint")
+	}
+	b = b[n:]
+	if len(b) < 16 {
+		return fmt.Errorf("occupancy truncated")
+	}
+	rec := &d.rec
+	rec.Minute = int(minute)
+	rec.MemoryMB = int(mem)
+	rec.TPrivate = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	rec.TShared = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	b = b[16:]
+	if flags&frameFlagProbe != 0 {
+		if len(b) < 24 {
+			return fmt.Errorf("probe truncated")
+		}
+		d.probe.TPrivate = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		d.probe.TShared = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+		d.probe.MachineL3Misses = math.Float64frombits(binary.LittleEndian.Uint64(b[16:]))
+		rec.Probe = &d.probe
+		b = b[24:]
+	} else {
+		rec.Probe = nil
+	}
+	var fields [5][]byte
+	for i := range fields {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || l > uint64(len(b)-n) {
+			return fmt.Errorf("bad string length")
+		}
+		fields[i] = b[n : n+int(l)]
+		b = b[n+int(l):]
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%d trailing bytes in frame", len(b))
+	}
+	rec.Tenant = d.in.strCached(&d.lastTenant, fields[0])
+	rec.Pricer = d.in.strCached(&d.lastPricer, fields[1])
+	// Keys are near-unique by design — interning them would churn the table
+	// for no hits.
+	if len(fields[2]) == 0 {
+		rec.Key = ""
+	} else {
+		rec.Key = string(fields[2])
+	}
+	rec.Abbr = d.in.strCached(&d.lastAbbr, fields[3])
+	rec.Language = d.in.strCached(&d.lastLang, fields[4])
+	return nil
+}
+
+// FrameReader walks a binary usage stream frame by frame, reusing one
+// payload buffer. Next's result is valid until the following Next.
+type FrameReader struct {
+	br  *bufio.Reader
+	max int
+	buf []byte // spill for payloads larger than the bufio window
+}
+
+// NewFrameReader reads frames from r, rejecting any frame whose declared
+// payload exceeds maxPayload bytes (the binary analogue of the NDJSON
+// per-line cap).
+func NewFrameReader(r io.Reader, maxPayload int64) *FrameReader {
+	size := 64 << 10
+	if int64(size) > maxPayload+frameHeaderLen {
+		size = int(maxPayload) + frameHeaderLen
+	}
+	return &FrameReader{br: bufio.NewReaderSize(r, size), max: int(maxPayload)}
+}
+
+// Reset prepares the reader for a new stream, keeping its buffered window
+// and spill buffer (FrameReaders are pooled per server — the 64KB window is
+// the ingest path's largest allocation).
+func (fr *FrameReader) Reset(r io.Reader) {
+	fr.br.Reset(r)
+}
+
+// Next returns the next frame's payload and declared CRC. It returns io.EOF
+// at a clean frame boundary; an oversized declared length comes back
+// wrapping ErrFrameTooLarge, and a torn header or payload as a descriptive
+// error — in both cases the stream cannot continue. The CRC is NOT verified
+// here; FrameDecoder.Decode checks it so a corrupt payload rejects one
+// frame without desyncing the offset.
+func (fr *FrameReader) Next() ([]byte, uint32, error) {
+	hdr, err := fr.br.Peek(frameHeaderLen)
+	if err != nil {
+		if err == io.EOF {
+			if len(hdr) == 0 {
+				return nil, 0, io.EOF
+			}
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, 0, fmt.Errorf("torn frame header: %v", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if int64(length) > int64(fr.max) {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
+	}
+	fr.br.Discard(frameHeaderLen)
+	// Fast path: serve the payload straight out of the bufio window — no
+	// copy. Peek fills as needed, so this only falls through when the
+	// payload exceeds the buffer (ErrBufferFull) or the stream is torn.
+	if payload, err := fr.br.Peek(int(length)); err == nil {
+		fr.br.Discard(int(length))
+		return payload, crc, nil
+	}
+	if cap(fr.buf) < int(length) {
+		fr.buf = make([]byte, length)
+	}
+	buf := fr.buf[:length]
+	if _, err := io.ReadFull(fr.br, buf); err != nil {
+		return nil, 0, fmt.Errorf("torn frame payload: %v", err)
+	}
+	return buf, crc, nil
+}

@@ -96,6 +96,10 @@ type Server struct {
 	// primary; Promote clears it. Reads always serve.
 	standby atomic.Bool
 
+	// framePool recycles FrameReaders (binary /v3/usage): their bufio
+	// window is sized from cfg.MaxBodyBytes, so the pool is per-server.
+	framePool sync.Pool
+
 	// metrics is the per-route request accounting /healthz reports; the map
 	// is frozen by New, the values are atomics.
 	//
@@ -402,8 +406,19 @@ func (s *Server) snapshot() map[string]core.Pricer {
 // pricing, no accrual. It returns a structured error instead of writing, so
 // the batch and stream handlers can embed failures inline.
 func (s *Server) priceOne(pricers map[string]core.Pricer, req QuoteRequest) (*QuoteResponse, *Error) {
+	resp := new(QuoteResponse)
+	if apiErr := s.priceOneInto(pricers, req, resp); apiErr != nil {
+		return nil, apiErr
+	}
+	return resp, nil
+}
+
+// priceOneInto prices into a caller-owned response so the stream collectors
+// can pool and reuse QuoteResponse values. Every field is overwritten on
+// success; on error the response contents are undefined.
+func (s *Server) priceOneInto(pricers map[string]core.Pricer, req QuoteRequest, out *QuoteResponse) *Error {
 	if err := req.Usage.Validate(); err != nil {
-		return nil, &Error{Status: http.StatusBadRequest, Message: err.Error()}
+		return &Error{Status: http.StatusBadRequest, Message: err.Error()}
 	}
 	name := req.Pricer
 	if name == "" {
@@ -411,13 +426,13 @@ func (s *Server) priceOne(pricers map[string]core.Pricer, req QuoteRequest) (*Qu
 	}
 	pricer, ok := pricers[name]
 	if !ok {
-		return nil, &Error{Status: http.StatusBadRequest, Message: fmt.Sprintf("unknown pricer %q", name)}
+		return &Error{Status: http.StatusBadRequest, Message: fmt.Sprintf("unknown pricer %q", name)}
 	}
 	q, err := pricer.Quote(req.Usage)
 	if err != nil {
-		return nil, &Error{Status: http.StatusBadRequest, Message: err.Error()}
+		return &Error{Status: http.StatusBadRequest, Message: err.Error()}
 	}
-	return &QuoteResponse{
+	*out = QuoteResponse{
 		Abbr:       q.Abbr,
 		Tenant:     req.Tenant,
 		Pricer:     name,
@@ -434,7 +449,47 @@ func (s *Server) priceOne(pricers map[string]core.Pricer, req QuoteRequest) (*Qu
 			TotalSlow:  q.Estimate.TotalSlow,
 			Weight:     q.Estimate.Weight,
 		},
-	}, nil
+	}
+	return nil
+}
+
+// pricerMemo caches the last registry hit for one stream (or one pipeline
+// worker): nearly every record in a stream names the same pricer — usually
+// none at all, meaning DefaultPricer — so the per-record map probe collapses
+// to a string compare. Only valid against a single pricers snapshot; never
+// share one memo across snapshots.
+type pricerMemo struct {
+	name   string
+	pricer core.Pricer
+}
+
+// priceForStream prices one usage record without materialising a
+// QuoteResponse: the stream response reports counters and tenant summaries,
+// never per-line quotes, so the collectors only need what the ledger entry
+// carries. Validation and pricing are exactly priceOneInto's — same order,
+// same error wording — minus the response assembly.
+func (s *Server) priceForStream(pricers map[string]core.Pricer, memo *pricerMemo, req *QuoteRequest) (string, float64, float64, *Error) {
+	if err := req.Usage.Validate(); err != nil {
+		return "", 0, 0, &Error{Status: http.StatusBadRequest, Message: err.Error()}
+	}
+	name := req.Pricer
+	if name == "" {
+		name = DefaultPricer
+	}
+	pricer := memo.pricer
+	if pricer == nil || name != memo.name {
+		var ok bool
+		pricer, ok = pricers[name]
+		if !ok {
+			return "", 0, 0, &Error{Status: http.StatusBadRequest, Message: fmt.Sprintf("unknown pricer %q", name)}
+		}
+		memo.name, memo.pricer = name, pricer
+	}
+	q, err := pricer.Quote(req.Usage)
+	if err != nil {
+		return "", 0, 0, &Error{Status: http.StatusBadRequest, Message: err.Error()}
+	}
+	return name, q.Commercial, q.Price, nil
 }
 
 // priceAndAccrue prices one request and, when it names a tenant, bills it
@@ -480,6 +535,13 @@ func (s *Server) accrue(resp *QuoteResponse, tenant string, minute int, key stri
 		Price:      resp.Price,
 		Key:        key,
 	})
+	return s.mapAccrual(outcome, err)
+}
+
+// mapAccrual translates a ledger accrual outcome into the API's terms. It is
+// shared by the per-record path above and the stream collectors' batched
+// path, so both report identical statuses and wording.
+func (s *Server) mapAccrual(outcome ledger.Outcome, err error) (ledger.Outcome, *Error) {
 	if err != nil {
 		// A failing disk is the service's fault, not the request's.
 		if errors.Is(err, ledger.ErrDurability) {

@@ -13,10 +13,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -29,12 +31,37 @@ import (
 // decode/price parallelism stops paying for the goroutine bookkeeping.
 const maxIngestWorkers = 16
 
+// accrueBatchSize is the collector's flush threshold: priced results are
+// billed through ledger.AccrueBatch in runs of this size, so a durable
+// ledger group-commits one fsync per run instead of one per record.
+const accrueBatchSize = 256
+
 // linePool recycles per-line copies of the scanner's buffer across streams,
 // so steady-state ingest allocates no line buffers at all.
 var linePool = sync.Pool{New: func() any {
 	b := make([]byte, 0, 4096)
 	return &b
 }}
+
+// frameDecPool recycles FrameDecoders across binary streams. The intern
+// table is the point: tenant and language strings survive from one request
+// to the next, so steady-state ingest re-decodes them without allocating.
+// Growth is bounded by maxInternEntries × maxInternBytes per decoder.
+var frameDecPool = sync.Pool{New: func() any { return &FrameDecoder{} }}
+
+// maxPooledLine caps the buffers putLine returns to the pool: one stream of
+// near-MaxBodyBytes lines must not leave megabyte buffers pinned in the
+// pool for every later stream to inherit.
+const maxPooledLine = 1 << 16
+
+// putLine releases a pooled line buffer. Every path that takes a buffer out
+// of linePool must reach exactly one putLine, error or not — a leak here
+// turns sustained malformed input into per-line allocations.
+func putLine(buf *[]byte) {
+	if cap(*buf) <= maxPooledLine {
+		linePool.Put(buf)
+	}
+}
 
 // ingestJob is one non-blank NDJSON line handed to the pricing workers.
 type ingestJob struct {
@@ -48,16 +75,19 @@ type ingestJob struct {
 }
 
 // ingestResult is one priced (or rejected) line on its way to the
-// collector. When err is nil, quote carries the price the collector will
-// accrue under (tenant, minute, key).
+// collector. When err is nil, (pricer, commercial, price) carry the quote
+// the collector will accrue under (tenant, minute, key) — the stream
+// response never echoes per-line quotes, so nothing larger is built.
 type ingestResult struct {
-	seq    int
-	line   int
-	tenant string
-	minute int
-	key    string
-	quote  *QuoteResponse
-	err    *Error
+	seq        int
+	line       int
+	tenant     string
+	pricer     string
+	minute     int
+	key        string
+	commercial float64
+	price      float64
+	err        *Error
 }
 
 // handleUsageStream ingests usage as streaming NDJSON: one UsageRecord per
@@ -82,6 +112,10 @@ func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 		v2Error(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeFrames) {
+		s.handleUsageFrames(w, r)
+		return
+	}
 	// One registry snapshot for the whole stream: every line prices against
 	// the same table generation even if tables are swapped mid-stream.
 	pricers := s.snapshot()
@@ -95,58 +129,15 @@ func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var memo pricerMemo
 			for j := range jobs {
-				results <- s.priceLine(pricers, streamKey, j)
+				results <- s.priceLine(pricers, &memo, streamKey, j)
 			}
 		}()
 	}
 
-	// The collector owns resp until its goroutine finishes: it applies
-	// results strictly in seq order and performs the accruals itself, so
-	// counters, billing and the capped error list behave exactly as a
-	// sequential pass would.
-	var resp UsageStreamResponse
-	touched := map[string]bool{}
-	collectorDone := make(chan struct{})
-	go func() {
-		defer close(collectorDone)
-		next := 0
-		pending := map[int]ingestResult{}
-		for res := range results {
-			pending[res.seq] = res
-			for {
-				ordered, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				next++
-				resp.Lines++
-				apiErr := ordered.err
-				outcome := ledger.Accrued
-				if apiErr == nil {
-					outcome, apiErr = s.accrue(ordered.quote, ordered.tenant, ordered.minute, ordered.key)
-				}
-				if apiErr != nil {
-					if apiErr.Status == http.StatusServiceUnavailable {
-						resp.Dropped++
-					} else {
-						resp.Rejected++
-					}
-					if len(resp.Errors) < DefaultMaxStreamErrors {
-						resp.Errors = append(resp.Errors, LineError{Line: ordered.line, Error: *apiErr})
-					}
-					continue
-				}
-				if outcome == ledger.Duplicate {
-					resp.Duplicates++
-				} else {
-					resp.Accepted++
-				}
-				touched[ordered.tenant] = true
-			}
-		}
-	}()
+	col := s.newUsageCollector()
+	collectorDone := col.collectLoop(results)
 
 	sc := bufio.NewScanner(r.Body)
 	// The scanner's limit is max(cap(buf), limit): keep the initial buffer
@@ -158,6 +149,7 @@ func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 	sc.Buffer(make([]byte, 0, initial), int(s.cfg.MaxBodyBytes))
 	lineNo, seq := 0, 0
 	streamErr := ""
+	oversized := 0
 	for sc.Scan() {
 		lineNo++
 		// The cap counts physical lines, blank or not, so a stream of bare
@@ -179,6 +171,10 @@ func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := sc.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {
+			// The oversized line itself is accounted below, after the
+			// collector drains: it is the last line the stream yields, so
+			// appending keeps the per-line errors in order.
+			oversized = lineNo + 1
 			streamErr = fmt.Sprintf("line %d exceeds %d bytes", lineNo+1, s.cfg.MaxBodyBytes)
 		} else {
 			streamErr = fmt.Sprintf("reading stream: %v", err)
@@ -188,26 +184,385 @@ func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	close(results)
 	<-collectorDone
-	resp.StreamError = streamErr
+	if oversized > 0 {
+		col.oversized(oversized, streamErr)
+	}
+	s.finishUsage(w, col, streamErr)
+}
 
-	names := make([]string, 0, len(touched))
-	for name := range touched {
+// finishUsage renders a usage stream's terminal response: the stream error
+// and the post-accrual summaries of every touched tenant.
+func (s *Server) finishUsage(w http.ResponseWriter, col *usageCollector, streamErr string) {
+	col.resp.StreamError = streamErr
+	names := make([]string, 0, len(col.touched))
+	for name := range col.touched {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		if sum, ok := s.summaryOf(name); ok {
-			resp.Tenants = append(resp.Tenants, sum)
+			col.resp.Tenants = append(col.resp.Tenants, sum)
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, col.resp)
+	col.release()
+}
+
+// usageCollector owns a usage stream's response accounting and its billing:
+// results are applied strictly in stream order, priced lines are buffered
+// and billed through the batched accrual funnel (one WAL group commit per
+// accrueBatchSize records), and counters, the capped error list and dedup
+// outcomes behave exactly as a sequential per-record pass would — the
+// differential tests hold both wire formats to that.
+type usageCollector struct {
+	s       *Server
+	resp    UsageStreamResponse
+	touched map[string]bool
+	// entries buffers the priced, not-yet-billed records; lines carries
+	// their 1-based stream positions in parallel.
+	entries []ledger.Entry
+	lines   []int
+	results []ledger.AccrualResult
+}
+
+// collectorPool recycles usageCollectors across streams: the entry/line/
+// result buffers and the touched set dominate steady-state ingest
+// allocations once the wire format itself is allocation-free.
+var collectorPool = sync.Pool{New: func() any {
+	return &usageCollector{touched: map[string]bool{}}
+}}
+
+func (s *Server) newUsageCollector() *usageCollector {
+	c := collectorPool.Get().(*usageCollector)
+	c.s = s
+	return c
+}
+
+// release clears everything the stream observed and returns the collector
+// to the pool. Callers must not touch the collector afterwards.
+func (c *usageCollector) release() {
+	if len(c.touched) > 4096 {
+		// Don't let one many-tenant stream pin a giant set for every
+		// later stream to inherit (same hygiene as maxPooledLine).
+		return
+	}
+	c.s = nil
+	clear(c.touched)
+	c.resp = UsageStreamResponse{Errors: c.resp.Errors[:0], Tenants: c.resp.Tenants[:0]}
+	c.entries = c.entries[:0]
+	c.lines = c.lines[:0]
+	collectorPool.Put(c)
+}
+
+// collectLoop drains results into the collector from a goroutine, reordering
+// by seq so out-of-order worker completions never reorder billing. The
+// returned channel closes after the final flush.
+func (c *usageCollector) collectLoop(results <-chan ingestResult) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := 0
+		pending := map[int]ingestResult{}
+		for res := range results {
+			pending[res.seq] = res
+			for {
+				ordered, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				c.add(&ordered)
+			}
+		}
+		c.flush()
+	}()
+	return done
+}
+
+// add accounts one in-order result: rejections fold into the response
+// immediately, priced lines become ledger entries waiting for the next
+// batched accrual.
+func (c *usageCollector) add(res *ingestResult) {
+	c.resp.Lines++
+	if res.err != nil {
+		c.fold(res.line, "", ledger.Dropped, res.err)
+		return
+	}
+	c.entries = append(c.entries, ledger.Entry{
+		Tenant:     res.tenant,
+		Pricer:     res.pricer,
+		Minute:     res.minute,
+		Commercial: res.commercial,
+		Price:      res.price,
+		Key:        res.key,
+	})
+	c.lines = append(c.lines, res.line)
+	if len(c.entries) >= accrueBatchSize {
+		c.flush()
+	}
+}
+
+// fold applies one decided line to the response counters.
+func (c *usageCollector) fold(line int, tenant string, outcome ledger.Outcome, apiErr *Error) {
+	if apiErr != nil {
+		if apiErr.Status == http.StatusServiceUnavailable {
+			c.resp.Dropped++
+		} else {
+			c.resp.Rejected++
+		}
+		if len(c.resp.Errors) < DefaultMaxStreamErrors {
+			c.resp.Errors = append(c.resp.Errors, LineError{Line: line, Error: *apiErr})
+		}
+		return
+	}
+	if outcome == ledger.Duplicate {
+		c.resp.Duplicates++
+	} else {
+		c.resp.Accepted++
+	}
+	// Check-then-assign: on a warm stream the tenant is already present,
+	// and a map read is cheaper than re-assigning every record.
+	if !c.touched[tenant] {
+		c.touched[tenant] = true
+	}
+}
+
+// oversized accounts the line (or frame) that overran the configured byte
+// limit: it is counted and reported like any rejected line — with the same
+// message as the StreamError — while the stream still aborts (the bytes
+// past it cannot be re-framed). Partial accounting for everything before it
+// is already merged by then.
+func (c *usageCollector) oversized(line int, msg string) {
+	c.resp.Lines++
+	c.resp.Rejected++
+	if len(c.resp.Errors) < DefaultMaxStreamErrors {
+		c.resp.Errors = append(c.resp.Errors, LineError{Line: line, Error: Error{Status: http.StatusBadRequest, Message: msg}})
+	}
+}
+
+// flush bills the buffered priced lines in order through ledger.AccrueBatch
+// and folds each outcome into the response. The standby gate is checked
+// here — the batched counterpart of Server.accrue's gate — so no collector
+// path can bill into a ledger replication owns.
+//
+//litmus:allow-accrue the stream collectors' batched delegate of accrue: same entries, same standby gate, one WAL group commit per flush
+func (c *usageCollector) flush() {
+	if len(c.entries) == 0 {
+		return
+	}
+	if c.s.standby.Load() {
+		stErr := &Error{Status: http.StatusServiceUnavailable, Message: "standby: writes go to the primary"}
+		for _, line := range c.lines {
+			c.fold(line, "", ledger.Dropped, stErr)
+		}
+		c.entries = c.entries[:0]
+		c.lines = c.lines[:0]
+		return
+	}
+	if cap(c.results) < len(c.entries) {
+		c.results = make([]ledger.AccrualResult, len(c.entries))
+	}
+	results := c.results[:len(c.entries)]
+	c.s.ledger.AccrueBatch(c.entries, results)
+	for i := range c.entries {
+		outcome, apiErr := c.s.mapAccrual(results[i].Outcome, results[i].Err)
+		c.fold(c.lines[i], c.entries[i].Tenant, outcome, apiErr)
+	}
+	c.entries = c.entries[:0]
+	c.lines = c.lines[:0]
+}
+
+// --- POST /v3/usage, binary frames -------------------------------------------
+
+// frameJob is one binary frame handed to the pricing workers (multi-core
+// path only; on one core the handler decodes inline).
+type frameJob struct {
+	seq  int
+	line int
+	crc  uint32
+	buf  *[]byte
+}
+
+// handleUsageFrames ingests the binary frame stream (see frames.go for the
+// wire format). Semantics are those of handleUsageStream — same validation
+// order, same error wording past the decode step, same derived idempotency
+// keys (frame n is line n), same batched accrual — with the JSON decode
+// replaced by the pooled frame decoder. On a single-CPU host the pipeline
+// would only add channel hops, so the stream is priced inline; with more
+// cores it runs the same scan/price/collect pipeline as NDJSON.
+func (s *Server) handleUsageFrames(w http.ResponseWriter, r *http.Request) {
+	pricers := s.snapshot()
+	streamKey := r.Header.Get("Idempotency-Key")
+	col := s.newUsageCollector()
+	fr, _ := s.framePool.Get().(*FrameReader)
+	if fr == nil {
+		fr = NewFrameReader(r.Body, s.cfg.MaxBodyBytes)
+	} else {
+		fr.Reset(r.Body)
+	}
+	defer s.framePool.Put(fr)
+
+	workers := min(runtime.GOMAXPROCS(0), maxIngestWorkers)
+	var streamErr string
+	var oversized int
+	if workers <= 1 {
+		streamErr, oversized = s.usageFramesSerial(pricers, streamKey, col, fr)
+	} else {
+		streamErr, oversized = s.usageFramesPipelined(pricers, streamKey, col, fr, workers)
+	}
+	if oversized > 0 {
+		col.oversized(oversized, streamErr)
+	}
+	s.finishUsage(w, col, streamErr)
+}
+
+// scanFrameErr converts a FrameReader error into the stream-level verdict:
+// (stream error message, oversized frame number or 0).
+func (s *Server) scanFrameErr(err error, frameNo int) (string, int) {
+	if errors.Is(err, ErrFrameTooLarge) {
+		return fmt.Sprintf("frame %d exceeds %d bytes", frameNo+1, s.cfg.MaxBodyBytes), frameNo + 1
+	}
+	return fmt.Sprintf("reading stream: %v", err), 0
+}
+
+// usageFramesSerial is the zero-goroutine fast path: read, decode, price
+// and collect every frame on the handler goroutine with fully reused
+// buffers. This is the ≥2M records/s path on one core.
+func (s *Server) usageFramesSerial(pricers map[string]core.Pricer, streamKey string, col *usageCollector, fr *FrameReader) (string, int) {
+	dec := frameDecPool.Get().(*FrameDecoder)
+	defer frameDecPool.Put(dec)
+	frameNo := 0
+	streamErr := ""
+	oversized := 0
+	var memo pricerMemo
+	var res ingestResult // reused: the serial path never escapes it
+	for {
+		payload, crc, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			streamErr, oversized = s.scanFrameErr(err, frameNo)
+			break
+		}
+		frameNo++
+		if frameNo > s.cfg.MaxStreamLines {
+			streamErr = fmt.Sprintf("stream exceeds %d frames", s.cfg.MaxStreamLines)
+			break
+		}
+		s.priceFrame(pricers, &memo, streamKey, dec, frameNo, payload, crc, &res)
+		col.add(&res)
+	}
+	col.flush()
+	return streamErr, oversized
+}
+
+// usageFramesPipelined mirrors the NDJSON three-stage pipeline for frames:
+// the handler reads and copies frames into pooled buffers, workers decode
+// and price (one reused decoder each), the collector reorders and bills.
+func (s *Server) usageFramesPipelined(pricers map[string]core.Pricer, streamKey string, col *usageCollector, fr *FrameReader, workers int) (string, int) {
+	jobs := make(chan frameJob, workers*4)
+	results := make(chan ingestResult, workers*4)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec := frameDecPool.Get().(*FrameDecoder)
+			defer frameDecPool.Put(dec)
+			var memo pricerMemo
+			for j := range jobs {
+				var res ingestResult
+				s.priceFrame(pricers, &memo, streamKey, dec, j.line, *j.buf, j.crc, &res)
+				res.seq = j.seq
+				putLine(j.buf)
+				results <- res
+			}
+		}()
+	}
+	collectorDone := col.collectLoop(results)
+
+	frameNo := 0
+	streamErr := ""
+	oversized := 0
+	for {
+		payload, crc, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			streamErr, oversized = s.scanFrameErr(err, frameNo)
+			break
+		}
+		frameNo++
+		if frameNo > s.cfg.MaxStreamLines {
+			streamErr = fmt.Sprintf("stream exceeds %d frames", s.cfg.MaxStreamLines)
+			break
+		}
+		buf := linePool.Get().(*[]byte)
+		*buf = append((*buf)[:0], payload...)
+		jobs <- frameJob{seq: frameNo - 1, line: frameNo, crc: crc, buf: buf}
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	<-collectorDone
+	return streamErr, oversized
+}
+
+// priceFrame decodes, validates and prices one binary frame into res — the
+// frame counterpart of priceLine, with identical validation order and error
+// wording past the decode step. The decoder's record is reused across
+// frames; everything res carries is copied out (interned strings are
+// stable). res is an out-param so the serial fast path can reuse one.
+func (s *Server) priceFrame(pricers map[string]core.Pricer, memo *pricerMemo, streamKey string, dec *FrameDecoder, frameNo int, payload []byte, crc uint32, res *ingestResult) {
+	// Partial reset: the remaining fields are only read when err == nil,
+	// and the success path below assigns every one of them.
+	res.seq = frameNo - 1
+	res.line = frameNo
+	res.err = nil
+	res.tenant = ""
+	rec, apiErr := dec.Decode(payload, crc)
+	if apiErr != nil {
+		res.err = apiErr
+		return
+	}
+	if rec.Tenant == "" {
+		res.err = &Error{Status: http.StatusBadRequest, Message: "usage record requires a tenant"}
+		return
+	}
+	if rec.Minute < 0 {
+		res.err = &Error{Status: http.StatusBadRequest, Message: fmt.Sprintf("negative minute %d", rec.Minute)}
+		return
+	}
+	if int64(rec.Minute) > ledger.MaxMinute {
+		res.err = &Error{Status: http.StatusBadRequest, Message: fmt.Sprintf("minute %d exceeds %d", rec.Minute, ledger.MaxMinute)}
+		return
+	}
+	key := rec.Key
+	if key == "" && streamKey != "" {
+		// Same derivation as the NDJSON path: frame n is physical line n.
+		key = fmt.Sprintf("%s#%d", streamKey, frameNo)
+	}
+	pricer, commercial, price, apiErr := s.priceForStream(pricers, memo, &rec.QuoteRequest)
+	if apiErr != nil {
+		res.err = apiErr
+		return
+	}
+	res.tenant = rec.Tenant
+	res.pricer = pricer
+	res.minute = rec.Minute
+	res.key = key
+	res.commercial = commercial
+	res.price = price
 }
 
 // priceLine decodes, validates and prices one NDJSON line — no accrual;
 // the collector bills priced lines in stream order. It returns the pooled
 // buffer when done. Runs on the ingest worker pool.
-func (s *Server) priceLine(pricers map[string]core.Pricer, streamKey string, j ingestJob) ingestResult {
-	defer linePool.Put(j.buf)
+func (s *Server) priceLine(pricers map[string]core.Pricer, memo *pricerMemo, streamKey string, j ingestJob) ingestResult {
+	defer putLine(j.buf)
 	res := ingestResult{seq: j.seq, line: j.line}
 	reject := func(format string, args ...any) ingestResult {
 		res.err = &Error{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)}
@@ -232,15 +587,17 @@ func (s *Server) priceLine(pricers map[string]core.Pricer, streamKey string, j i
 		// whole stream under the same Idempotency-Key is a no-op.
 		key = fmt.Sprintf("%s#%d", streamKey, j.line)
 	}
-	quote, apiErr := s.priceOne(pricers, rec.QuoteRequest)
+	pricer, commercial, price, apiErr := s.priceForStream(pricers, memo, &rec.QuoteRequest)
 	if apiErr != nil {
 		res.err = apiErr
 		return res
 	}
 	res.tenant = rec.Tenant
+	res.pricer = pricer
 	res.minute = rec.Minute
 	res.key = key
-	res.quote = quote
+	res.commercial = commercial
+	res.price = price
 	return res
 }
 

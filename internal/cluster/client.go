@@ -45,6 +45,15 @@ func NewClient(nodes []Node, vnodes int) (*Client, error) {
 // Ring exposes the client's ring (the router shares it).
 func (c *Client) Ring() *Ring { return c.ring }
 
+// SetWire selects the /v3/usage wire format every node client streams in
+// (NDJSON by default, api.WireFrames for the binary fast path). Call before
+// issuing requests; node clients are not otherwise reconfigured in flight.
+func (c *Client) SetWire(f api.WireFormat) {
+	for _, nc := range c.clients {
+		nc.Wire = f
+	}
+}
+
 // owner returns the api.Client for a tenant's owner node.
 func (c *Client) owner(tenant string) *api.Client {
 	return c.clients[c.ring.Owner(tenant).Name]

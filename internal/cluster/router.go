@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/api"
 	"repro/internal/core"
@@ -55,10 +56,15 @@ type RouterConfig struct {
 	// (default fleet.DefaultSinkBatch's 256, stated here literally to avoid
 	// the dependency).
 	BatchSize int
-	// MaxBodyBytes bounds one NDJSON line (default api.DefaultMaxBodyBytes);
-	// MaxStreamLines bounds the physical lines of one stream (default
-	// api.DefaultMaxStreamLines). Both mirror the single-node limits so the
-	// router rejects what a single node would reject.
+	// MaxBodyBytes bounds one NDJSON line or binary frame payload (default
+	// api.DefaultMaxBodyBytes); MaxStreamLines bounds the physical lines or
+	// frames of one stream (default api.DefaultMaxStreamLines). Keep both
+	// aligned with the owner nodes' limits: the router enforces its own
+	// limits FIRST, and a router configured looser than a node does not
+	// widen what the cluster accepts — the owner still rejects the
+	// oversized record and aborts its sub-stream, which the scatter then
+	// accounts as Dropped tail lines naming the node's own stream error
+	// (the router-rejects-first contract; see TestRouterNodeLimitSkew).
 	MaxBodyBytes   int64
 	MaxStreamLines int
 	// Client is the HTTP client used for proxied calls (default
@@ -137,7 +143,7 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 // ownerBatch accumulates one owner node's pending lines during a scatter.
 type ownerBatch struct {
 	records []api.UsageRecord
-	lines   []int // 1-based physical line numbers, parallel to records
+	lines   []int // 1-based physical line (or frame) numbers, parallel to records
 }
 
 // usageScatter merges per-node responses under original line numbering as
@@ -162,6 +168,27 @@ func (sc *usageScatter) fold(b *ownerBatch, resp api.UsageStreamResponse, node s
 	if resp.StreamError != "" && sc.resp.StreamError == "" {
 		sc.resp.StreamError = fmt.Sprintf("node %s: %s", node, resp.StreamError)
 	}
+	// A node that answered fewer lines than the batch carried aborted its
+	// sub-stream mid-way (its own line cap or byte limit — the limit-skew
+	// case RouterConfig.MaxBodyBytes documents). The node never examined
+	// the tail, so it is Dropped here with the node's own stream error;
+	// anything else would silently vanish billed-nothing lines from the
+	// merged accounting.
+	if resp.Lines < len(b.lines) {
+		msg := resp.StreamError
+		if msg == "" {
+			msg = "stream truncated by node"
+		}
+		for _, line := range b.lines[resp.Lines:] {
+			sc.resp.Dropped++
+			if len(sc.resp.Errors) < api.DefaultMaxStreamErrors {
+				sc.resp.Errors = append(sc.resp.Errors, api.LineError{
+					Line:  line,
+					Error: api.Error{Status: http.StatusBadGateway, Message: fmt.Sprintf("node %s: %s", node, msg)},
+				})
+			}
+		}
+	}
 	for _, sum := range resp.Tenants {
 		// A tenant flushed twice gets its summary twice; the later one
 		// reflects every accrual so far — keep it.
@@ -169,57 +196,156 @@ func (sc *usageScatter) fold(b *ownerBatch, resp api.UsageStreamResponse, node s
 	}
 }
 
+// usageForward is one in-flight /v3/usage scatter: the shared partition,
+// flush and failure accounting behind both wire formats' scan loops.
+type usageForward struct {
+	rt        *Router
+	ctx       context.Context
+	wire      api.WireFormat
+	streamKey string
+	scatter   *usageScatter
+	batches   map[string]*ownerBatch
+	streamErr string
+}
+
+func (rt *Router) newUsageForward(r *http.Request, wire api.WireFormat) *usageForward {
+	return &usageForward{
+		rt:        rt,
+		ctx:       r.Context(),
+		wire:      wire,
+		streamKey: r.Header.Get("Idempotency-Key"),
+		scatter:   &usageScatter{sums: map[string]api.TenantSummary{}},
+		batches:   map[string]*ownerBatch{},
+	}
+}
+
+// flush forwards one owner's pending batch in the stream's own wire format
+// — a binary stream is re-framed binary, never round-tripped through JSON.
+func (f *usageForward) flush(name string) error {
+	b := f.batches[name]
+	if b == nil || len(b.records) == 0 {
+		return nil
+	}
+	body, err := api.EncodeUsageStream(f.wire, b.records)
+	if err != nil {
+		return fmt.Errorf("forwarding to node %s: %v", name, err)
+	}
+	resp, err := f.rt.client.clients[name].StreamUsageBody(f.ctx, "", f.wire.ContentType(), body)
+	if err != nil {
+		return fmt.Errorf("forwarding to node %s: %v", name, err)
+	}
+	f.scatter.fold(b, resp, name)
+	b.records = b.records[:0]
+	b.lines = b.lines[:0]
+	return nil
+}
+
+// dropBatch accounts a batch whose forward failed: the owner node never
+// acknowledged these lines, so they count as Dropped with per-line 502s
+// and the first failure becomes the StreamError. The caller still gets
+// the merged partial accounting — mirroring a single node's mid-stream
+// failure semantics — rather than an opaque 502 that would hide what
+// other nodes already billed and invite a double-billing full retry.
+func (f *usageForward) dropBatch(name string, ferr error) {
+	if f.streamErr == "" {
+		f.streamErr = ferr.Error()
+	}
+	b := f.batches[name]
+	f.scatter.resp.Dropped += len(b.records)
+	for _, line := range b.lines {
+		if len(f.scatter.resp.Errors) < api.DefaultMaxStreamErrors {
+			f.scatter.resp.Errors = append(f.scatter.resp.Errors, api.LineError{
+				Line:  line,
+				Error: api.Error{Status: http.StatusBadGateway, Message: ferr.Error()},
+			})
+		}
+	}
+	b.records = b.records[:0]
+	b.lines = b.lines[:0]
+}
+
+// add partitions one decoded record to its owner's batch, flushing at the
+// batch threshold. It returns false when the scatter must stop (a forward
+// failed — like a single node whose stream died mid-way, the router stops
+// reading and reports what every node accepted so far).
+func (f *usageForward) add(rec api.UsageRecord, lineNo int) bool {
+	if rec.Key == "" && f.streamKey != "" {
+		// Same derivation as a single node: the stream key plus the
+		// PHYSICAL line number — so the cluster and a single node agree
+		// on every derived key, blank lines and all.
+		rec.Key = fmt.Sprintf("%s#%d", f.streamKey, lineNo)
+	}
+	name := f.rt.client.ring.Owner(rec.Tenant).Name
+	b := f.batches[name]
+	if b == nil {
+		b = &ownerBatch{}
+		f.batches[name] = b
+	}
+	b.records = append(b.records, rec)
+	b.lines = append(b.lines, lineNo)
+	if len(b.records) >= f.rt.cfg.BatchSize {
+		if err := f.flush(name); err != nil {
+			f.dropBatch(name, err)
+			return false
+		}
+	}
+	return true
+}
+
+// finish flushes the tail batches and writes the merged response.
+func (f *usageForward) finish(w http.ResponseWriter) {
+	// Flush tails in node order for a deterministic response.
+	names := make([]string, 0, len(f.batches))
+	for name := range f.batches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := f.flush(name); err != nil {
+			f.dropBatch(name, err)
+		}
+	}
+	resp := &f.scatter.resp
+	if resp.StreamError == "" {
+		resp.StreamError = f.streamErr
+	}
+	sort.Slice(resp.Errors, func(i, j int) bool {
+		return resp.Errors[i].Line < resp.Errors[j].Line
+	})
+	if len(resp.Errors) > api.DefaultMaxStreamErrors {
+		resp.Errors = resp.Errors[:api.DefaultMaxStreamErrors]
+	}
+	for _, sum := range f.scatter.sums {
+		resp.Tenants = append(resp.Tenants, sum)
+	}
+	sort.Slice(resp.Tenants, func(i, j int) bool {
+		return resp.Tenants[i].Tenant < resp.Tenants[j].Tenant
+	})
+	writeJSON(w, http.StatusOK, *resp)
+}
+
 func (rt *Router) handleUsage(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		routerError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	ctx := r.Context()
-	streamKey := r.Header.Get("Idempotency-Key")
-	scatter := &usageScatter{sums: map[string]api.TenantSummary{}}
-	batches := map[string]*ownerBatch{}
-	streamErr := ""
-
-	flush := func(name string) error {
-		b := batches[name]
-		if b == nil || len(b.records) == 0 {
-			return nil
-		}
-		resp, err := rt.client.clients[name].StreamUsage(ctx, "", b.records)
-		if err != nil {
-			return fmt.Errorf("forwarding to node %s: %v", name, err)
-		}
-		scatter.fold(b, resp, name)
-		b.records = b.records[:0]
-		b.lines = b.lines[:0]
-		return nil
+	wire := api.WireNDJSON
+	if strings.HasPrefix(r.Header.Get("Content-Type"), api.ContentTypeFrames) {
+		wire = api.WireFrames
 	}
-
-	// dropBatch accounts a batch whose forward failed: the owner node never
-	// acknowledged these lines, so they count as Dropped with per-line 502s
-	// and the first failure becomes the StreamError. The caller still gets
-	// the merged partial accounting — mirroring a single node's mid-stream
-	// failure semantics — rather than an opaque 502 that would hide what
-	// other nodes already billed and invite a double-billing full retry.
-	dropBatch := func(name string, ferr error) {
-		if streamErr == "" {
-			streamErr = ferr.Error()
-		}
-		b := batches[name]
-		scatter.resp.Dropped += len(b.records)
-		for _, line := range b.lines {
-			if len(scatter.resp.Errors) < api.DefaultMaxStreamErrors {
-				scatter.resp.Errors = append(scatter.resp.Errors, api.LineError{
-					Line:  line,
-					Error: api.Error{Status: http.StatusBadGateway, Message: ferr.Error()},
-				})
-			}
-		}
-		b.records = b.records[:0]
-		b.lines = b.lines[:0]
+	f := rt.newUsageForward(r, wire)
+	if wire == api.WireFrames {
+		rt.scanUsageFrames(f, r.Body)
+	} else {
+		rt.scanUsageLines(f, r.Body)
 	}
+	f.finish(w)
+}
 
-	sc := bufio.NewScanner(r.Body)
+// scanUsageLines walks an NDJSON stream, synthesising the rejections a
+// router can decide without pricing state.
+func (rt *Router) scanUsageLines(f *usageForward, body io.Reader) {
+	sc := bufio.NewScanner(body)
 	initial := 64 << 10
 	if int(rt.cfg.MaxBodyBytes) < initial {
 		initial = int(rt.cfg.MaxBodyBytes)
@@ -229,94 +355,108 @@ func (rt *Router) handleUsage(w http.ResponseWriter, r *http.Request) {
 	for sc.Scan() {
 		lineNo++
 		if lineNo > rt.cfg.MaxStreamLines {
-			streamErr = fmt.Sprintf("stream exceeds %d lines", rt.cfg.MaxStreamLines)
+			f.streamErr = fmt.Sprintf("stream exceeds %d lines", rt.cfg.MaxStreamLines)
 			break
 		}
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
 			continue
 		}
-		scatter.resp.Lines++
+		f.scatter.resp.Lines++
 		var rec api.UsageRecord
 		// Only failures a router can decide without pricing state are
 		// synthesised here, with the owner-node message text; everything
 		// else (minute bounds, unknown pricer, the tenant cap) is decided by
 		// the owner so the answer — and the error wording — is the node's.
 		if err := json.Unmarshal(raw, &rec); err != nil {
-			scatter.reject(lineNo, "malformed JSON: %v", err)
+			f.scatter.reject(lineNo, "malformed JSON: %v", err)
 			continue
 		}
 		if rec.Tenant == "" {
-			scatter.reject(lineNo, "usage record requires a tenant")
+			f.scatter.reject(lineNo, "usage record requires a tenant")
 			continue
 		}
-		if rec.Key == "" && streamKey != "" {
-			// Same derivation as a single node: the stream key plus the
-			// PHYSICAL line number — so the cluster and a single node agree
-			// on every derived key, blank lines and all.
-			rec.Key = fmt.Sprintf("%s#%d", streamKey, lineNo)
-		}
-		name := rt.client.ring.Owner(rec.Tenant).Name
-		b := batches[name]
-		if b == nil {
-			b = &ownerBatch{}
-			batches[name] = b
-		}
-		b.records = append(b.records, rec)
-		b.lines = append(b.lines, lineNo)
-		if len(b.records) >= rt.cfg.BatchSize {
-			if err := flush(name); err != nil {
-				// Stop reading — like a single node whose stream died
-				// mid-way — and report what every node accepted so far.
-				dropBatch(name, err)
-				break
-			}
+		if !f.add(rec, lineNo) {
+			return
 		}
 	}
-	if err := sc.Err(); err != nil && streamErr == "" {
+	if err := sc.Err(); err != nil && f.streamErr == "" {
 		if err == bufio.ErrTooLong {
-			streamErr = fmt.Sprintf("line %d exceeds %d bytes", lineNo+1, rt.cfg.MaxBodyBytes)
+			// Mirror the single-node semantics: the oversized line is
+			// counted and rejected per-line with the StreamError's own
+			// wording, and everything before it keeps its accounting.
+			f.streamErr = fmt.Sprintf("line %d exceeds %d bytes", lineNo+1, rt.cfg.MaxBodyBytes)
+			f.scatter.resp.Lines++
+			f.scatter.reject(lineNo+1, "%s", f.streamErr)
 		} else {
-			streamErr = fmt.Sprintf("reading stream: %v", err)
+			f.streamErr = fmt.Sprintf("reading stream: %v", err)
 		}
 	}
-	// Flush tails in node order for a deterministic response.
-	names := make([]string, 0, len(batches))
-	for name := range batches {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if err := flush(name); err != nil {
-			dropBatch(name, err)
+}
+
+// scanUsageFrames walks a binary frame stream (see api/frames.go). Decode
+// failures reuse the node's own FrameDecoder so the wording is identical;
+// healthy frames are re-framed per owner without touching JSON.
+func (rt *Router) scanUsageFrames(f *usageForward, body io.Reader) {
+	fr := api.NewFrameReader(body, rt.cfg.MaxBodyBytes)
+	dec := &api.FrameDecoder{}
+	frameNo := 0
+	for {
+		payload, crc, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, api.ErrFrameTooLarge) {
+				// Mirror the single-node oversized-frame semantics: counted,
+				// rejected per-frame with the StreamError's wording.
+				f.streamErr = fmt.Sprintf("frame %d exceeds %d bytes", frameNo+1, rt.cfg.MaxBodyBytes)
+				f.scatter.resp.Lines++
+				f.scatter.reject(frameNo+1, "%s", f.streamErr)
+			} else {
+				f.streamErr = fmt.Sprintf("reading stream: %v", err)
+			}
+			break
+		}
+		frameNo++
+		if frameNo > rt.cfg.MaxStreamLines {
+			f.streamErr = fmt.Sprintf("stream exceeds %d frames", rt.cfg.MaxStreamLines)
+			break
+		}
+		f.scatter.resp.Lines++
+		rec, apiErr := dec.Decode(payload, crc)
+		if apiErr != nil {
+			f.scatter.rejectErr(frameNo, apiErr)
+			continue
+		}
+		if rec.Tenant == "" {
+			f.scatter.reject(frameNo, "usage record requires a tenant")
+			continue
+		}
+		// The decoder reuses its record (and probe) across frames; copy
+		// what the batch keeps.
+		cp := *rec
+		if rec.Probe != nil {
+			p := *rec.Probe
+			cp.Probe = &p
+		}
+		if !f.add(cp, frameNo) {
+			return
 		}
 	}
-	if scatter.resp.StreamError == "" {
-		scatter.resp.StreamError = streamErr
-	}
-	sort.Slice(scatter.resp.Errors, func(i, j int) bool {
-		return scatter.resp.Errors[i].Line < scatter.resp.Errors[j].Line
-	})
-	if len(scatter.resp.Errors) > api.DefaultMaxStreamErrors {
-		scatter.resp.Errors = scatter.resp.Errors[:api.DefaultMaxStreamErrors]
-	}
-	for _, sum := range scatter.sums {
-		scatter.resp.Tenants = append(scatter.resp.Tenants, sum)
-	}
-	sort.Slice(scatter.resp.Tenants, func(i, j int) bool {
-		return scatter.resp.Tenants[i].Tenant < scatter.resp.Tenants[j].Tenant
-	})
-	writeJSON(w, http.StatusOK, scatter.resp)
 }
 
 // reject synthesises one locally-decided line rejection.
 func (sc *usageScatter) reject(line int, format string, args ...any) {
+	sc.rejectErr(line, &api.Error{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)})
+}
+
+// rejectErr records one locally-decided rejection with a ready-made error
+// (the frame decoder's, so router and node wording cannot drift).
+func (sc *usageScatter) rejectErr(line int, apiErr *api.Error) {
 	sc.resp.Rejected++
 	if len(sc.resp.Errors) < api.DefaultMaxStreamErrors {
-		sc.resp.Errors = append(sc.resp.Errors, api.LineError{
-			Line:  line,
-			Error: api.Error{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)},
-		})
+		sc.resp.Errors = append(sc.resp.Errors, api.LineError{Line: line, Error: *apiErr})
 	}
 }
 

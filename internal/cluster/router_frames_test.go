@@ -1,0 +1,214 @@
+package cluster_test
+
+// The router half of the binary-ingest equivalence proof: a frame stream
+// through the router answers exactly like the same records as NDJSON, and
+// exactly like a single node — and a router configured looser than its
+// nodes degrades loudly (dropped tail + per-line 502s), never silently.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/api/apitest"
+	"repro/internal/cluster"
+)
+
+// postUsage POSTs an encoded /v3/usage body and returns the raw response.
+func postUsage(t *testing.T, url, key, contentType string, body []byte) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v3/usage", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+// newRouter fronts a fresh n-node cluster with a Router.
+func newRouter(t *testing.T, n int, cfg cluster.RouterConfig) *httptest.Server {
+	t.Helper()
+	cc, err := cluster.NewClient(newCluster(t, n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(cluster.NewRouter(cc, cfg))
+	t.Cleanup(router.Close)
+	return router
+}
+
+// TestRouterUsageBinaryMatchesNDJSON drives one mixed workload — many
+// tenants, retried keys, keyless records, node-side rejects — through two
+// independent clusters, once per wire format, and requires byte-identical
+// responses: the router may split a binary stream per owner, but it must
+// not change what the stream means.
+func TestRouterUsageBinaryMatchesNDJSON(t *testing.T) {
+	records := testRecords(t, 15, 120)
+	records = append(records,
+		usageRecord(t, "bad", 0, 0, ""), // invalid usage: owner-node reject
+		func() api.UsageRecord { r := usageRecord(t, "odd", 128, 0, ""); r.Pricer = "no-such"; return r }(),
+		func() api.UsageRecord { r := usageRecord(t, "far", 128, 0, ""); r.Minute = 1 << 33; return r }(),
+		usageRecord(t, "tail", 192, 2, ""),
+	)
+
+	// A tiny batch size forces many partial flushes; a record with no
+	// tenant is rejected router-locally in both formats.
+	responses := map[api.WireFormat][]byte{}
+	for _, wire := range []api.WireFormat{api.WireNDJSON, api.WireFrames} {
+		router := newRouter(t, 3, cluster.RouterConfig{BatchSize: 8})
+		body, err := api.EncodeUsageStream(wire, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		responses[wire] = postUsage(t, router.URL, "run-bin", wire.ContentType(), body)
+	}
+	if !bytes.Equal(responses[api.WireNDJSON], responses[api.WireFrames]) {
+		t.Fatalf("router responses diverged:\n ndjson: %s\n frames: %s",
+			responses[api.WireNDJSON], responses[api.WireFrames])
+	}
+
+	// And the router answers exactly like one node fed the same frames.
+	_, single := newNode(t, nil, false)
+	body, err := api.EncodeUsageStream(api.WireFrames, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres := postUsage(t, single.URL, "run-bin", api.ContentTypeFrames, body)
+	if !bytes.Equal(responses[api.WireFrames], sres) {
+		t.Fatalf("router diverged from single node:\n router: %s\n single: %s",
+			responses[api.WireFrames], sres)
+	}
+}
+
+// TestRouterOversizedWordingMatchesNode holds the router's oversized-record
+// handling to the single node's, for both wire formats: same counters, same
+// per-line error, same StreamError wording, same partial accounting.
+func TestRouterOversizedWordingMatchesNode(t *testing.T) {
+	records := []api.UsageRecord{
+		usageRecord(t, "a", 128, 0, ""),
+		usageRecord(t, "b", 192, 1, ""),
+		usageRecord(t, "big", 128, 0, strings.Repeat("x", 2048)), // past the 512-byte cap
+		usageRecord(t, "c", 256, 2, ""),                          // never read
+	}
+	for _, wire := range []api.WireFormat{api.WireNDJSON, api.WireFrames} {
+		t.Run(wire.String(), func(t *testing.T) {
+			body, err := api.EncodeUsageStream(wire, records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			router := newRouter(t, 2, cluster.RouterConfig{BatchSize: 8, MaxBodyBytes: 512})
+
+			srv, err := api.New(api.Config{Calibration: apitest.Calibration(), MaxBodyBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			single := httptest.NewServer(srv)
+			t.Cleanup(single.Close)
+
+			rres := postUsage(t, router.URL, "", wire.ContentType(), body)
+			sres := postUsage(t, single.URL, "", wire.ContentType(), body)
+			if !bytes.Equal(rres, sres) {
+				t.Fatalf("oversized handling diverged:\n router: %s\n single: %s", rres, sres)
+			}
+			unit := "line"
+			if wire == api.WireFrames {
+				unit = "frame"
+			}
+			if want := fmt.Sprintf("%s 3 exceeds 512 bytes", unit); !strings.Contains(string(rres), want) {
+				t.Fatalf("response %s lacks %q", rres, want)
+			}
+		})
+	}
+}
+
+// TestRouterNodeLimitSkew pins the router-rejects-first contract's failure
+// mode (documented on RouterConfig.MaxBodyBytes): a router configured
+// looser than its nodes does not widen what the cluster accepts. The owner
+// node rejects the oversized record and aborts its sub-stream; the scatter
+// accounts the tail as Dropped with per-line 502s naming the node's own
+// stream error — loud degradation, never silent loss.
+func TestRouterNodeLimitSkew(t *testing.T) {
+	for _, wire := range []api.WireFormat{api.WireNDJSON, api.WireFrames} {
+		t.Run(wire.String(), func(t *testing.T) {
+			nodes := make([]cluster.Node, 2)
+			for i := range nodes {
+				srv, err := api.New(api.Config{Calibration: apitest.Calibration(), MaxBodyBytes: 512})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts := httptest.NewServer(srv)
+				t.Cleanup(ts.Close)
+				nodes[i] = cluster.Node{Name: fmt.Sprintf("node%d", i), URL: ts.URL}
+			}
+			cc, err := cluster.NewClient(nodes, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Router limit (default 1MB) is looser than the nodes' 512B.
+			router := httptest.NewServer(cluster.NewRouter(cc, cluster.RouterConfig{BatchSize: 4}))
+			t.Cleanup(router.Close)
+
+			var records []api.UsageRecord
+			for i := 0; i < 12; i++ {
+				records = append(records, usageRecord(t, fmt.Sprintf("t-%d", i%5), 128, 0, ""))
+			}
+			// The oversized record passes the router's scanner but not the
+			// owner node's; records after it in the same batch become tail.
+			records = append(records[:6:6], append([]api.UsageRecord{
+				usageRecord(t, "t-0", 128, 0, strings.Repeat("x", 2048)),
+			}, records[6:]...)...)
+
+			body, err := api.EncodeUsageStream(wire, records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw := postUsage(t, router.URL, "skew-run", wire.ContentType(), body)
+			var out api.UsageStreamResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Lines != len(records) {
+				t.Fatalf("Lines = %d, want %d: %+v", out.Lines, len(records), out)
+			}
+			if got := out.Accepted + out.Duplicates + out.Rejected + out.Dropped; got != out.Lines {
+				t.Fatalf("accounting leak: %d lines vs %d outcomes: %+v", out.Lines, got, out)
+			}
+			if out.Dropped == 0 || out.Accepted == 0 {
+				t.Fatalf("skew must drop the owner's tail and keep the rest: %+v", out)
+			}
+			found := false
+			for _, le := range out.Errors {
+				if le.Error.Status == http.StatusBadGateway &&
+					strings.Contains(le.Error.Message, "exceeds 512 bytes") &&
+					strings.Contains(le.Error.Message, "node") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no per-line 502 naming the node's limit: %+v", out.Errors)
+			}
+		})
+	}
+}

@@ -85,9 +85,11 @@ func retryDelay(attempt int, base, ceiling time.Duration, rnd func(int64) int64)
 }
 
 // RemoteSink forwards metered records to a live pricing service over the
-// /v3 NDJSON usage stream: the fleet→service half of running the simulator
-// against a real pricingd. Records are batched to amortise round trips;
-// Flush sends the tail and reports lines the service refused.
+// /v3 usage stream: the fleet→service half of running the simulator
+// against a real pricingd. The wire format (NDJSON or binary frames) is
+// the client's: set api.Client.Wire or cluster.Client.SetWire before
+// building the sink. Records are batched to amortise round trips; Flush
+// sends the tail and reports lines the service refused.
 type RemoteSink struct {
 	ctx    context.Context
 	client UsageStreamer

@@ -291,30 +291,8 @@ func namespacedKey(e Entry) string {
 // after the record is on stable storage — an acknowledged accrual survives
 // a crash.
 func (l *Ledger) Accrue(e Entry) (Outcome, error) {
-	if e.Tenant == "" {
-		return Dropped, fmt.Errorf("ledger: accrual requires a tenant")
-	}
-	// !(x >= 0) also rejects NaN; infinities are unbillable and would not
-	// survive the snapshot encoding.
-	if !(e.Commercial >= 0) || !(e.Price >= 0) || math.IsInf(e.Commercial, 1) || math.IsInf(e.Price, 1) {
-		return Dropped, fmt.Errorf("ledger: non-finite or negative amounts (commercial %v, price %v)", e.Commercial, e.Price)
-	}
-	if e.Minute < 0 {
-		return Dropped, fmt.Errorf("ledger: negative minute %d", e.Minute)
-	}
-	// The WAL decoder treats minutes above MaxMinute as corruption, and an
-	// acknowledged record the decoder rejects would take every later record
-	// in its segment down with it at recovery.
-	if int64(e.Minute) > MaxMinute {
-		return Dropped, fmt.Errorf("ledger: minute %d exceeds %d", e.Minute, MaxMinute)
-	}
-	// Entries must fit a WAL frame (maxWALPayload), or a durable ledger
-	// would acknowledge a record its own recovery decoder rejects —
-	// poisoning every later record in the segment. Volatile ledgers
-	// enforce the same bound so durability never changes which entries
-	// bill.
-	if n := len(e.Tenant) + len(e.Pricer) + len(e.Key); n > MaxEntryBytes {
-		return Dropped, fmt.Errorf("ledger: entry strings total %d bytes (max %d)", n, MaxEntryBytes)
+	if err := validateEntry(e); err != nil {
+		return Dropped, err
 	}
 	sh := l.shardFor(e.Tenant)
 	key := namespacedKey(e)
@@ -374,6 +352,158 @@ func (l *Ledger) Accrue(e Entry) (Outcome, error) {
 		}
 	}
 	return outcome, nil
+}
+
+// validateEntry rejects entries no ledger could bill: the shared admission
+// gate of Accrue and AccrueBatch, so the two paths cannot diverge on which
+// entries are billable.
+func validateEntry(e Entry) error {
+	if e.Tenant == "" {
+		return fmt.Errorf("ledger: accrual requires a tenant")
+	}
+	// !(x >= 0) also rejects NaN; infinities are unbillable and would not
+	// survive the snapshot encoding.
+	if !(e.Commercial >= 0) || !(e.Price >= 0) || math.IsInf(e.Commercial, 1) || math.IsInf(e.Price, 1) {
+		return fmt.Errorf("ledger: non-finite or negative amounts (commercial %v, price %v)", e.Commercial, e.Price)
+	}
+	if e.Minute < 0 {
+		return fmt.Errorf("ledger: negative minute %d", e.Minute)
+	}
+	// The WAL decoder treats minutes above MaxMinute as corruption, and an
+	// acknowledged record the decoder rejects would take every later record
+	// in its segment down with it at recovery.
+	if int64(e.Minute) > MaxMinute {
+		return fmt.Errorf("ledger: minute %d exceeds %d", e.Minute, MaxMinute)
+	}
+	// Entries must fit a WAL frame (maxWALPayload), or a durable ledger
+	// would acknowledge a record its own recovery decoder rejects —
+	// poisoning every later record in the segment. Volatile ledgers
+	// enforce the same bound so durability never changes which entries
+	// bill.
+	if n := len(e.Tenant) + len(e.Pricer) + len(e.Key); n > MaxEntryBytes {
+		return fmt.Errorf("ledger: entry strings total %d bytes (max %d)", n, MaxEntryBytes)
+	}
+	return nil
+}
+
+// AccrualResult is one entry's outcome from AccrueBatch, carrying exactly
+// what the corresponding Accrue call would have returned.
+type AccrualResult struct {
+	Outcome Outcome
+	Err     error
+}
+
+// AccrueBatch bills entries strictly in order with per-entry semantics
+// identical to calling Accrue once per entry — same outcomes, same errors,
+// same tenant-cap admission order, same dedup decisions — but amortises the
+// durability cost: WAL appends run under the shard locks as usual, while
+// each touched shard is fsynced once at the end of the batch (group commit)
+// instead of once per entry under FsyncAlways. The shard lock is held
+// across consecutive same-shard entries, so a single-tenant burst pays one
+// lock acquisition, not one per record.
+//
+// results must have at least len(entries) slots; slot i reports entry i. A
+// deferred fsync failure surfaces as a wrapped ErrDurability on every
+// already-applied entry of the failing shard — exactly the entries whose
+// acknowledgement the failed sync voids.
+func (l *Ledger) AccrueBatch(entries []Entry, results []AccrualResult) {
+	if len(entries) == 0 {
+		return
+	}
+	_ = results[len(entries)-1] // fail fast on a short results slice
+	var cur *shard
+	unlock := func() {
+		if cur != nil {
+			cur.mu.Unlock()
+			cur = nil
+		}
+	}
+	// touched/marks track each appended-to shard's max watermark for the
+	// deferred group commit; a batch rarely spans more than a few shards,
+	// so a linear scan beats a map.
+	var touched []*shard
+	var marks []uint64
+	appends := 0
+	for i := range entries {
+		e := &entries[i]
+		results[i] = AccrualResult{}
+		if err := validateEntry(*e); err != nil {
+			results[i] = AccrualResult{Outcome: Dropped, Err: err}
+			continue
+		}
+		sh := l.shardFor(e.Tenant)
+		if sh != cur {
+			unlock()
+			sh.mu.Lock()
+			cur = sh
+		}
+		key := namespacedKey(*e)
+		// The decision logic below mirrors Accrue exactly; see there for the
+		// invariants (outcome-before-WAL, add-then-check cap).
+		outcome := Accrued
+		reserved := false
+		if key != "" {
+			//litmus:guarded-by sh.mu is held (cur == sh since the Lock above)
+			if _, seen := sh.keys[key]; seen {
+				outcome = Duplicate
+			}
+		}
+		//litmus:guarded-by sh.mu is held (cur == sh since the Lock above)
+		if outcome == Accrued && sh.accounts[e.Tenant] == nil {
+			if n := l.tenants.Add(1); n > int64(l.cfg.MaxTenants) {
+				l.tenants.Add(-1)
+				outcome = Dropped
+			} else {
+				reserved = true
+			}
+		}
+		if sh.wal != nil {
+			watermark, err := sh.wal.append(WALRecord{Entry: *e, Outcome: outcome})
+			if err != nil {
+				if reserved {
+					l.tenants.Add(-1)
+				}
+				results[i] = AccrualResult{Outcome: Dropped, Err: fmt.Errorf("%w: %v", ErrDurability, err)}
+				continue
+			}
+			found := false
+			for j := range touched {
+				if touched[j] == sh {
+					marks[j] = watermark
+					found = true
+					break
+				}
+			}
+			if !found {
+				touched = append(touched, sh)
+				marks = append(marks, watermark)
+			}
+			appends++
+		}
+		sh.apply(*e, key, outcome, l.cfg.WindowMinutes)
+		results[i].Outcome = outcome
+	}
+	unlock()
+	if l.dur != nil && appends > 0 {
+		for n := 0; n < appends; n++ {
+			l.dur.noteAppend()
+		}
+		if l.cfg.Fsync == FsyncAlways {
+			for j := range touched {
+				if err := touched[j].wal.syncTo(marks[j]); err != nil {
+					serr := fmt.Errorf("%w: %v", ErrDurability, err)
+					// The records are written and applied but not known
+					// durable; flag every acknowledged entry of this shard
+					// without undoing the bills (mirrors Accrue).
+					for i := range entries {
+						if results[i].Err == nil && entries[i].Tenant != "" && l.shardFor(entries[i].Tenant) == touched[j] {
+							results[i].Err = serr
+						}
+					}
+				}
+			}
+		}
+	}
 }
 
 // Summary is a tenant's aggregate bill.

@@ -1,0 +1,92 @@
+package ledgertest
+
+// Differential proof for AccrueBatch: billing a stream through the batched
+// group-commit funnel must be observationally identical to one Accrue call
+// per entry — outcomes, errors, dedup decisions, tenant-cap admission order
+// and every ledger observable — whatever the batch size.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+// flatten returns the stream's entries in DriveSequential's round-robin
+// order, so batch and sequential drives see one identical entry sequence.
+func flatten(s *Stream) []ledger.Entry {
+	entries := make([]ledger.Entry, 0, s.Len())
+	for i := 0; ; i++ {
+		done := true
+		for _, sub := range s.Workers {
+			if i >= len(sub) {
+				continue
+			}
+			done = false
+			entries = append(entries, sub[i])
+		}
+		if done {
+			return entries
+		}
+	}
+}
+
+// salt injects invalid entries into the sequence: validation failures
+// mid-batch must not disturb the entries around them.
+func salt(entries []ledger.Entry) []ledger.Entry {
+	bad := []ledger.Entry{
+		{Pricer: "litmus", Commercial: 1, Price: 1},                       // no tenant
+		{Tenant: "s-neg", Commercial: -3, Price: 1},                       // negative amount
+		{Tenant: "s-nan", Commercial: 1, Price: math.NaN()},               // NaN price
+		{Tenant: "s-min", Commercial: 1, Price: 1, Minute: -2},            // negative minute
+		{Tenant: "s-far", Commercial: 1, Price: 1, Minute: math.MaxInt32}, // past the WAL bound
+	}
+	out := make([]ledger.Entry, 0, len(entries)+len(bad))
+	for i, e := range entries {
+		if i%97 == 0 && len(bad) > 0 {
+			out = append(out, bad[0])
+			bad = bad[1:]
+		}
+		out = append(out, e)
+	}
+	return append(out, bad...)
+}
+
+func TestAccrueBatchMatchesSequential(t *testing.T) {
+	for _, cfg := range []ledger.Config{
+		{Shards: 1},
+		{Shards: 8},
+		{Shards: 8, MaxTenants: 25}, // cap admission is order-determined
+		{Shards: 4, MaxKeys: 32},    // key eviction under batching
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("shards=%d,cap=%d,keys=%d", cfg.Shards, cfg.MaxTenants, cfg.MaxKeys), func(t *testing.T) {
+			entries := salt(flatten(Generate(23, GenConfig{Workers: 4, PerWorker: 200, Tenants: 40, KeyEvery: 2})))
+
+			seq := mustNew(t, cfg)
+			seqOut := make([]ledger.AccrualResult, len(entries))
+			for i, e := range entries {
+				seqOut[i].Outcome, seqOut[i].Err = seq.Accrue(e)
+			}
+
+			for _, batchSize := range []int{1, 7, 256, len(entries)} {
+				l := mustNew(t, cfg)
+				got := make([]ledger.AccrualResult, len(entries))
+				for lo := 0; lo < len(entries); lo += batchSize {
+					hi := min(lo+batchSize, len(entries))
+					l.AccrueBatch(entries[lo:hi], got[lo:hi])
+				}
+				for i := range got {
+					if got[i].Outcome != seqOut[i].Outcome || fmt.Sprint(got[i].Err) != fmt.Sprint(seqOut[i].Err) {
+						t.Fatalf("batch %d entry %d = %v/%v, sequential = %v/%v",
+							batchSize, i, got[i].Outcome, got[i].Err, seqOut[i].Outcome, seqOut[i].Err)
+					}
+				}
+				if err := Diff(seq, l); err != nil {
+					t.Errorf("batch %d: %v", batchSize, err)
+				}
+			}
+		})
+	}
+}

@@ -23,8 +23,15 @@ import (
 // timeouts or shed arrivals, (b) billing exactness — every usage record the
 // generator sent shows up in a tenant statement, none twice — and (c) the
 // server's /healthz request counters agree with the generator's own
-// accounting, request for request.
+// accounting, request for request. It runs once per usage-stream wire
+// format: the binary fast path must meet the same SLO and bill the same.
 func TestLoadgenSLOSmoke(t *testing.T) {
+	for _, wire := range []api.WireFormat{api.WireNDJSON, api.WireFrames} {
+		t.Run(wire.String(), func(t *testing.T) { runSLOSmoke(t, wire) })
+	}
+}
+
+func runSLOSmoke(t *testing.T, wire api.WireFormat) {
 	srv, err := api.New(api.Config{Calibration: apitest.Calibration()})
 	if err != nil {
 		t.Fatal(err)
@@ -32,6 +39,7 @@ func TestLoadgenSLOSmoke(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := api.NewClient(ts.URL)
+	c.Wire = wire
 	ctx := context.Background()
 
 	tenants := []string{"smoke-a", "smoke-b", "smoke-c"}

@@ -106,10 +106,15 @@ type (
 	QuoteResponse = api.QuoteResponse
 	// TenantSummary is a tenant's aggregate billing ledger.
 	TenantSummary = api.TenantSummary
-	// UsageRecord is one NDJSON line of the /v3 usage stream.
+	// UsageRecord is one record of the /v3 usage stream (an NDJSON line
+	// or a binary frame, depending on the client's WireFormat).
 	UsageRecord = api.UsageRecord
 	// UsageStreamResult is the /v3/usage ingest accounting.
 	UsageStreamResult = api.UsageStreamResponse
+	// WireFormat selects the /v3/usage stream encoding on
+	// PricingClient.Wire: WireNDJSON (the default) or WireFrames, the
+	// length-prefixed CRC-framed binary fast path.
+	WireFormat = api.WireFormat
 	// TenantPage is one page of the sorted /v3 tenant listing.
 	TenantPage = api.TenantPage
 	// TenantStatement is a tenant's windowed /v3 bill.
@@ -289,6 +294,12 @@ func NewPricingServer(cfg PricingServerConfig) (*PricingServer, error) { return 
 
 // NewPricingClient returns a typed client for the service at baseURL.
 func NewPricingClient(baseURL string) *PricingClient { return api.NewClient(baseURL) }
+
+// The /v3/usage stream encodings a PricingClient can send (Client.Wire).
+const (
+	WireNDJSON = api.WireNDJSON
+	WireFrames = api.WireFrames
+)
 
 // RunPOPPA runs the POPPA sampling baseline for one invocation.
 func RunPOPPA(p *Platform, spec *FunctionSpec, thread int, cfg POPPAConfig, maxSec float64) (POPPAResult, error) {

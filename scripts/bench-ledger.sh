@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # bench-ledger.sh — record the ledger/ingest benchmark baseline.
 #
-# Runs the sharded-ledger accrual benchmarks and the /v3 NDJSON ingest
-# benchmarks, and renders the results as JSON so successive PRs can diff a
-# perf trajectory instead of eyeballing `go test -bench` text.
+# Runs the sharded-ledger accrual benchmarks and the /v3 ingest benchmarks
+# in both wire formats (BenchmarkUsageStream* covers NDJSON and the binary
+# frame fast path), and renders the results as JSON so successive PRs can
+# diff a perf trajectory instead of eyeballing `go test -bench` text.
 #
 # Usage:
 #   scripts/bench-ledger.sh [output.json]       (default: BENCH_ledger.json)
