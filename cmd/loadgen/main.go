@@ -25,9 +25,11 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -66,6 +68,7 @@ type options struct {
 	probeDur    time.Duration
 	sloP99      time.Duration
 	maxErrRate  float64
+	maxThrRate  float64
 	check       bool
 	quiet       bool
 }
@@ -112,7 +115,8 @@ func main() {
 	flag.IntVar(&o.rounds, "rounds", o.rounds, "bisection steps after the bracket probes")
 	flag.DurationVar(&o.probeDur, "probe-dur", o.probeDur, "length of each search probe run")
 	flag.DurationVar(&o.sloP99, "slo-p99", o.sloP99, "p99 latency objective (0 = latency unchecked)")
-	flag.Float64Var(&o.maxErrRate, "max-error-rate", o.maxErrRate, "error-budget objective (errors, timeouts and shed arrivals count)")
+	flag.Float64Var(&o.maxErrRate, "max-error-rate", o.maxErrRate, "error-budget objective (errors, timeouts and shed arrivals count; throttles do not)")
+	flag.Float64Var(&o.maxThrRate, "max-throttle-rate", o.maxThrRate, "throttle-budget objective: bound the share of requests 429'd by admission control (0 = unchecked)")
 	flag.BoolVar(&o.check, "check", o.check, "exit non-zero when the run misses the SLO")
 	flag.BoolVar(&o.quiet, "q", o.quiet, "suppress progress logging")
 	flag.Parse()
@@ -125,13 +129,16 @@ func main() {
 
 // usageTotals is the generator's own billing ledger: how many usage
 // records it sent and how the service disposed of each. Exactness means
-// accepted + duplicates == sent with rejected and dropped at zero.
+// accepted + duplicates + throttled == sent with rejected and dropped at
+// zero: a throttled record was deliberately refused with 429 before
+// accrual, never half-billed.
 type usageTotals struct {
 	Sent       int64 `json:"sent"`
 	Accepted   int64 `json:"accepted"`
 	Duplicates int64 `json:"duplicates"`
 	Rejected   int64 `json:"rejected"`
 	Dropped    int64 `json:"dropped"`
+	Throttled  int64 `json:"throttled,omitempty"`
 }
 
 // output is the JSON-mode document, one line per run so bench scripts can
@@ -205,9 +212,9 @@ func run(ctx context.Context, w, errw io.Writer, o options) error {
 		Timeout:     o.timeout,
 		MaxInFlight: o.maxInFlight,
 	}
-	slo := loadgen.SLO{P99: o.sloP99, MaxErrorRate: o.maxErrRate}
+	slo := loadgen.SLO{P99: o.sloP99, MaxErrorRate: o.maxErrRate, MaxThrottleRate: o.maxThrRate}
 	doc := output{Target: o.target, Arrivals: o.arrivals, Seed: o.seed}
-	if o.sloP99 > 0 || o.maxErrRate > 0 {
+	if o.sloP99 > 0 || o.maxErrRate > 0 || o.maxThrRate > 0 {
 		doc.SLO = &slo
 	}
 
@@ -252,11 +259,12 @@ func run(ctx context.Context, w, errw io.Writer, o options) error {
 		doc.SLOMet = &met
 	}
 	// Billing exactness: every record sent was billed exactly once —
-	// accepted now, or deduplicated because an earlier run under this
-	// -run-id already billed it. Anything rejected or dropped is a miss.
-	if ut := totals.snapshot(); ut.Accepted+ut.Duplicates != ut.Sent || ut.Rejected > 0 || ut.Dropped > 0 {
-		return fmt.Errorf("billing mismatch: sent %d usage records, service accepted %d (%d rejected, %d dropped, %d duplicate)",
-			ut.Sent, ut.Accepted, ut.Rejected, ut.Dropped, ut.Duplicates)
+	// accepted now, deduplicated because an earlier run under this -run-id
+	// already billed it, or cleanly throttled before any accrual. Anything
+	// rejected, dropped, or simply unaccounted for is a miss.
+	if ut := totals.snapshot(); ut.Accepted+ut.Duplicates+ut.Throttled != ut.Sent || ut.Rejected > 0 || ut.Dropped > 0 {
+		return fmt.Errorf("billing mismatch: sent %d usage records, service accepted %d (%d rejected, %d dropped, %d duplicate, %d throttled)",
+			ut.Sent, ut.Accepted, ut.Rejected, ut.Dropped, ut.Duplicates, ut.Throttled)
 	}
 	switch o.format {
 	case "table":
@@ -268,8 +276,8 @@ func run(ctx context.Context, w, errw io.Writer, o options) error {
 	}
 	progress("%s", res.Summary())
 	if o.check && doc.SLO != nil && !met {
-		return fmt.Errorf("SLO missed: p99 %.2fms vs %v, error rate %.4f vs %.4f",
-			res.Total.P99Ms, o.sloP99, res.ErrorRate, o.maxErrRate)
+		return fmt.Errorf("SLO missed: p99 %.2fms vs %v, error rate %.4f vs %.4f, throttle rate %.4f vs %.4f",
+			res.Total.P99Ms, o.sloP99, res.ErrorRate, o.maxErrRate, res.ThrottleRate, o.maxThrRate)
 	}
 	return nil
 }
@@ -294,7 +302,7 @@ func buildSchedule(o options) (loadgen.Schedule, error) {
 // counters tracks the usage disposition across ops with atomics (ops run
 // concurrently).
 type counters struct {
-	sent, accepted, duplicates, rejected, dropped atomic.Int64
+	sent, accepted, duplicates, rejected, dropped, throttled atomic.Int64
 }
 
 func (c *counters) snapshot() *usageTotals {
@@ -304,6 +312,7 @@ func (c *counters) snapshot() *usageTotals {
 		Duplicates: c.duplicates.Load(),
 		Rejected:   c.rejected.Load(),
 		Dropped:    c.dropped.Load(),
+		Throttled:  c.throttled.Load(),
 	}
 }
 
@@ -363,6 +372,16 @@ func buildOps(o options, client *api.Client, runID string) ([]loadgen.Op, *count
 			resp, err := client.StreamUsage(ctx, "",
 				[]api.UsageRecord{mkRecord(tenantFor(n), fmt.Sprintf("%s-%d", runID, n))})
 			if err != nil {
+				// Admission-control backpressure is a clean refusal, not a
+				// failure: book it so the exactness check still balances, and
+				// reclassify for the engine so the 429 does not eat the error
+				// budget (the single-record batch means an all-throttled 429
+				// *Error is THE throttle signal here).
+				var apiErr *api.Error
+				if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+					totals.throttled.Add(1)
+					return fmt.Errorf("%w: %v", loadgen.ErrThrottled, err)
+				}
 				return err
 			}
 			totals.accepted.Add(int64(resp.Accepted))

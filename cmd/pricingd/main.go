@@ -22,6 +22,8 @@
 //	                                    idempotent retries
 //	GET  /v3/tenants                  — paginated, sorted tenant listing
 //	GET  /v3/tenants/{tenant}/statement — windowed per-tenant bill
+//	GET  /v3/tenants/{tenant}/forecast — admission forecast (with
+//	                                    -admission-rate)
 //	GET|PUT /v3/tables                — versioned tables (ETag / If-Match)
 //
 // With -data-dir the node is also a replication primary: its WAL and
@@ -82,6 +84,10 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "ledger data directory: WAL + snapshots for crash-safe billing (empty = volatile, bills die with the process)")
 		fsync      = flag.String("fsync", "always", "WAL sync policy with -data-dir: always (acknowledged accruals survive a crash), interval or never")
 		snapEvery  = flag.Int("snapshot-every", 0, "accruals between compacting ledger snapshots with -data-dir (0 = default, negative = disabled)")
+		admRate    = flag.Float64("admission-rate", 0, "per-tenant admitted records/sec ceiling on /v3/usage; over-limit records get 429 + Retry-After (0 = admission control off)")
+		admBurst   = flag.Float64("admission-burst", 0, "admission token-bucket depth (0 = 2× -admission-rate)")
+		admBudget  = flag.Float64("admission-budget", 0, "per-tenant projected-bill budget: tenants forecast past it get squeezed first (0 = price-aware mode off)")
+		fcWindow   = flag.Duration("forecast-window", 0, "admission forecaster observation window (0 = 2s)")
 		version    = flag.Bool("version", false, "print the build identity (VCS revision, toolchain) and exit")
 		clusterArg = flag.String("cluster", "", "run as a cluster router over this comma-separated node list (url or name=url; node 0 coordinates table swaps) instead of pricing locally")
 		follow     = flag.String("follow", "", "run as a hot standby replicating this primary pricingd's WAL; POST /cluster/promote (or -auto-promote) takes over")
@@ -107,15 +113,19 @@ func main() {
 		log.Fatalf("pricingd: %v", err)
 	}
 	cfg := api.Config{
-		Calibration:   cal,
-		RateBase:      *rateBase,
-		MaxBodyBytes:  *maxBody,
-		MaxTenants:    *maxTenants,
-		WindowMinutes: *windowMin,
-		Shards:        *shards,
-		DataDir:       *dataDir,
-		Fsync:         *fsync,
-		SnapshotEvery: *snapEvery,
+		Calibration:     cal,
+		RateBase:        *rateBase,
+		MaxBodyBytes:    *maxBody,
+		MaxTenants:      *maxTenants,
+		WindowMinutes:   *windowMin,
+		Shards:          *shards,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		SnapshotEvery:   *snapEvery,
+		AdmissionRate:   *admRate,
+		AdmissionBurst:  *admBurst,
+		AdmissionBudget: *admBudget,
+		AdmissionWindow: *fcWindow,
 	}
 	if *shareK > 1 {
 		sharing, err := measureSharing(*scale, *seed)

@@ -5,6 +5,12 @@
 // prices every completed invocation commercial-vs-Litmus and prints the
 // per-tenant comparison.
 //
+// The same trace is then replayed under each routing policy — including
+// the two cost-feedback policies, which route on the Litmus price signal
+// itself — and the total bills are compared side by side: under
+// interference-refunding prices, where the router sends work changes what
+// tenants pay, not just how fast they run.
+//
 //	go run ./examples/fleetreport
 package main
 
@@ -55,30 +61,53 @@ func main() {
 	fmt.Printf("replaying %d invocations (%d tenants, %d minutes) over a 4-machine fleet…\n",
 		len(arrivals), len(tr.Tenants()), tr.Minutes())
 
-	policy, err := litmus.ParseRoutePolicy("least-loaded")
-	if err != nil {
-		log.Fatal(err)
-	}
-	report, result, err := litmus.SimulateFleet(
-		litmus.FleetConfig{
-			Machines:   4,
-			Platform:   pcfg,
-			Policy:     policy,
-			ChurnCount: 8, // congested machines: the Litmus discounts bite
-		},
-		arrivals,
-		litmus.FleetMeterConfig{
-			Pricers: []litmus.Pricer{
-				litmus.NewCommercialPricer(1),
-				litmus.NewLitmusPricer(models, 1),
+	simulate := func(policyName string) (*litmus.FleetReport, litmus.FleetResult) {
+		policy, err := litmus.ParseRoutePolicy(policyName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, result, err := litmus.SimulateFleet(
+			litmus.FleetConfig{
+				Machines:   4,
+				Platform:   pcfg,
+				Policy:     policy,
+				ChurnCount: 8, // congested machines: the Litmus discounts bite
+				// The cost-feedback policies route on this price signal;
+				// the others ignore it.
+				FeedbackPricer: litmus.NewLitmusPricer(models, 1),
 			},
-		},
-	)
-	if err != nil {
-		log.Fatal(err)
+			arrivals,
+			litmus.FleetMeterConfig{
+				Pricers: []litmus.Pricer{
+					litmus.NewCommercialPricer(1),
+					litmus.NewLitmusPricer(models, 1),
+				},
+			},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return report, result
 	}
 
+	report, result := simulate("least-loaded")
 	fmt.Println()
 	fmt.Println(report.BillTable())
 	fmt.Println(litmus.FleetMachineTable(result))
+
+	// Replay the identical trace under each policy: total Litmus bill vs
+	// the commercial baseline, so the cost-feedback routers' effect on the
+	// bill is directly comparable with the load-balancing classics.
+	fmt.Println("policy comparison (same trace, fresh fleet per policy):")
+	fmt.Printf("  %-24s %12s %12s %10s %10s\n", "policy", "commercial", "litmus", "discount", "completed")
+	for _, name := range []string{"round-robin", "least-loaded", "cheapest-projected-bill", "congestion-avoiding"} {
+		rep, res := simulate(name)
+		lit := rep.TotalBills["litmus"]
+		discount := 0.0
+		if rep.TotalCommercial > 0 {
+			discount = 1 - lit/rep.TotalCommercial
+		}
+		fmt.Printf("  %-24s %12.1f %12.1f %9.1f%% %10d\n",
+			name, rep.TotalCommercial, lit, 100*discount, res.Completed)
+	}
 }

@@ -1,0 +1,71 @@
+package admission
+
+// Forecaster is Holt's linear (double exponential) smoothing: a level and a
+// trend component updated per observation window. It is the smallest model
+// that tracks both a steady rate and a ramp — plain EWMA lags a ramp by a
+// constant offset, while the trend term closes that gap. Burst spikes decay
+// at (1-alpha) per window, so a one-window burst does not poison the next
+// refill-rate decision for long.
+//
+// The zero value is not usable; construct with NewForecaster.
+type Forecaster struct {
+	alpha float64 // level smoothing in (0,1]
+	beta  float64 // trend smoothing in (0,1]
+	level float64
+	trend float64
+	n     int
+}
+
+// Default smoothing constants: level reacts within a couple of windows,
+// trend a little slower so a single noisy window does not whip the slope.
+const (
+	DefaultAlpha = 0.5
+	DefaultBeta  = 0.3
+)
+
+// NewForecaster returns a Holt forecaster. Out-of-range coefficients fall
+// back to the defaults.
+func NewForecaster(alpha, beta float64) *Forecaster {
+	if !(alpha > 0 && alpha <= 1) {
+		alpha = DefaultAlpha
+	}
+	if !(beta > 0 && beta <= 1) {
+		beta = DefaultBeta
+	}
+	return &Forecaster{alpha: alpha, beta: beta}
+}
+
+// Observe feeds one completed window's value (a non-negative rate).
+func (f *Forecaster) Observe(v float64) {
+	switch f.n {
+	case 0:
+		f.level = v
+	case 1:
+		f.trend = v - f.level
+		f.level = v
+	default:
+		prev := f.level
+		f.level = f.alpha*v + (1-f.alpha)*(f.level+f.trend)
+		f.trend = f.beta*(f.level-prev) + (1-f.beta)*f.trend
+	}
+	f.n++
+}
+
+// Forecast predicts the value h windows ahead (h >= 1). Rates cannot be
+// negative, so a downward trend saturates at zero rather than extrapolating
+// below it.
+func (f *Forecaster) Forecast(h int) float64 {
+	if f.n == 0 {
+		return 0
+	}
+	v := f.level + float64(h)*f.trend
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Seen reports how many windows have been observed.
+func (f *Forecaster) Seen() int {
+	return f.n
+}

@@ -1,0 +1,179 @@
+package admission
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// synthRates synthesizes a single-tenant trace with the given envelope and
+// returns its per-minute invocation totals as a rate series — the same
+// per-window arrival counts the controller's Tick feeds the forecaster.
+func synthRates(t *testing.T, cfg trace.SynthConfig) []float64 {
+	t.Helper()
+	cfg.Tenants = 1
+	cfg.FunctionsPerTenant = 1
+	tr, err := trace.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make([]float64, tr.Minutes())
+	for _, f := range tr.Functions {
+		for m, n := range f.PerMinute {
+			rates[m] += float64(n)
+		}
+	}
+	return rates
+}
+
+// feed runs the series through a forecaster, returning the absolute
+// one-step-ahead forecast errors: each window's prediction (made before
+// observing it) against its actual value.
+func feed(f *Forecaster, rates []float64) []float64 {
+	var errs []float64
+	for _, v := range rates {
+		if f.Seen() > 0 {
+			errs = append(errs, math.Abs(f.Forecast(1)-v))
+		}
+		f.Observe(v)
+	}
+	return errs
+}
+
+func meanTail(errs []float64, warmup int) float64 {
+	tail := errs[warmup:]
+	var s float64
+	for _, e := range tail {
+		s += e
+	}
+	return s / float64(len(tail))
+}
+
+// On a flat, jitter-free rate the forecast locks on exactly after two
+// windows: level = rate, trend = 0.
+func TestForecasterSteadyExact(t *testing.T) {
+	rates := synthRates(t, trace.SynthConfig{
+		Minutes: 30, StartRate: 20, StepRate: 1, TargetRate: 20, Seed: 7,
+	})
+	errs := feed(NewForecaster(0, 0), rates)
+	for i, e := range errs[2:] {
+		if e > 1e-9 {
+			t.Fatalf("window %d: steady forecast error %v, want 0", i+3, e)
+		}
+	}
+}
+
+// On a jittered steady rate the post-warmup mean error stays within the
+// jitter band — the smoother must not amplify noise.
+func TestForecasterSteadyJittered(t *testing.T) {
+	const rate, jitter = 40.0, 0.2
+	rates := synthRates(t, trace.SynthConfig{
+		Minutes: 60, StartRate: rate, StepRate: 1, TargetRate: rate,
+		Jitter: jitter, Seed: 7,
+	})
+	errs := feed(NewForecaster(0, 0), rates)
+	if got, bound := meanTail(errs, 5), 2*jitter*rate; got > bound {
+		t.Fatalf("steady+jitter mean error %v exceeds %v", got, bound)
+	}
+}
+
+// On a linear ramp Holt's trend term closes the lag a level-only EWMA
+// carries forever: the two-component forecaster must beat it clearly.
+func TestForecasterTracksRamp(t *testing.T) {
+	rates := synthRates(t, trace.SynthConfig{
+		Minutes: 40, StartRate: 2, StepRate: 3, TargetRate: 120, Seed: 7,
+	})
+	holtErr := meanTail(feed(NewForecaster(0, 0), rates), 5)
+
+	// Level-only EWMA at the same alpha: forecast = level.
+	level, seen := 0.0, 0
+	var ewmaErrs []float64
+	for _, v := range rates {
+		if seen > 0 {
+			ewmaErrs = append(ewmaErrs, math.Abs(level-v))
+		}
+		if seen == 0 {
+			level = v
+		} else {
+			level = DefaultAlpha*v + (1-DefaultAlpha)*level
+		}
+		seen++
+	}
+	ewmaErr := meanTail(ewmaErrs, 5)
+	if holtErr >= ewmaErr {
+		t.Fatalf("Holt ramp error %v not below level-only EWMA's %v", holtErr, ewmaErr)
+	}
+	// And in absolute terms the lag stays near one step of the ramp.
+	if holtErr > 3 {
+		t.Fatalf("Holt ramp error %v, want ≲ one 3/min step", holtErr)
+	}
+}
+
+// A one-window burst must not poison the forecast: within a few windows
+// after each spike the prediction is back inside a modest band around the
+// base rate, and it never goes negative.
+func TestForecasterRecoversFromBursts(t *testing.T) {
+	const base = 30.0
+	rates := synthRates(t, trace.SynthConfig{
+		Minutes: 40, StartRate: base, StepRate: 1, TargetRate: base,
+		Shape: trace.Burst, BurstEvery: 10, BurstFactor: 4, Seed: 7,
+	})
+	f := NewForecaster(0, 0)
+	for i, v := range rates {
+		f.Observe(v)
+		pred := f.Forecast(1)
+		if pred < 0 {
+			t.Fatalf("window %d: negative forecast %v", i, pred)
+		}
+		// Three windows past a burst (and past warmup), the burst's
+		// contribution has decayed below half the base rate.
+		sinceBurst := (i + 1) % 10 // burst fires when (m+1)%10 == 0
+		if i > 5 && sinceBurst == 3 && math.Abs(pred-base) > base/2 {
+			t.Fatalf("window %d: forecast %v still >50%% off base %v three windows after a burst", i, pred, base)
+		}
+	}
+}
+
+// On a slow diurnal cycle the forecast stays bounded by the envelope and
+// tracks within a fraction of the swing.
+func TestForecasterDiurnalBounded(t *testing.T) {
+	const base, amp = 50.0, 0.5
+	rates := synthRates(t, trace.SynthConfig{
+		Minutes: 96, StartRate: base, StepRate: 1, TargetRate: base,
+		Shape: trace.Diurnal, DiurnalPeriod: 48, DiurnalAmp: amp, Seed: 7,
+	})
+	errs := feed(NewForecaster(0, 0), rates)
+	peak := base * (1 + amp)
+	f := NewForecaster(0, 0)
+	for i, v := range rates {
+		f.Observe(v)
+		if pred := f.Forecast(1); pred < 0 || pred > 2*peak {
+			t.Fatalf("window %d: forecast %v outside [0, %v]", i, pred, 2*peak)
+		}
+	}
+	// The sine moves at most ~2π·amp·base/period per window ≈ 3.3/min here;
+	// the tracker should stay within a few windows' worth of drift.
+	if got := meanTail(errs, 5); got > 10 {
+		t.Fatalf("diurnal mean error %v, want ≤ 10 (swing is ±%v)", got, base*amp)
+	}
+}
+
+// Defaults: out-of-range coefficients fall back, zero observations forecast
+// zero, and a downward trend saturates at zero instead of going negative.
+func TestForecasterEdges(t *testing.T) {
+	f := NewForecaster(-1, 99)
+	//litmus:float-eq-ok config echo: the fallback assigns these constants verbatim
+	if f.alpha != DefaultAlpha || f.beta != DefaultBeta {
+		t.Fatalf("coefficients = %v/%v, want defaults", f.alpha, f.beta)
+	}
+	if f.Forecast(1) != 0 {
+		t.Fatal("empty forecaster predicted non-zero")
+	}
+	for _, v := range []float64{100, 50, 0, 0, 0} {
+		f.Observe(v)
+	}
+	if pred := f.Forecast(5); pred < 0 {
+		t.Fatalf("forecast %v went negative on a dying rate", pred)
+	}
+}

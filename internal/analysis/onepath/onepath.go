@@ -20,6 +20,14 @@
 // and annotated sites (the cluster follower's tail loop carries one) may
 // call it. A standby that both replicated and priced would double-bill.
 //
+// The admission-control subsystem (repro/internal/admission) is hard-denied:
+// no annotation, test file, or suppression comment lets it accrue. The
+// limiter decides whether a record may BE billed — if it could also bill,
+// a throttle-then-admit path could accrue twice, and the differential
+// harness that proves "admitted subset bills identically" would be
+// unfalsifiable. Any accrual call from that package is reported
+// unconditionally.
+//
 // Everything else is a diagnostic: a new caller of either method is a new
 // billing path and must either route through the API's pricing path or earn
 // an explicit annotation in review.
@@ -41,19 +49,27 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // ledgerPath is the package whose Accrue is protected; sanctionedFunc the
-// one function outside it allowed to bill.
+// one function outside it allowed to bill; admissionPath the package for
+// which every escape hatch is closed.
 const (
 	ledgerPath     = "repro/internal/ledger"
 	sanctionedFunc = "priceAndAccrue"
+	admissionPath  = "repro/internal/admission"
 )
 
 func run(pass *analysis.Pass) error {
-	if p := pass.Pkg.Path(); p == ledgerPath || strings.HasPrefix(p, ledgerPath+"/") {
+	p := pass.Pkg.Path()
+	if p == ledgerPath || strings.HasPrefix(p, ledgerPath+"/") {
 		return nil // the ledger subsystem is the mechanism, not a caller
 	}
+	// The admission layer gets no escape hatch at all: not test files, not
+	// //litmus:allow-accrue, not suppression comments. It gates billing and
+	// therefore must never perform it — a second accrual path hidden behind
+	// the limiter would make the admitted-subset differential meaningless.
+	denyAll := admissionPkg(p)
 	for _, file := range pass.Files {
 		testFile := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
-		if testFile {
+		if testFile && !denyAll {
 			continue
 		}
 		for _, decl := range file.Decls {
@@ -61,10 +77,10 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if _, ok := analysis.FuncDirective(fn, "allow-accrue"); ok {
+			if _, ok := analysis.FuncDirective(fn, "allow-accrue"); ok && !denyAll {
 				continue
 			}
-			inSanctioned := fn.Name.Name == sanctionedFunc
+			inSanctioned := fn.Name.Name == sanctionedFunc && !denyAll
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
@@ -86,6 +102,11 @@ func run(pass *analysis.Pass) error {
 				if !isLedgerMethod(pass, sel) {
 					return true
 				}
+				if denyAll {
+					pass.Reportf(call.Pos(), "ledger.%s from the admission layer: admission control gates billing and must never bill — route records through the API ingest path (no annotation can allow this)",
+						method)
+					return true
+				}
 				if pass.SuppressedAt(call.Pos(), "allow-accrue") {
 					return true
 				}
@@ -102,6 +123,19 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+// admissionPkg reports whether import path p is the admission subsystem or
+// nested under it. Matching the "internal/admission" path suffix rather
+// than admissionPath exactly lets the golden copy under the analyzer's
+// testdata — whose import path carries the testdata prefix — exercise the
+// hard-deny branch; no other package in the module ends that way.
+func admissionPkg(p string) bool {
+	if p == admissionPath || strings.HasPrefix(p, admissionPath+"/") {
+		return true
+	}
+	const suffix = "internal/admission"
+	return strings.HasSuffix(p, "/"+suffix) || strings.Contains(p, "/"+suffix+"/")
 }
 
 // isLedgerMethod reports whether sel selects the Accrue method of

@@ -10,3 +10,12 @@ import (
 func TestOnepath(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), onepath.Analyzer, "onepath")
 }
+
+// TestOnepathAdmissionHardDeny runs the analyzer over a golden package
+// whose import path ends in internal/admission: every accrual call must be
+// reported there, including the ones a normal package could sanction with
+// annotations, suppression comments, test files, or the priceAndAccrue
+// name.
+func TestOnepathAdmissionHardDeny(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), onepath.Analyzer, "internal/admission")
+}

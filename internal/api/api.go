@@ -51,6 +51,8 @@ package api
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/ledger"
@@ -90,11 +92,25 @@ type Error struct {
 	Status int `json:"status"`
 	// Message describes the failure.
 	Message string `json:"message"`
+	// RetryAfterSec, on a 429 (and some 503s), is how long the client
+	// should wait before retrying — the precise float behind the
+	// whole-second Retry-After response header.
+	RetryAfterSec float64 `json:"retryAfterSec,omitempty"`
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string {
 	return fmt.Sprintf("api: %d: %s", e.Status, e.Message)
+}
+
+// RetryAfterHeader renders a Retry-After delay as the whole-second header
+// value (rounded up, minimum 1 — a zero header would mean "retry now").
+func RetryAfterHeader(sec float64) string {
+	s := int64(math.Ceil(sec))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
 }
 
 // errorEnvelope is the v2 error wire shape.
@@ -254,6 +270,66 @@ type HealthResponse struct {
 	// Requests is the per-endpoint request accounting: external load
 	// generators corroborate their client-side request counts against it.
 	Requests *RequestHealth `json:"requests,omitempty"`
+	// Admission reports the per-tenant admission controller; omitted when
+	// admission control is disabled (Config.AdmissionRate == 0).
+	Admission *AdmissionHealth `json:"admission,omitempty"`
+}
+
+// AdmissionHealth is the /healthz admission-control block.
+type AdmissionHealth struct {
+	// RatePerSec / Burst / WindowSec / Budget echo the configuration.
+	RatePerSec float64 `json:"ratePerSec"`
+	Burst      float64 `json:"burst"`
+	WindowSec  float64 `json:"windowSec"`
+	Budget     float64 `json:"budget,omitempty"`
+	// Admitted / Throttled are cumulative record counts across tenants.
+	Admitted  int64 `json:"admitted"`
+	Throttled int64 `json:"throttled"`
+	// Tenants lists per-tenant admission state, most throttled first
+	// (capped).
+	Tenants []TenantAdmissionHealth `json:"tenants,omitempty"`
+}
+
+// TenantAdmissionHealth is one tenant's admission state: the live refill
+// rate, the forecaster's view, and the throttle counters.
+type TenantAdmissionHealth struct {
+	Tenant string `json:"tenant"`
+	// RefillPerSec is the current token-bucket refill rate the forecaster
+	// sized; ObservedRate / ForecastRate are the last window's actual and
+	// next window's predicted arrival rates; ForecastError is the smoothed
+	// absolute forecast error.
+	RefillPerSec  float64 `json:"refillPerSec"`
+	ObservedRate  float64 `json:"observedRate"`
+	ForecastRate  float64 `json:"forecastRate"`
+	ForecastError float64 `json:"forecastError"`
+	Admitted      int64   `json:"admitted"`
+	Throttled     int64   `json:"throttled"`
+	// ProjectedBill / Squeezed report price-aware mode: the projected
+	// cumulative bill and whether it exceeded the budget this window.
+	ProjectedBill float64 `json:"projectedBill,omitempty"`
+	Squeezed      bool    `json:"squeezed,omitempty"`
+}
+
+// ForecastResponse is the GET /v3/tenants/{tenant}/forecast body: the
+// admission controller's next-window prediction plus the ledger windows it
+// is grounded in.
+type ForecastResponse struct {
+	Tenant string `json:"tenant"`
+	// WindowSec is the observation-window width the rates below are per.
+	WindowSec     float64 `json:"windowSec"`
+	ObservedRate  float64 `json:"observedRate"`
+	ForecastRate  float64 `json:"forecastRate"`
+	ForecastError float64 `json:"forecastError"`
+	RefillPerSec  float64 `json:"refillPerSec"`
+	Burst         float64 `json:"burst"`
+	Admitted      int64   `json:"admitted"`
+	Throttled     int64   `json:"throttled"`
+	ProjectedBill float64 `json:"projectedBill,omitempty"`
+	Budget        float64 `json:"budget,omitempty"`
+	Squeezed      bool    `json:"squeezed,omitempty"`
+	// Windows holds the tenant's most recent statement windows (the
+	// accrual history behind the projection), sorted by window.
+	Windows []StatementLine `json:"windows,omitempty"`
 }
 
 // RequestHealth is the /healthz request-accounting block.
@@ -337,11 +413,18 @@ type UsageStreamResponse struct {
 	Lines int `json:"lines"`
 	// Accepted lines billed; Duplicates were already billed under their
 	// idempotency key (safe retries); Rejected failed validation or
-	// pricing; Dropped hit the ledger's tenant cap.
+	// pricing; Dropped hit the ledger's tenant cap; Throttled hit the
+	// tenant's admission rate limit (429 per line — retry after
+	// RetryAfterSec, never billed).
 	Accepted   int `json:"accepted"`
 	Duplicates int `json:"duplicates"`
 	Rejected   int `json:"rejected"`
 	Dropped    int `json:"dropped"`
+	Throttled  int `json:"throttled,omitempty"`
+	// RetryAfterSec, when lines were throttled, is the longest per-line
+	// retry delay — waiting it out clears every throttle in the stream. It
+	// is also sent as the whole-second Retry-After response header.
+	RetryAfterSec float64 `json:"retryAfterSec,omitempty"`
 	// Errors echoes the first rejected/dropped lines (capped; counts are
 	// not).
 	Errors []LineError `json:"errors,omitempty"`

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -145,13 +147,29 @@ func (c *Client) doRaw(ctx context.Context, method, path string, headers map[str
 		resp.Body.Close()
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 256<<10))
 		var envelope errorEnvelope
 		if json.Unmarshal(data, &envelope) == nil && envelope.Err.Message != "" {
 			if envelope.Err.Status == 0 {
 				envelope.Err.Status = resp.StatusCode
 			}
 			return resp.Header, &envelope.Err
+		}
+		// An all-throttled /v3/usage stream answers 429 with the full
+		// UsageStreamResponse as the body (not the error envelope): decode
+		// it into out so the caller keeps the accounting, and surface the
+		// throttle as a *Error carrying the precise retry delay.
+		if resp.StatusCode == http.StatusTooManyRequests && out != nil && json.Unmarshal(data, out) == nil {
+			apiErr := &Error{Status: resp.StatusCode, Message: "throttled: every record over admission rate"}
+			if usr, ok := out.(*UsageStreamResponse); ok {
+				apiErr.RetryAfterSec = usr.RetryAfterSec
+			}
+			if apiErr.RetryAfterSec == 0 {
+				if sec, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil {
+					apiErr.RetryAfterSec = sec
+				}
+			}
+			return resp.Header, apiErr
 		}
 		// Legacy flat {"error":"…"} shape (v1) or non-JSON bodies.
 		var flat struct {
@@ -253,7 +271,9 @@ func (c *Client) TenantSummary(ctx context.Context, tenant string) (TenantSummar
 // their own key inherit a derived one, so retrying the exact same call with
 // the same key cannot double-bill (the retry comes back counted under
 // Duplicates). Per-record failures are reported in the response, not as a
-// call error.
+// call error — except the all-throttled stream, which the server answers
+// with HTTP 429: the error is then a *Error with RetryAfterSec set while
+// the returned response still carries the stream's full accounting.
 func (c *Client) StreamUsage(ctx context.Context, key string, records []UsageRecord) (UsageStreamResponse, error) {
 	body, err := EncodeUsageStream(c.Wire, records)
 	if err != nil {
@@ -261,7 +281,7 @@ func (c *Client) StreamUsage(ctx context.Context, key string, records []UsageRec
 	}
 	resp, err := c.StreamUsageBody(ctx, key, c.Wire.ContentType(), body)
 	if err != nil {
-		return UsageStreamResponse{}, err
+		return resp, err
 	}
 	if resp.Lines != len(records) {
 		return resp, fmt.Errorf("api: stream answered %d of %d records", resp.Lines, len(records))
@@ -293,15 +313,31 @@ func EncodeUsageStream(wire WireFormat, records []UsageRecord) ([]byte, error) {
 // Content-Type and returns the stream response verbatim — no record-count
 // check, so a caller forwarding someone else's stream (the cluster router)
 // can see a partial response for what it is and account the unprocessed
-// tail itself rather than discarding the server's partial accounting.
+// tail itself rather than discarding the server's partial accounting. On an
+// all-throttled 429 both returns are populated: the decoded stream
+// accounting and a *Error whose RetryAfterSec says when to retry.
 func (c *Client) StreamUsageBody(ctx context.Context, key, contentType string, body []byte) (UsageStreamResponse, error) {
 	var resp UsageStreamResponse
 	_, err := c.doRaw(ctx, http.MethodPost, "/v3/usage",
 		map[string]string{"Idempotency-Key": key}, contentType, bytes.NewReader(body), &resp)
 	if err != nil {
+		var apiErr *Error
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests && resp.Lines > 0 {
+			return resp, err
+		}
 		return UsageStreamResponse{}, err
 	}
 	return resp, nil
+}
+
+// Forecast fetches the admission controller's next-window view of a tenant
+// (GET /v3/tenants/{tenant}/forecast): observed vs predicted arrival rate,
+// the live refill rate, throttle counters, and the recent ledger windows
+// the projection is grounded in. 404s when admission control is disabled.
+func (c *Client) Forecast(ctx context.Context, tenant string) (ForecastResponse, error) {
+	var fc ForecastResponse
+	err := c.do(ctx, http.MethodGet, "/v3/tenants/"+url.PathEscape(tenant)+"/forecast", nil, &fc)
+	return fc, err
 }
 
 // Tenants fetches one page of the sorted tenant listing (GET /v3/tenants).

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/ledger"
 )
@@ -67,6 +68,25 @@ type Config struct {
 	// ("standby") while reads — statements, listings, health — serve the
 	// replicated state. Promote clears the gate.
 	Standby bool
+	// AdmissionRate, when > 0, enables per-tenant admission control on
+	// /v3/usage: each tenant's records pass a token bucket whose refill
+	// rate a forecaster re-sizes every AdmissionWindow from the tenant's
+	// recent arrival rate (ceiling AdmissionRate records/sec). Over-limit
+	// records are rejected with 429 + Retry-After, never billed. 0 disables
+	// admission control entirely (no hot-path cost).
+	AdmissionRate float64
+	// AdmissionBurst is the token-bucket depth; 0 means 2×AdmissionRate.
+	AdmissionBurst float64
+	// AdmissionWindow is the forecaster's observation window; 0 means 2s.
+	AdmissionWindow time.Duration
+	// AdmissionBudget, when > 0, enables price-aware mode: tenants whose
+	// projected cumulative bill exceeds it get their refill rate squeezed
+	// first.
+	AdmissionBudget float64
+	// Admission, when non-nil, is used as the admission controller instead
+	// of building one from the fields above (which are then ignored). Tests
+	// inject manual-clock controllers here.
+	Admission *admission.Controller
 }
 
 // Server is the reusable pricing service. It is an http.Handler; calibration
@@ -95,6 +115,12 @@ type Server struct {
 	// standby gates every write path with a 503 while the server mirrors a
 	// primary; Promote clears it. Reads always serve.
 	standby atomic.Bool
+
+	// admission is the per-tenant rate limiter on the /v3/usage hot path;
+	// nil when admission control is disabled.
+	//
+	//litmus:unguarded frozen by New before the server is shared
+	admission *admission.Controller
 
 	// framePool recycles FrameReaders (binary /v3/usage): their bufio
 	// window is sized from cfg.MaxBodyBytes, so the pool is per-server.
@@ -169,6 +195,16 @@ func New(cfg Config) (*Server, error) {
 		start:     time.Now(),
 	}
 	s.standby.Store(cfg.Standby)
+	s.admission = cfg.Admission
+	if s.admission == nil && cfg.AdmissionRate > 0 {
+		s.admission = admission.New(admission.Config{
+			Rate:           cfg.AdmissionRate,
+			Burst:          cfg.AdmissionBurst,
+			ForecastWindow: cfg.AdmissionWindow,
+			Budget:         cfg.AdmissionBudget,
+			Stats:          led,
+		})
+	}
 	s.pricers = s.buildPricers(models)
 	s.metrics = &serverMetrics{routes: map[string]*routeMetrics{}}
 	mux := http.NewServeMux()
@@ -187,6 +223,7 @@ func New(cfg Config) (*Server, error) {
 	handle("/v3/usage", s.handleUsageStream)
 	handle("/v3/tenants", s.handleTenantList)
 	handle("/v3/tenants/{tenant}/statement", s.handleStatement)
+	handle("/v3/tenants/{tenant}/forecast", s.handleForecast)
 	handle("/v3/tables", s.handleTablesV3)
 	s.mux = mux
 	return s, nil
@@ -291,9 +328,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close flushes and closes the billing ledger: on a durable server every
 // acknowledged accrual is synced to the WAL regardless of the fsync policy
-// and the background snapshotter stops. Call it after the HTTP server has
-// drained. A volatile server's Close is a no-op. Idempotent.
+// and the background snapshotter stops. The admission controller's
+// forecaster ticker stops too. Call it after the HTTP server has drained.
+// A volatile server's Close is a no-op. Idempotent.
 func (s *Server) Close() error {
+	if s.admission != nil {
+		s.admission.Close()
+	}
 	return s.ledger.Close()
 }
 
@@ -369,6 +410,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Recovery:          d.Recovery,
 		}
 	}
+	var adm *AdmissionHealth
+	if s.admission != nil {
+		snap := s.admission.Snapshot()
+		adm = &AdmissionHealth{
+			RatePerSec: snap.RatePerSec,
+			Burst:      snap.Burst,
+			WindowSec:  snap.WindowSec,
+			Budget:     snap.Budget,
+			Admitted:   snap.Admitted,
+			Throttled:  snap.Throttled,
+		}
+		for _, t := range snap.Tenants {
+			adm.Tenants = append(adm.Tenants, TenantAdmissionHealth{
+				Tenant:        t.Tenant,
+				RefillPerSec:  t.RefillPerSec,
+				ObservedRate:  t.ObservedRate,
+				ForecastRate:  t.ForecastRate,
+				ForecastError: t.ForecastError,
+				Admitted:      t.Admitted,
+				Throttled:     t.Throttled,
+				ProjectedBill: t.ProjectedBill,
+				Squeezed:      t.Squeezed,
+			})
+		}
+	}
 	v := Version()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		OK:                true,
@@ -387,7 +453,62 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		TablesETag:        s.tablesETag(),
 		Durability:        durability,
 		Requests:          s.metrics.requestHealth(),
+		Admission:         adm,
 	})
+}
+
+// --- GET /v3/tenants/{tenant}/forecast ---------------------------------------
+
+// forecastHistoryWindows bounds the ledger windows echoed on a forecast
+// read: the recent accrual history the projection is grounded in, not the
+// tenant's whole statement.
+const forecastHistoryWindows = 8
+
+// handleForecast serves the admission controller's next-window view of one
+// tenant: observed vs predicted arrival rate, the live refill rate, and the
+// tenant's recent ledger windows. 404s when admission control is disabled
+// or the controller has never seen the tenant.
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		v2Error(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.admission == nil {
+		v2Error(w, http.StatusNotFound, "admission control disabled: no forecasts (-admission-rate 0)")
+		return
+	}
+	tenant := r.PathValue("tenant")
+	fc, ok := s.admission.Forecast(tenant)
+	if !ok {
+		v2Error(w, http.StatusNotFound, "no admission state for tenant %q", tenant)
+		return
+	}
+	resp := ForecastResponse{
+		Tenant:        fc.Tenant,
+		WindowSec:     fc.WindowSec,
+		ObservedRate:  fc.ObservedRate,
+		ForecastRate:  fc.ForecastRate,
+		ForecastError: fc.ForecastError,
+		RefillPerSec:  fc.RefillPerSec,
+		Burst:         fc.Burst,
+		Admitted:      fc.Admitted,
+		Throttled:     fc.Throttled,
+		ProjectedBill: fc.ProjectedBill,
+		Budget:        fc.Budget,
+		Squeezed:      fc.Squeezed,
+	}
+	if stats, ok := s.ledger.WindowStats(tenant, forecastHistoryWindows); ok {
+		for _, ws := range stats {
+			resp.Windows = append(resp.Windows, StatementLine{
+				Window:      ws.Window,
+				StartMinute: ws.StartMinute,
+				Invocations: ws.Invocations,
+				Commercial:  ws.Commercial,
+				Billed:      ws.Billed,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- /v2/quote and /v2/quotes ----------------------------------------------

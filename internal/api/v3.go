@@ -191,7 +191,13 @@ func (s *Server) handleUsageStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // finishUsage renders a usage stream's terminal response: the stream error
-// and the post-accrual summaries of every touched tenant.
+// and the post-accrual summaries of every touched tenant. Throttled lines
+// surface twice: the Retry-After header always accompanies them, and when
+// the admission limiter rejected every line the status is 429 — a
+// single-record client sees a plain HTTP throttle — while a partially
+// admitted stream stays 200 with per-line 429s, because its accounting and
+// accruals are a success the client must not discard. The body is the full
+// UsageStreamResponse either way.
 func (s *Server) finishUsage(w http.ResponseWriter, col *usageCollector, streamErr string) {
 	col.resp.StreamError = streamErr
 	names := make([]string, 0, len(col.touched))
@@ -204,7 +210,14 @@ func (s *Server) finishUsage(w http.ResponseWriter, col *usageCollector, streamE
 			col.resp.Tenants = append(col.resp.Tenants, sum)
 		}
 	}
-	writeJSON(w, http.StatusOK, col.resp)
+	status := http.StatusOK
+	if col.resp.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", RetryAfterHeader(col.resp.RetryAfterSec))
+	}
+	if col.resp.Lines > 0 && col.resp.Throttled == col.resp.Lines {
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, col.resp)
 	col.release()
 }
 
@@ -281,13 +294,34 @@ func (c *usageCollector) collectLoop(results <-chan ingestResult) chan struct{} 
 }
 
 // add accounts one in-order result: rejections fold into the response
-// immediately, priced lines become ledger entries waiting for the next
-// batched accrual.
+// immediately, priced lines pass the admission gate and become ledger
+// entries waiting for the next batched accrual. The gate runs here — after
+// validation, before accrual, in strict stream order — so both wire formats
+// share one admission point and a throttled record can never reach the
+// ledger. A key the ledger already recorded bypasses the gate: it is a
+// retry, not new load — it cannot bill again, and if duplicates consumed
+// tokens a whole-batch resend could livelock, the already-billed head
+// eating every refilled token before the formerly throttled tail reached
+// the bucket. Unkeyed records always pay.
 func (c *usageCollector) add(res *ingestResult) {
 	c.resp.Lines++
 	if res.err != nil {
 		c.fold(res.line, "", ledger.Dropped, res.err)
 		return
+	}
+	if adm := c.s.admission; adm != nil && !c.s.ledger.Seen(res.tenant, res.key) {
+		if ok, retryAfter := adm.Allow(res.tenant); !ok {
+			sec := retryAfter.Seconds()
+			if sec > c.resp.RetryAfterSec {
+				c.resp.RetryAfterSec = sec
+			}
+			c.fold(res.line, "", ledger.Dropped, &Error{
+				Status:        http.StatusTooManyRequests,
+				Message:       fmt.Sprintf("tenant %q over admission rate", res.tenant),
+				RetryAfterSec: sec,
+			})
+			return
+		}
 	}
 	c.entries = append(c.entries, ledger.Entry{
 		Tenant:     res.tenant,
@@ -306,9 +340,12 @@ func (c *usageCollector) add(res *ingestResult) {
 // fold applies one decided line to the response counters.
 func (c *usageCollector) fold(line int, tenant string, outcome ledger.Outcome, apiErr *Error) {
 	if apiErr != nil {
-		if apiErr.Status == http.StatusServiceUnavailable {
+		switch apiErr.Status {
+		case http.StatusServiceUnavailable:
 			c.resp.Dropped++
-		} else {
+		case http.StatusTooManyRequests:
+			c.resp.Throttled++
+		default:
 			c.resp.Rejected++
 		}
 		if len(c.resp.Errors) < DefaultMaxStreamErrors {

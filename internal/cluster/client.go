@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 
 	"repro/internal/api"
@@ -147,13 +149,24 @@ func (c *Client) StreamUsage(ctx context.Context, key string, records []api.Usag
 		p := parts[name]
 		resp, err := c.clients[name].StreamUsage(ctx, "", p.records)
 		if err != nil {
-			return merged, fmt.Errorf("cluster: streaming to node %s: %w", name, err)
+			// A node that throttled its whole sub-stream answers HTTP 429
+			// with complete accounting — backpressure, not failure: merge
+			// its counters like any response and keep going; the merged
+			// throttle verdict is decided after the loop.
+			var apiErr *api.Error
+			if !(errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests && resp.Lines > 0) {
+				return merged, fmt.Errorf("cluster: streaming to node %s: %w", name, err)
+			}
 		}
 		merged.Lines += resp.Lines
 		merged.Accepted += resp.Accepted
 		merged.Duplicates += resp.Duplicates
 		merged.Rejected += resp.Rejected
 		merged.Dropped += resp.Dropped
+		merged.Throttled += resp.Throttled
+		if resp.RetryAfterSec > merged.RetryAfterSec {
+			merged.RetryAfterSec = resp.RetryAfterSec
+		}
 		for _, le := range resp.Errors {
 			// The node numbered lines within its sub-stream; map back to the
 			// caller's record positions.
@@ -175,6 +188,17 @@ func (c *Client) StreamUsage(ctx context.Context, key string, records []api.Usag
 	// the merged summary list is just the concatenation, re-sorted.
 	sort.Slice(sums, func(i, j int) bool { return sums[i].Tenant < sums[j].Tenant })
 	merged.Tenants = sums
+	// Mirror api.Client's single-node contract: when the admission limiters
+	// rejected every record, the merged call errors with a 429 *Error (and
+	// the full accounting still returned) so callers see one throttle
+	// surface whether they talk to one node or the ring.
+	if merged.Lines > 0 && merged.Throttled == merged.Lines {
+		return merged, &api.Error{
+			Status:        http.StatusTooManyRequests,
+			Message:       "throttled: every record over admission rate",
+			RetryAfterSec: merged.RetryAfterSec,
+		}
+	}
 	return merged, nil
 }
 

@@ -28,6 +28,7 @@ import (
 //	                                      owners, merge the accounting
 //	GET  /v3/tenants                      merge-paginate the per-node pages
 //	GET  /v3/tenants/{tenant}/statement   proxy to the owner node
+//	GET  /v3/tenants/{tenant}/forecast    proxy to the owner node
 //	GET  /v2/tenants/{tenant}/summary     proxy to the owner node
 //	GET|PUT /v3/tables                    coordinator (+ broadcast on PUT)
 //	GET  /healthz                         aggregate node health
@@ -91,6 +92,7 @@ func NewRouter(client *Client, cfg RouterConfig) *Router {
 	rt.mux.HandleFunc("/v3/usage", rt.handleUsage)
 	rt.mux.HandleFunc("/v3/tenants", rt.handleTenants)
 	rt.mux.HandleFunc("/v3/tenants/{tenant}/statement", rt.proxyToOwner)
+	rt.mux.HandleFunc("/v3/tenants/{tenant}/forecast", rt.proxyToOwner)
 	rt.mux.HandleFunc("/v2/tenants/{tenant}/summary", rt.proxyToOwner)
 	rt.mux.HandleFunc("/v3/tables", rt.handleTables)
 	return rt
@@ -159,6 +161,12 @@ func (sc *usageScatter) fold(b *ownerBatch, resp api.UsageStreamResponse, node s
 	sc.resp.Duplicates += resp.Duplicates
 	sc.resp.Rejected += resp.Rejected
 	sc.resp.Dropped += resp.Dropped
+	sc.resp.Throttled += resp.Throttled
+	// The merged Retry-After is the max across owners: waiting it out
+	// clears every node's throttle, exactly as on a single node.
+	if resp.RetryAfterSec > sc.resp.RetryAfterSec {
+		sc.resp.RetryAfterSec = resp.RetryAfterSec
+	}
 	for _, le := range resp.Errors {
 		if le.Line >= 1 && le.Line <= len(b.lines) {
 			le.Line = b.lines[le.Line-1]
@@ -232,6 +240,18 @@ func (f *usageForward) flush(name string) error {
 	}
 	resp, err := f.rt.client.clients[name].StreamUsageBody(f.ctx, "", f.wire.ContentType(), body)
 	if err != nil {
+		// An owner that throttled the whole sub-stream answers HTTP 429
+		// with complete accounting in the body — that is backpressure, not
+		// a dead node: fold it like any other response so the per-line 429s
+		// and Retry-After reach the merged accounting instead of the batch
+		// being dropped as an opaque 502.
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests && resp.Lines > 0 {
+			f.scatter.fold(b, resp, name)
+			b.records = b.records[:0]
+			b.lines = b.lines[:0]
+			return nil
+		}
 		return fmt.Errorf("forwarding to node %s: %v", name, err)
 	}
 	f.scatter.fold(b, resp, name)
@@ -321,7 +341,16 @@ func (f *usageForward) finish(w http.ResponseWriter) {
 	sort.Slice(resp.Tenants, func(i, j int) bool {
 		return resp.Tenants[i].Tenant < resp.Tenants[j].Tenant
 	})
-	writeJSON(w, http.StatusOK, *resp)
+	// Same 429 surface as a single node: Retry-After whenever any line was
+	// throttled, status 429 when the admission limiters rejected every line.
+	status := http.StatusOK
+	if resp.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", api.RetryAfterHeader(resp.RetryAfterSec))
+	}
+	if resp.Lines > 0 && resp.Throttled == resp.Lines {
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, *resp)
 }
 
 func (rt *Router) handleUsage(w http.ResponseWriter, r *http.Request) {
@@ -518,7 +547,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, node Node) {
 		return
 	}
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "ETag"} {
+	for _, h := range []string{"Content-Type", "ETag", "Retry-After"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -61,6 +62,13 @@ type Config struct {
 	ChurnThreads int
 	// DrainSec bounds the post-trace drain (default DefaultDrainSec).
 	DrainSec float64
+	// FeedbackPricer, when set, prices every completion on the coordinator
+	// between quanta and folds the quote into the machine's AvgPrice /
+	// AvgDiscount EWMAs for the cost-feedback policies
+	// (CheapestProjectedBill, CongestionAvoiding). Feedback only: these
+	// quotes are never billed — the Meter's pricers remain the sole billing
+	// path. Policies that ignore MachineState's price fields are unaffected.
+	FeedbackPricer core.Pricer
 }
 
 func (c *Config) setDefaults() {
@@ -159,11 +167,36 @@ type machineSim struct {
 	peakInflight int
 	peakUsedMB   int
 	busySec      float64
+
+	// Cost-feedback EWMAs (Config.FeedbackPricer), updated only on the
+	// coordinator between quanta.
+	avgPrice    float64
+	avgDiscount float64
+	havePrice   bool
+}
+
+// feedbackAlpha is the EWMA weight of the newest quote in the machine's
+// price feedback: high enough to track congestion shifts within a few
+// completions, low enough that one outlier invocation does not whipsaw
+// the routing.
+const feedbackAlpha = 0.3
+
+// observeQuote folds one completion's feedback quote into the EWMAs.
+func (m *machineSim) observeQuote(q core.Quote) {
+	if !m.havePrice {
+		m.avgPrice, m.avgDiscount, m.havePrice = q.Price, q.Discount(), true
+		return
+	}
+	m.avgPrice = feedbackAlpha*q.Price + (1-feedbackAlpha)*m.avgPrice
+	m.avgDiscount = feedbackAlpha*q.Discount() + (1-feedbackAlpha)*m.avgDiscount
 }
 
 // state snapshots the machine for routing.
 func (m *machineSim) state(capMB int) MachineState {
-	return MachineState{ID: m.id, Inflight: len(m.inflight), UsedMB: m.usedMB, CapMB: capMB}
+	return MachineState{
+		ID: m.id, Inflight: len(m.inflight), UsedMB: m.usedMB, CapMB: capMB,
+		AvgPrice: m.avgPrice, AvgDiscount: m.avgDiscount, HavePrice: m.havePrice,
+	}
 }
 
 // admit spawns an arrival on the machine's least-loaded worker thread.
@@ -369,9 +402,16 @@ func (f *Fleet) Run(arrivals []trace.Arrival, sink chan<- MeteredRecord) (Result
 		}
 		wg.Wait()
 
-		// Stream completions to the meter, oldest machine first.
+		// Stream completions to the meter, oldest machine first; the
+		// coordinator also prices each one for routing feedback here, while
+		// no machine goroutine is running.
 		for _, m := range f.machines {
 			for _, rec := range m.out {
+				if f.cfg.FeedbackPricer != nil {
+					if q, err := f.cfg.FeedbackPricer.Quote(core.UsageFromRecord(rec.Record)); err == nil {
+						m.observeQuote(q)
+					}
+				}
 				sink <- rec
 			}
 			m.out = m.out[:0]

@@ -18,6 +18,17 @@ type MachineState struct {
 	UsedMB int
 	// CapMB is the machine's sandbox memory capacity.
 	CapMB int
+	// AvgPrice and AvgDiscount are EWMAs of the feedback pricer's quotes
+	// over the machine's recent completions (Config.FeedbackPricer; both
+	// zero and meaningless while HavePrice is false). Under Litmus pricing
+	// the discount grows with interference, so AvgDiscount doubles as a
+	// congestion signal: a machine handing out deep discounts is a machine
+	// whose tenants are being slowed down.
+	AvgPrice    float64
+	AvgDiscount float64
+	// HavePrice reports whether the machine has completed at least one
+	// feedback-priced invocation since the run began.
+	HavePrice bool
 }
 
 // Policy routes one arrival to a machine. Implementations are called from a
@@ -30,7 +41,8 @@ type Policy interface {
 }
 
 // ParsePolicy resolves a policy name ("round-robin"/"rr", "least-loaded",
-// "binpack").
+// "binpack", "cheapest-projected-bill", "congestion-avoiding"). The two
+// cost-feedback policies need Config.FeedbackPricer set to see prices.
 func ParsePolicy(name string) (Policy, error) {
 	switch name {
 	case "round-robin", "rr":
@@ -39,8 +51,12 @@ func ParsePolicy(name string) (Policy, error) {
 		return LeastLoaded{}, nil
 	case "binpack", "bin-packing":
 		return BinPack{}, nil
+	case "cheapest-projected-bill":
+		return CheapestProjectedBill{}, nil
+	case "congestion-avoiding":
+		return CongestionAvoiding{}, nil
 	default:
-		return nil, fmt.Errorf("fleet: unknown policy %q (want round-robin, least-loaded or binpack)", name)
+		return nil, fmt.Errorf("fleet: unknown policy %q (want round-robin, least-loaded, binpack, cheapest-projected-bill or congestion-avoiding)", name)
 	}
 }
 
@@ -77,6 +93,62 @@ func (LeastLoaded) Pick(spec *workload.Spec, machines []MachineState) int {
 		}
 	}
 	return best
+}
+
+// CheapestProjectedBill routes each arrival to the machine whose recent
+// completions priced cheapest under the feedback pricer (ties to the lowest
+// ID), minimising the tenant's projected bill. Under Litmus this chases
+// discounts — congested machines charge LESS because the pricer refunds
+// interference — so it deliberately trades latency for bill. Machines with
+// no priced completions yet fall back to least-loaded.
+type CheapestProjectedBill struct{}
+
+// Name implements Policy.
+func (CheapestProjectedBill) Name() string { return "cheapest-projected-bill" }
+
+// Pick implements Policy.
+func (CheapestProjectedBill) Pick(spec *workload.Spec, machines []MachineState) int {
+	best := -1
+	for i, m := range machines {
+		if !m.HavePrice {
+			continue
+		}
+		if best < 0 || m.AvgPrice < machines[best].AvgPrice {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return LeastLoaded{}.Pick(spec, machines)
+}
+
+// CongestionAvoiding routes each arrival to the machine with the smallest
+// average Litmus discount (ties to the lowest ID): a small discount means
+// tenants there run near solo speed, so the policy steers new work away
+// from interference using the price signal alone — no latency or
+// perf-counter telemetry needed. Machines with no priced completions yet
+// fall back to least-loaded.
+type CongestionAvoiding struct{}
+
+// Name implements Policy.
+func (CongestionAvoiding) Name() string { return "congestion-avoiding" }
+
+// Pick implements Policy.
+func (CongestionAvoiding) Pick(spec *workload.Spec, machines []MachineState) int {
+	best := -1
+	for i, m := range machines {
+		if !m.HavePrice {
+			continue
+		}
+		if best < 0 || m.AvgDiscount < machines[best].AvgDiscount {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return LeastLoaded{}.Pick(spec, machines)
 }
 
 // BinPack is memory-aware best-fit bin-packing: among machines whose free

@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"time"
 
 	"repro/internal/api"
@@ -33,8 +35,9 @@ type RemoteSinkConfig struct {
 	// BatchSize is the number of records per StreamUsage call (default
 	// DefaultSinkBatch).
 	BatchSize int
-	// Retries is how many times a failed batch is re-sent before the error
-	// surfaces (default 0: fail fast). A batch that died mid-flight may
+	// Retries is how many times a failed or throttled batch is re-sent
+	// before the outcome surfaces (default 0: fail fast). Permanent 4xx
+	// responses other than 429 never retry. A batch that died mid-flight may
 	// have partially accrued, so retries only make sense with a RunID —
 	// the per-record keys turn the replayed lines into duplicates instead
 	// of double-bills. That is what lets a fleet run survive a pricing-
@@ -110,8 +113,12 @@ type RemoteSinkStats struct {
 	Duplicates int `json:"duplicates"`
 	Rejected   int `json:"rejected"`
 	Dropped    int `json:"dropped"`
-	// Retried counts batch re-sends after transport failures (see
-	// RemoteSinkConfig.Retries).
+	// Throttled counts records still refused by the service's admission
+	// limiter (429) after the retry budget ran out; throttled batches that
+	// eventually delivered show up as Accepted/Duplicates plus Retried.
+	Throttled int `json:"throttled,omitempty"`
+	// Retried counts batch re-sends — after transport failures and after
+	// throttled deliveries (see RemoteSinkConfig.Retries).
 	Retried int `json:"retried,omitempty"`
 }
 
@@ -156,11 +163,33 @@ func (s *RemoteSink) Observe(rec MeteredRecord) error {
 	return nil
 }
 
-// send streams the buffered batch, re-sending up to cfg.Retries times on
-// failure, and folds the successful attempt's accounting into the stats. A
-// batch that failed mid-flight may have partially accrued server-side;
-// RunID keys make the replayed lines Duplicates, so the retry path never
-// double-bills (and Retried counts how often it was taken).
+// fold books one delivered attempt's accounting. Only the final attempt of
+// a batch folds: a throttled-then-retried batch's earlier attempts would
+// otherwise double-count its records (the retry's admitted lines come back
+// as Duplicates of the earlier attempt's Accepted).
+func (s *RemoteSink) fold(resp api.UsageStreamResponse) {
+	s.sent.Accepted += resp.Accepted
+	s.sent.Duplicates += resp.Duplicates
+	s.sent.Rejected += resp.Rejected
+	s.sent.Dropped += resp.Dropped
+	s.sent.Throttled += resp.Throttled
+}
+
+// send streams the buffered batch, classifying each attempt's outcome
+// before deciding to retry:
+//
+//   - A permanent 4xx (malformed record, unknown pricer — anything but 429)
+//     fails fast: re-sending identical bytes cannot succeed, and burning
+//     the whole retry budget on it only delays the real error.
+//   - A throttle (per-line 429s, or the all-throttled HTTP 429 whose body
+//     still carries full accounting) re-sends the whole batch after the
+//     server's own Retry-After delay; RunID keys turn the already-admitted
+//     lines into Duplicates, so the replay never double-bills. When the
+//     budget runs out the final attempt's accounting folds as-is and the
+//     leftover throttles surface at Flush.
+//   - Transport failures and 5xx retry on the jittered exponential
+//     schedule, honoring a server-suggested Retry-After (a draining 503)
+//     over the blind doubling when one is present.
 func (s *RemoteSink) send() error {
 	if len(s.buf) == 0 {
 		return nil
@@ -172,12 +201,33 @@ func (s *RemoteSink) send() error {
 	for attempt := 0; ; attempt++ {
 		resp, err := s.client.StreamUsage(s.ctx, "", batch)
 		attempts++
+		var apiErr *api.Error
+		if err != nil && errors.As(err, &apiErr) {
+			if apiErr.Status == http.StatusTooManyRequests && resp.Lines > 0 {
+				// The all-throttled contract: complete accounting in resp,
+				// backpressure in the error. Handled as a delivery below.
+				err = nil
+			} else if apiErr.Status >= 400 && apiErr.Status < 500 && apiErr.Status != http.StatusTooManyRequests {
+				return fmt.Errorf("streaming %d records: permanent client error, not retried: %w", len(batch), err)
+			}
+		}
 		if err == nil {
-			s.sent.Accepted += resp.Accepted
-			s.sent.Duplicates += resp.Duplicates
-			s.sent.Rejected += resp.Rejected
-			s.sent.Dropped += resp.Dropped
-			return nil
+			if resp.Throttled == 0 || attempt >= s.cfg.Retries || s.ctx.Err() != nil {
+				s.fold(resp)
+				return nil
+			}
+			// Re-send the whole batch when the server suggests: waiting out
+			// the longest per-line Retry-After clears every throttle in it.
+			s.sent.Retried++
+			wait := time.Duration(resp.RetryAfterSec * float64(time.Second))
+			if wait <= 0 {
+				wait = retryDelay(attempt, s.cfg.RetryWait, s.cfg.MaxRetryWait, rand.Int63n)
+			}
+			select {
+			case <-s.ctx.Done():
+			case <-time.After(wait):
+			}
+			continue
 		}
 		// Keep the first real transport failure: an attempt that merely
 		// died of context cancellation must not mask the root cause.
@@ -188,9 +238,13 @@ func (s *RemoteSink) send() error {
 			break
 		}
 		s.sent.Retried++
+		wait := retryDelay(attempt, s.cfg.RetryWait, s.cfg.MaxRetryWait, rand.Int63n)
+		if apiErr != nil && apiErr.RetryAfterSec > 0 {
+			wait = time.Duration(apiErr.RetryAfterSec * float64(time.Second))
+		}
 		select {
 		case <-s.ctx.Done():
-		case <-time.After(retryDelay(attempt, s.cfg.RetryWait, s.cfg.MaxRetryWait, rand.Int63n)):
+		case <-time.After(wait):
 		}
 	}
 	return fmt.Errorf("streaming %d records (%d attempts): %w", len(batch), attempts, lastErr)
@@ -203,9 +257,10 @@ func (s *RemoteSink) Flush() error {
 	if err := s.send(); err != nil {
 		return err
 	}
-	if s.sent.Rejected > 0 || s.sent.Dropped > 0 {
-		return fmt.Errorf("service refused %d of %d records (%d rejected, %d ledger-dropped)",
-			s.sent.Rejected+s.sent.Dropped, s.sent.Records, s.sent.Rejected, s.sent.Dropped)
+	if s.sent.Rejected > 0 || s.sent.Dropped > 0 || s.sent.Throttled > 0 {
+		return fmt.Errorf("service refused %d of %d records (%d rejected, %d ledger-dropped, %d throttled)",
+			s.sent.Rejected+s.sent.Dropped+s.sent.Throttled, s.sent.Records,
+			s.sent.Rejected, s.sent.Dropped, s.sent.Throttled)
 	}
 	return nil
 }

@@ -279,6 +279,23 @@ func namespacedKey(e Entry) string {
 	return e.Tenant + "\x00" + e.Key
 }
 
+// Seen reports whether the tenant has already recorded an entry under the
+// given idempotency key — the read-only peek behind admission-gate retry
+// bypass: a key the ledger already holds cannot bill again, so re-sending
+// it is not new load. A key evicted from the bounded dedup window reports
+// false, exactly as Accrue would re-bill it.
+func (l *Ledger) Seen(tenant, key string) bool {
+	if tenant == "" || key == "" {
+		return false
+	}
+	sh := l.shardFor(tenant)
+	nk := namespacedKey(Entry{Tenant: tenant, Key: key})
+	sh.mu.Lock()
+	_, ok := sh.keys[nk]
+	sh.mu.Unlock()
+	return ok
+}
+
 // Accrue bills one entry. It returns Duplicate when the entry's idempotency
 // key was seen before (nothing billed), Dropped when the tenant cap blocks a
 // new account (nothing billed, drop counted), and an error only for entries
@@ -567,6 +584,24 @@ type Statement struct {
 // included when they overlap the range; lines come back sorted by window.
 func (l *Ledger) Statement(tenant string, fromMinute, toMinute int) (Statement, bool) {
 	return l.shardFor(tenant).statement(tenant, fromMinute, toMinute, l.cfg.WindowMinutes)
+}
+
+// WindowStat is one statement window's accrual totals without the
+// per-pricer bill map — the cheap read the admission layer's forecaster
+// polls every observation window.
+type WindowStat struct {
+	Window      int
+	StartMinute int
+	Invocations int64
+	Commercial  float64
+	Billed      float64
+}
+
+// WindowStats returns the tenant's per-window accrual totals sorted by
+// window, keeping only the last lastN windows (lastN <= 0 means all). ok is
+// false for an unknown tenant.
+func (l *Ledger) WindowStats(tenant string, lastN int) ([]WindowStat, bool) {
+	return l.shardFor(tenant).windowStats(tenant, lastN, l.cfg.WindowMinutes)
 }
 
 // Tenants returns up to limit tenant summaries sorted by name, starting

@@ -189,3 +189,34 @@ func (sh *shard) statement(tenant string, fromMinute, toMinute, windowMinutes in
 	}
 	return st, true
 }
+
+// windowStats copies out the tenant's per-window totals (no bill maps)
+// under the shard lock, keeping only the last lastN windows when lastN > 0.
+func (sh *shard) windowStats(tenant string, lastN, windowMinutes int) ([]WindowStat, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	a, ok := sh.accounts[tenant]
+	if !ok {
+		return nil, false
+	}
+	widxs := make([]int, 0, len(a.windows))
+	for widx := range a.windows {
+		widxs = append(widxs, widx)
+	}
+	sort.Ints(widxs)
+	if lastN > 0 && len(widxs) > lastN {
+		widxs = widxs[len(widxs)-lastN:]
+	}
+	stats := make([]WindowStat, 0, len(widxs))
+	for _, widx := range widxs {
+		w := a.windows[widx]
+		stats = append(stats, WindowStat{
+			Window:      widx,
+			StartMinute: widx * windowMinutes,
+			Invocations: w.invocations,
+			Commercial:  w.commercial,
+			Billed:      w.billed,
+		})
+	}
+	return stats, true
+}

@@ -26,6 +26,14 @@ import (
 	"repro/internal/trace"
 )
 
+// ErrThrottled marks a request the target refused with admission-control
+// backpressure (HTTP 429) rather than failing. Op.Do implementations wrap
+// their throttle errors with it (fmt.Errorf("%w: ...", ErrThrottled)) so
+// the engine books them as Throttled instead of Errors: a throttle is the
+// server working as designed under overload, not the server breaking, and
+// conflating the two makes the SLO search converge on the wrong knee.
+var ErrThrottled = errors.New("loadgen: throttled by admission control")
+
 // An Op is one kind of request the generator can fire: a name for
 // reporting, a weight for the traffic mix, and the request function
 // itself. Do must be safe for concurrent use and should honour ctx's
@@ -86,12 +94,17 @@ func (c *Config) setDefaults() error {
 // OpStats is one op's (or the whole run's) latency and error accounting.
 type OpStats struct {
 	Name string `json:"name"`
-	// Requests counts completed requests (successes + errors + timeouts);
-	// Shed counts arrivals dropped at the MaxInFlight safety valve.
-	Requests int64 `json:"requests"`
-	Errors   int64 `json:"errors"`
-	Timeouts int64 `json:"timeouts"`
-	Shed     int64 `json:"shed,omitempty"`
+	// Requests counts completed requests (successes + errors + timeouts +
+	// throttles); Shed counts arrivals dropped at the MaxInFlight safety
+	// valve. Throttled counts requests the target refused with 429
+	// backpressure (Op.Do wrapped the error with ErrThrottled) — they are
+	// accounted separately from Errors because a throttle is deliberate
+	// admission control, not a failure.
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`
+	Timeouts  int64 `json:"timeouts"`
+	Throttled int64 `json:"throttled,omitempty"`
+	Shed      int64 `json:"shed,omitempty"`
 	// Latency quantiles in milliseconds over completed requests.
 	P50Ms  float64 `json:"p50Ms"`
 	P90Ms  float64 `json:"p90Ms"`
@@ -115,7 +128,11 @@ type Result struct {
 	// were awaited but counted as timeouts if they exceeded Timeout).
 	Sent int64 `json:"sent"`
 	// ErrorRate is (errors+timeouts+shed)/(requests+shed) over all ops.
+	// Throttled requests do not count against it (see ThrottleRate).
 	ErrorRate float64 `json:"errorRate"`
+	// ThrottleRate is throttled/(requests+shed) over all ops: the share of
+	// traffic the target pushed back with 429 instead of serving.
+	ThrottleRate float64 `json:"throttleRate,omitempty"`
 	// MaxLatenessMs is the worst pacer delay behind schedule — a
 	// generator-health number: large values mean the load machine, not the
 	// target, was the bottleneck.
@@ -130,8 +147,15 @@ type SLO struct {
 	// P99 bounds Total.P99Ms (0 = unchecked).
 	P99 time.Duration `json:"p99"`
 	// MaxErrorRate bounds Result.ErrorRate (errors, timeouts and shed
-	// arrivals all count against it).
+	// arrivals all count against it; throttles do not).
 	MaxErrorRate float64 `json:"maxErrorRate"`
+	// MaxThrottleRate bounds Result.ThrottleRate. Unlike MaxErrorRate, zero
+	// means UNCHECKED, not zero-tolerance: most searches probe a target
+	// without admission control, where the field is meaningless. Set it
+	// (e.g. 0.01) to make Search converge on maximum ADMITTED throughput
+	// instead of sailing past the limiter — a throttling server stays fast,
+	// so p99 and error rate alone never notice the knee.
+	MaxThrottleRate float64 `json:"maxThrottleRate,omitempty"`
 }
 
 // Met reports whether r satisfies the objective.
@@ -142,32 +166,37 @@ func (s SLO) Met(r Result) bool {
 	if r.ErrorRate > s.MaxErrorRate {
 		return false
 	}
+	if s.MaxThrottleRate > 0 && r.ThrottleRate > s.MaxThrottleRate {
+		return false
+	}
 	return true
 }
 
 // opRecorder accumulates one op's outcomes during a run.
 type opRecorder struct {
-	name     string
-	hist     Hist
-	errors   atomic.Int64
-	timeouts atomic.Int64
-	shed     atomic.Int64
+	name      string
+	hist      Hist
+	errors    atomic.Int64
+	timeouts  atomic.Int64
+	throttled atomic.Int64
+	shed      atomic.Int64
 }
 
 func (r *opRecorder) stats() OpStats {
 	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return OpStats{
-		Name:     r.name,
-		Requests: int64(r.hist.Count()),
-		Errors:   r.errors.Load(),
-		Timeouts: r.timeouts.Load(),
-		Shed:     r.shed.Load(),
-		P50Ms:    toMs(r.hist.Quantile(0.50)),
-		P90Ms:    toMs(r.hist.Quantile(0.90)),
-		P99Ms:    toMs(r.hist.Quantile(0.99)),
-		P999Ms:   toMs(r.hist.Quantile(0.999)),
-		MeanMs:   toMs(r.hist.Mean()),
-		MaxMs:    toMs(r.hist.Max()),
+		Name:      r.name,
+		Requests:  int64(r.hist.Count()),
+		Errors:    r.errors.Load(),
+		Timeouts:  r.timeouts.Load(),
+		Throttled: r.throttled.Load(),
+		Shed:      r.shed.Load(),
+		P50Ms:     toMs(r.hist.Quantile(0.50)),
+		P90Ms:     toMs(r.hist.Quantile(0.90)),
+		P99Ms:     toMs(r.hist.Quantile(0.99)),
+		P999Ms:    toMs(r.hist.Quantile(0.999)),
+		MeanMs:    toMs(r.hist.Mean()),
+		MaxMs:     toMs(r.hist.Max()),
 	}
 }
 
@@ -236,6 +265,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			rec.hist.Record(time.Since(t0))
 			switch {
 			case err == nil:
+			// Throttle beats timeout: a 429 that raced the deadline still
+			// came from the admission limiter, not a hung server.
+			case errors.Is(err, ErrThrottled):
+				rec.throttled.Add(1)
 			case errors.Is(err, context.DeadlineExceeded) || reqCtx.Err() != nil:
 				rec.timeouts.Add(1)
 			default:
@@ -260,6 +293,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		total.hist.Merge(&rec.hist)
 		total.errors.Add(rec.errors.Load())
 		total.timeouts.Add(rec.timeouts.Load())
+		total.throttled.Add(rec.throttled.Load())
 		total.shed.Add(rec.shed.Load())
 		res.Ops = append(res.Ops, rec.stats())
 	}
@@ -267,6 +301,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.Total = total.stats()
 	if denom := res.Total.Requests + res.Total.Shed; denom > 0 {
 		res.ErrorRate = float64(res.Total.Errors+res.Total.Timeouts+res.Total.Shed) / float64(denom)
+		res.ThrottleRate = float64(res.Total.Throttled) / float64(denom)
 	}
 	return res, nil
 }

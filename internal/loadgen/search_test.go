@@ -91,6 +91,60 @@ func TestSearchBracketShortcuts(t *testing.T) {
 	}
 }
 
+// throttleStepModel is an admission-limited target: latency always meets
+// the SLO and nothing errors, but past capacity the server sheds the
+// overload as throttles.
+func throttleStepModel(capacity float64) func(rate float64) (Result, error) {
+	return func(rate float64) (Result, error) {
+		res := Result{OfferedRate: rate, Total: OpStats{P99Ms: 5}}
+		if rate > capacity {
+			res.ThrottleRate = 0.5
+			res.Total.Throttled = int64(rate * 0.5)
+		}
+		return res, nil
+	}
+}
+
+// TestSearchThrottleAware pins how admission control interacts with the
+// throughput search: a throttling target never misses latency, so without
+// a throttle budget Search reports the full offered bracket as sustainable
+// — the right default, since throttles are backpressure, not failures. With
+// SLO.MaxThrottleRate set the same target converges on the admission knee,
+// walking the identical trajectory the latency-step search walks.
+func TestSearchThrottleAware(t *testing.T) {
+	base := SearchConfig{
+		MinRate: 100, MaxRate: 1000, Rounds: 6,
+		Measure: throttleStepModel(300),
+	}
+
+	blind := base
+	blind.SLO = SLO{P99: 20 * time.Millisecond, MaxErrorRate: 0}
+	res, err := Search(blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSustainable != 1000 || res.FirstFailing != 0 || len(res.Probes) != 2 {
+		t.Fatalf("throttle-blind search = %+v, want the whole bracket sustainable", res)
+	}
+
+	aware := base
+	aware.SLO = SLO{P99: 20 * time.Millisecond, MaxErrorRate: 0, MaxThrottleRate: 0.05}
+	res, err = Search(aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual([]float64{res.MaxSustainable, res.FirstFailing}, []float64{296.875, 310.9375}) {
+		t.Fatalf("throttle-aware verdict %v / %v, want the admission knee 296.875 / 310.9375",
+			res.MaxSustainable, res.FirstFailing)
+	}
+	for _, p := range res.Probes {
+		if p.Met != (p.Result.ThrottleRate <= 0.05) {
+			t.Fatalf("probe %v verdict %v disagrees with its throttle rate %v",
+				p.Rate, p.Met, p.Result.ThrottleRate)
+		}
+	}
+}
+
 func TestSearchRejectsBadConfig(t *testing.T) {
 	m := stepModel(300)
 	for _, cfg := range []SearchConfig{

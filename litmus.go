@@ -330,7 +330,9 @@ func NewRemoteSink(ctx context.Context, client *PricingClient, cfg RemoteSinkCon
 }
 
 // ParseRoutePolicy resolves a routing-policy name ("round-robin",
-// "least-loaded", "binpack").
+// "least-loaded", "binpack", "cheapest-projected-bill",
+// "congestion-avoiding"; the last two read the price feedback enabled by
+// FleetConfig.FeedbackPricer).
 func ParseRoutePolicy(name string) (RoutePolicy, error) { return fleet.ParsePolicy(name) }
 
 // SimulateFleet replays arrivals across a fleet while the streaming meter
